@@ -1,0 +1,7 @@
+#!/bin/sh
+# A small k-clique demonstration (mirrors the artifact's kclique-small.sh):
+# prove a 27-clique exists and a 29-clique does not, on one simulated node.
+set -e
+dune exec bin/yewpar.exe -- solve -i kclique-spreads-s --skeleton depthbounded:2 \
+  --runtime sim --localities 1 --workers 15
+dune exec bin/yewpar.exe -- dimacs -f data/tiny.clq --decision-bound 3 --runtime seq

@@ -1,0 +1,4 @@
+#!/bin/sh
+# Figure 4's k-clique scaling experiment (mirrors the artifact's kclique.sh).
+set -e
+exec dune exec bench/main.exe -- figure4

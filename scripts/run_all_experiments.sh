@@ -1,0 +1,5 @@
+#!/bin/sh
+# Regenerate every table, figure and ablation, plus the test evidence.
+set -e
+dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+dune exec bench/main.exe 2>&1 | tee bench_output.txt
