@@ -1,0 +1,270 @@
+(* Command-line front end, mirroring the YewPar artifact's interface:
+     yewpar list
+     yewpar solve -i brock400_1-s --skeleton depthbounded:2 \
+        --runtime sim --localities 8 --workers 15
+     yewpar dimacs -f graph.clq --skeleton stacksteal --runtime shm
+     yewpar tsplib -f berlin52.tsp --skeleton budget:1000
+     yewpar knapsack -f items.txt --skeleton bestfirst:2
+*)
+
+module Instances = Yewpar_instances.Instances
+module Coordination = Yewpar_core.Coordination
+module Sequential = Yewpar_core.Sequential
+module Stats = Yewpar_core.Stats
+module Sim = Yewpar_sim.Sim
+module Sim_config = Yewpar_sim.Config
+module Metrics = Yewpar_sim.Metrics
+module Shm = Yewpar_par.Shm
+module Mc = Yewpar_maxclique.Maxclique
+
+open Cmdliner
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+type runtime = Rt_seq | Rt_sim | Rt_shm
+
+let runtime_conv =
+  let parse = function
+    | "seq" -> Ok Rt_seq
+    | "sim" -> Ok Rt_sim
+    | "shm" -> Ok Rt_shm
+    | s -> Error (`Msg (Printf.sprintf "unknown runtime %S (seq|sim|shm)" s))
+  in
+  Arg.conv (parse, fun ppf r ->
+      Format.pp_print_string ppf
+        (match r with Rt_seq -> "seq" | Rt_sim -> "sim" | Rt_shm -> "shm"))
+
+let coordination_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Coordination.of_string s) in
+  Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf (Coordination.to_string c))
+
+let skeleton_arg =
+  Arg.(value & opt coordination_conv Coordination.Sequential
+       & info [ "skeleton"; "s" ] ~docv:"SKEL"
+           ~doc:"Search coordination: seq, depthbounded:$(i,D), stacksteal, \
+                 stacksteal:chunked, budget:$(i,B), bestfirst:$(i,D), or \
+                 randomspawn:$(i,N).")
+
+let runtime_arg =
+  Arg.(value & opt runtime_conv Rt_sim
+       & info [ "runtime"; "r" ] ~docv:"RT"
+           ~doc:"Execution runtime: seq (sequential skeleton), sim (simulated \
+                 cluster), shm (OCaml domains).")
+
+let localities_arg =
+  Arg.(value & opt int 1
+       & info [ "localities"; "l" ] ~docv:"N" ~doc:"Simulated localities (sim only).")
+
+let workers_arg =
+  Arg.(value & opt int 15
+       & info [ "workers"; "w" ] ~docv:"N"
+           ~doc:"Workers per locality (sim) or total domains (shm).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler seed (sim only).")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-csv" ] ~docv:"FILE"
+           ~doc:"Write a per-worker busy-interval trace to $(docv) (sim only), \
+                 one CSV row per interval — plots directly as a Gantt chart.")
+
+(* Run a packed problem on the chosen runtime and print everything. *)
+let execute ~runtime ~coordination ~localities ~workers ~seed ?trace_csv
+    (Instances.Packed (p, show)) =
+  match runtime with
+  | Rt_seq ->
+    let (result, stats), elapsed = wall (fun () -> Sequential.search_with_stats p) in
+    Printf.printf "result:   %s\n" (show result);
+    Format.printf "stats:    %a@." Stats.pp stats;
+    Printf.printf "walltime: %.3fs\n" elapsed
+  | Rt_shm ->
+    let stats = Stats.create () in
+    let result, elapsed =
+      wall (fun () -> Shm.run ~workers ~stats ~coordination p)
+    in
+    Printf.printf "result:   %s\n" (show result);
+    Format.printf "stats:    %a@." Stats.pp stats;
+    Printf.printf "walltime: %.3fs (%d domains)\n" elapsed workers
+  | Rt_sim ->
+    let topology = Sim_config.topology ~localities ~workers in
+    let trace = Option.map (fun _ -> Yewpar_sim.Trace.create ()) trace_csv in
+    let (result, metrics), elapsed =
+      wall (fun () -> Sim.run ~seed ?trace ~topology ~coordination p)
+    in
+    let _, seq_time = Sim.virtual_sequential p in
+    Printf.printf "result:   %s\n" (show result);
+    Format.printf "metrics:  %a@." Metrics.pp metrics;
+    Printf.printf "speedup:  %.2fx vs sequential virtual time %.4fs\n"
+      (Metrics.speedup ~sequential_time:seq_time metrics)
+      seq_time;
+    Printf.printf "walltime: %.3fs (host)\n" elapsed;
+    (match (trace_csv, trace) with
+    | Some file, Some t ->
+      Out_channel.with_open_text file (fun oc ->
+          Out_channel.output_string oc (Yewpar_sim.Trace.to_csv t));
+      Printf.printf "trace:    %s (%d spans)\n" file
+        (List.length (Yewpar_sim.Trace.spans t))
+    | _ -> ())
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun i -> Printf.printf "%-20s %s\n" i.Instances.name i.Instances.app)
+      (Instances.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List registered benchmark instances.")
+    Term.(const run $ const ())
+
+let solve_cmd =
+  let instance_arg =
+    Arg.(required & opt (some string) None
+         & info [ "instance"; "i" ] ~docv:"NAME" ~doc:"Instance name (see $(b,list)).")
+  in
+  let run name coordination runtime localities workers seed trace_csv =
+    match Instances.find name with
+    | exception Not_found ->
+      Printf.eprintf "unknown instance %S; try `yewpar list'\n" name;
+      exit 1
+    | inst ->
+      Printf.printf "instance: %s (%s)\n" inst.Instances.name inst.Instances.app;
+      Printf.printf "skeleton: %s\n" (Coordination.to_string coordination);
+      execute ~runtime ~coordination ~localities ~workers ~seed ?trace_csv
+        (Lazy.force inst.Instances.problem)
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Run a registered instance under a chosen skeleton.")
+    Term.(const run $ instance_arg $ skeleton_arg $ runtime_arg $ localities_arg
+          $ workers_arg $ seed_arg $ trace_arg)
+
+let dimacs_cmd =
+  let file_arg =
+    Arg.(required & opt (some file) None
+         & info [ "file"; "f" ] ~docv:"FILE" ~doc:"DIMACS .clq graph file.")
+  in
+  let kclique_arg =
+    Arg.(value & opt (some int) None
+         & info [ "decision-bound"; "k" ] ~docv:"K"
+             ~doc:"Search for a clique of size $(docv) (decision) instead of a \
+                   maximum clique (optimisation).")
+  in
+  let run file k coordination runtime localities workers seed =
+    let graph = Yewpar_graph.Dimacs.parse_file file in
+    Printf.printf "graph:    %s (%d vertices, %d edges)\n" file
+      (Yewpar_graph.Graph.n_vertices graph)
+      (Yewpar_graph.Graph.n_edges graph);
+    Printf.printf "skeleton: %s\n" (Coordination.to_string coordination);
+    let packed =
+      match k with
+      | None ->
+        Instances.Packed
+          ( Mc.max_clique graph,
+            fun n ->
+              Printf.sprintf "maximum clique of size %d: {%s}" n.Mc.size
+                (String.concat ", " (List.map string_of_int (Mc.vertices_of n))) )
+      | Some k ->
+        Instances.Packed
+          ( Mc.k_clique graph ~k,
+            function
+            | Some n ->
+              Printf.sprintf "found a %d-clique: {%s}" n.Mc.size
+                (String.concat ", " (List.map string_of_int (Mc.vertices_of n)))
+            | None -> Printf.sprintf "no clique of size %d" k )
+    in
+    execute ~runtime ~coordination ~localities ~workers ~seed packed
+  in
+  Cmd.v
+    (Cmd.info "dimacs"
+       ~doc:"Solve Maximum Clique or k-Clique on a DIMACS graph file.")
+    Term.(const run $ file_arg $ kclique_arg $ skeleton_arg $ runtime_arg
+          $ localities_arg $ workers_arg $ seed_arg)
+
+let tsplib_cmd =
+  let file_arg =
+    Arg.(required & opt (some file) None
+         & info [ "file"; "f" ] ~docv:"FILE" ~doc:"TSPLIB .tsp file (EUC_2D/CEIL_2D).")
+  in
+  let max_length_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-length"; "L" ] ~docv:"L"
+             ~doc:"Find a tour of length at most $(docv) (decision) instead of a \
+                   shortest tour (optimisation).")
+  in
+  let run file max_length coordination runtime localities workers seed =
+    let inst = Yewpar_tsp.Tsplib.parse_file file in
+    Printf.printf "instance: %s (%d cities)\n" file (Yewpar_tsp.Tsp.n_cities inst);
+    Printf.printf "skeleton: %s\n" (Coordination.to_string coordination);
+    let show_tour n =
+      Printf.sprintf "tour of length %d: %s"
+        (Yewpar_tsp.Tsp.closed_length inst n)
+        (String.concat " -> "
+           (List.map string_of_int (Yewpar_tsp.Tsp.tour_of inst n)))
+    in
+    let packed =
+      match max_length with
+      | None -> Instances.Packed (Yewpar_tsp.Tsp.problem inst, show_tour)
+      | Some l ->
+        Instances.Packed
+          ( Yewpar_tsp.Tsp.decision inst ~max_length:l,
+            function
+            | Some n -> "found a " ^ show_tour n
+            | None -> Printf.sprintf "no tour of length <= %d" l )
+    in
+    execute ~runtime ~coordination ~localities ~workers ~seed packed
+  in
+  Cmd.v (Cmd.info "tsplib" ~doc:"Solve a TSPLIB travelling-salesperson instance.")
+    Term.(const run $ file_arg $ max_length_arg $ skeleton_arg $ runtime_arg
+          $ localities_arg $ workers_arg $ seed_arg)
+
+let knapsack_cmd =
+  let file_arg =
+    Arg.(required & opt (some file) None
+         & info [ "file"; "f" ] ~docv:"FILE"
+             ~doc:"Knapsack file: header \"n capacity\", then n \"profit weight\" lines.")
+  in
+  let target_arg =
+    Arg.(value & opt (some int) None
+         & info [ "target"; "t" ] ~docv:"P"
+             ~doc:"Find a selection of profit at least $(docv) (decision) instead \
+                   of the maximum profit (optimisation).")
+  in
+  let run file target coordination runtime localities workers seed =
+    let ic = open_in file in
+    let inst =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Yewpar_knapsack.Knapsack.parse_string (In_channel.input_all ic))
+    in
+    Printf.printf "instance: %s (%d items, capacity %d)\n" file
+      (Array.length (Yewpar_knapsack.Knapsack.items inst))
+      (Yewpar_knapsack.Knapsack.capacity inst);
+    Printf.printf "skeleton: %s\n" (Coordination.to_string coordination);
+    let show (n : Yewpar_knapsack.Knapsack.node) =
+      Printf.sprintf "profit %d, weight %d, %d items"
+        n.Yewpar_knapsack.Knapsack.profit n.Yewpar_knapsack.Knapsack.weight
+        (List.length n.Yewpar_knapsack.Knapsack.taken)
+    in
+    let packed =
+      match target with
+      | None -> Instances.Packed (Yewpar_knapsack.Knapsack.problem inst, show)
+      | Some t ->
+        Instances.Packed
+          ( Yewpar_knapsack.Knapsack.decision inst ~target:t,
+            function
+            | Some n -> "found " ^ show n
+            | None -> Printf.sprintf "no selection reaches profit %d" t )
+    in
+    execute ~runtime ~coordination ~localities ~workers ~seed packed
+  in
+  Cmd.v (Cmd.info "knapsack" ~doc:"Solve a 0/1 knapsack instance from a file.")
+    Term.(const run $ file_arg $ target_arg $ skeleton_arg $ runtime_arg
+          $ localities_arg $ workers_arg $ seed_arg)
+
+let () =
+  let doc = "YewPar-style parallel search skeletons (OCaml reproduction)" in
+  let info = Cmd.info "yewpar" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; solve_cmd; dimacs_cmd; tsplib_cmd; knapsack_cmd ]))

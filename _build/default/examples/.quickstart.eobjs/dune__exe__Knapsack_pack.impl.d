@@ -1,0 +1,1 @@
+examples/knapsack_pack.ml: List Printf Yewpar_core Yewpar_knapsack Yewpar_sim

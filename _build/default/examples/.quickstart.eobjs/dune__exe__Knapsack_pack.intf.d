@@ -1,0 +1,1 @@
+examples/knapsack_pack.mli:

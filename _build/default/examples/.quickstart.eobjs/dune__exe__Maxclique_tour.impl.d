@@ -1,0 +1,1 @@
+examples/maxclique_tour.ml: List Printf Yewpar_core Yewpar_graph Yewpar_maxclique Yewpar_sim Yewpar_util

@@ -1,0 +1,1 @@
+examples/maxclique_tour.mli:

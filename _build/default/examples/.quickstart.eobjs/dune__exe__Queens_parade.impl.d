@@ -1,0 +1,1 @@
+examples/queens_parade.ml: Array List Printf String Yewpar_core Yewpar_queens Yewpar_sim

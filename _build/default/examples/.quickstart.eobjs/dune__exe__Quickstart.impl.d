@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename List Out_channel Printf String Yewpar_core Yewpar_graph Yewpar_maxclique Yewpar_par Yewpar_sim

@@ -1,0 +1,1 @@
+examples/semantics_trace.ml: Format List Printf Yewpar_semantics Yewpar_util

@@ -1,0 +1,1 @@
+examples/sip_match.ml: List Printf Yewpar_core Yewpar_graph Yewpar_sim Yewpar_sip

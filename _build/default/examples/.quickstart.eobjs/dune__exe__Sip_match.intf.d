@@ -1,0 +1,1 @@
+examples/sip_match.mli:

@@ -1,0 +1,1 @@
+examples/tsp_roundtrip.ml: List Printf String Yewpar_core Yewpar_sim Yewpar_tsp

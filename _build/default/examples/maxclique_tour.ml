@@ -1,0 +1,57 @@
+(* Exploring alternate parallelisations of Maximum Clique (paper §5.5).
+
+   The paper's key usability claim: switching the parallel coordination
+   is a one-line change, so users can simply try them all. This example
+   runs one brock-style instance under every skeleton and prints a small
+   league table — the miniature version of Table 2.
+
+     dune exec examples/maxclique_tour.exe
+*)
+
+module Coordination = Yewpar_core.Coordination
+module Sim = Yewpar_sim.Sim
+module Sim_config = Yewpar_sim.Config
+module Metrics = Yewpar_sim.Metrics
+module Gen = Yewpar_graph.Gen
+module Mc = Yewpar_maxclique.Maxclique
+module Table = Yewpar_util.Table
+
+let () =
+  let graph = Gen.hidden_clique ~seed:2002 180 0.70 20 in
+  let problem = Mc.max_clique graph in
+  let _, seq_time = Sim.virtual_sequential problem in
+  Printf.printf
+    "Maximum clique on a brock-style graph (180 vertices, density 0.70,\n\
+     planted 20-clique); sequential virtual time %.4fs.\n\
+     Simulated cluster: 4 localities x 15 workers.\n\n"
+    seq_time;
+  let topology = Sim_config.topology ~localities:4 ~workers:15 in
+  let skeletons =
+    [ ("seq", Coordination.Sequential);
+      ("depthbounded:1", Coordination.Depth_bounded { dcutoff = 1 });
+      ("depthbounded:2", Coordination.Depth_bounded { dcutoff = 2 });
+      ("depthbounded:4", Coordination.Depth_bounded { dcutoff = 4 });
+      ("stacksteal", Coordination.Stack_stealing { chunked = false });
+      ("stacksteal:chunked", Coordination.Stack_stealing { chunked = true });
+      ("budget:100", Coordination.Budget { budget = 100 });
+      ("budget:10000", Coordination.Budget { budget = 10_000 }) ]
+  in
+  let rows =
+    List.map
+      (fun (name, coordination) ->
+        let node, m = Sim.run ~topology ~coordination problem in
+        [ name;
+          string_of_int node.Mc.size;
+          Printf.sprintf "%.4f" m.Metrics.makespan;
+          Table.fspeedup (Metrics.speedup ~sequential_time:seq_time m);
+          Printf.sprintf "%.0f%%" (100. *. Metrics.efficiency m);
+          string_of_int m.Metrics.tasks ])
+      skeletons
+  in
+  print_endline
+    (Table.render
+       ~header:[ "Skeleton"; "omega"; "virtual s"; "speedup"; "efficiency"; "tasks" ]
+       rows);
+  print_endline
+    "\nEvery row returns the same clique size; only time-to-solution and\n\
+     task behaviour differ — that is the skeleton promise."

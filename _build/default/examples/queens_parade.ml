@@ -1,0 +1,53 @@
+(* N-Queens: a brand-new search application in ~40 lines of library use.
+
+   The framework's pitch is that a search application is only a node
+   type + a Lazy Node Generator; everything else (search types, all
+   parallel coordinations, both runtimes) comes for free. N-Queens is
+   not one of the paper's seven applications — it is here to show how
+   little a new domain costs.
+
+     dune exec examples/queens_parade.exe
+*)
+
+module Q = Yewpar_queens.Queens
+module Sequential = Yewpar_core.Sequential
+module Coordination = Yewpar_core.Coordination
+module Sim = Yewpar_sim.Sim
+module Sim_config = Yewpar_sim.Config
+
+let board inst cols =
+  let n = Q.size inst in
+  String.concat "\n"
+    (List.init n (fun r ->
+         String.concat " "
+           (List.init n (fun c -> if cols.(r) = c then "Q" else "."))))
+
+let () =
+  (* Enumeration: the classic counting sequence. *)
+  for n = 4 to 10 do
+    let count = Sequential.search (Q.count_solutions (Q.instance ~n)) in
+    Printf.printf "%2d queens: %5d solutions\n" n count
+  done;
+
+  (* Decision: print one witness. *)
+  let inst = Q.instance ~n:8 in
+  (match Sequential.search (Q.find_placement inst) with
+  | Some node ->
+    let cols = Q.placement_of inst node in
+    assert (Q.is_valid_placement inst cols);
+    Printf.printf "\none 8-queens placement:\n%s\n" (board inst cols)
+  | None -> assert false);
+
+  (* Parallel: count 11-queens solutions on a simulated cluster. *)
+  let big = Q.instance ~n:11 in
+  let p = Q.count_solutions big in
+  let _, seq_time = Sim.virtual_sequential p in
+  let count, m =
+    Sim.run
+      ~topology:(Sim_config.topology ~localities:4 ~workers:15)
+      ~coordination:(Coordination.Depth_bounded { dcutoff = 2 })
+      p
+  in
+  Printf.printf
+    "\n11 queens: %d solutions; %.2fx speedup on 60 simulated workers\n" count
+    (Yewpar_sim.Metrics.speedup ~sequential_time:seq_time m)

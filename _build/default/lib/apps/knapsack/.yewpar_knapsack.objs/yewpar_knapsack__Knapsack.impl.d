@@ -1,0 +1,1 @@
+lib/apps/knapsack/knapsack.ml: Array Buffer Fun List Printf Seq String Yewpar_core Yewpar_util

@@ -1,0 +1,1 @@
+lib/apps/knapsack/knapsack.mli: Yewpar_core

@@ -1,0 +1,172 @@
+module Splitmix = Yewpar_util.Splitmix
+module Problem = Yewpar_core.Problem
+
+type item = { profit : int; weight : int }
+
+type instance = { items : item array; capacity : int }
+
+let instance ~items:item_list ~capacity =
+  if capacity <= 0 then invalid_arg "Knapsack.instance: non-positive capacity";
+  List.iter
+    (fun it ->
+      if it.profit <= 0 || it.weight <= 0 then
+        invalid_arg "Knapsack.instance: non-positive item")
+    item_list;
+  let arr = Array.of_list item_list in
+  let density i = float_of_int arr.(i).profit /. float_of_int arr.(i).weight in
+  let order = Array.init (Array.length arr) Fun.id in
+  Array.sort
+    (fun i j ->
+      let c = compare (density j) (density i) in
+      if c <> 0 then c else compare i j)
+    order;
+  { items = Array.map (fun i -> arr.(i)) order; capacity }
+
+let capacity inst = inst.capacity
+let items inst = inst.items
+
+type node = {
+  next : int;
+  profit : int;
+  weight : int;
+  taken : int list;
+}
+
+let root _inst = { next = 0; profit = 0; weight = 0; taken = [] }
+
+let children inst parent =
+  let n = Array.length inst.items in
+  let rec gen i () =
+    if i >= n then Seq.Nil
+    else
+      let it = inst.items.(i) in
+      if parent.weight + it.weight <= inst.capacity then
+        Seq.Cons
+          ( {
+              next = i + 1;
+              profit = parent.profit + it.profit;
+              weight = parent.weight + it.weight;
+              taken = i :: parent.taken;
+            },
+            gen (i + 1) )
+      else gen (i + 1) ()
+  in
+  gen parent.next
+
+let fractional_bound inst node =
+  (* Items are in density order, so greedy filling with a final
+     fractional item is the LP relaxation optimum for the subtree. *)
+  let n = Array.length inst.items in
+  let rec go i profit room =
+    if i >= n || room = 0 then profit
+    else
+      let it = inst.items.(i) in
+      if it.weight <= room then go (i + 1) (profit + it.profit) (room - it.weight)
+      else profit + (it.profit * room / it.weight)
+  in
+  go node.next node.profit (inst.capacity - node.weight)
+
+let problem inst =
+  Problem.maximise ~name:"knapsack" ~space:inst ~root:(root inst) ~children
+    ~bound:(fractional_bound inst) ~objective:(fun n -> n.profit) ()
+
+let decision inst ~target =
+  Problem.decide ~name:"knapsack-dec" ~space:inst ~root:(root inst) ~children
+    ~bound:(fractional_bound inst) ~objective:(fun n -> n.profit) ~target ()
+
+let parse_string text =
+  let fields line =
+    String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
+  in
+  let int_of what s =
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> failwith (Printf.sprintf "Knapsack: expected integer %s, got %S" what s)
+  in
+  match
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  with
+  | [] -> failwith "Knapsack: empty instance file"
+  | header :: rest -> (
+    match fields header with
+    | [ n; capacity ] ->
+      let n = int_of "item count" n in
+      let capacity = int_of "capacity" capacity in
+      if List.length rest <> n then
+        failwith
+          (Printf.sprintf "Knapsack: expected %d item lines, found %d" n
+             (List.length rest));
+      let items =
+        List.map
+          (fun line ->
+            match fields line with
+            | [ p; w ] -> { profit = int_of "profit" p; weight = int_of "weight" w }
+            | _ -> failwith (Printf.sprintf "Knapsack: malformed item line %S" line))
+          rest
+      in
+      instance ~items ~capacity
+    | _ -> failwith "Knapsack: malformed header (expected \"n capacity\")")
+
+let to_string inst =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d\n" (Array.length inst.items) inst.capacity);
+  Array.iter
+    (fun (it : item) ->
+      Buffer.add_string buf (Printf.sprintf "%d %d\n" it.profit it.weight))
+    inst.items;
+  Buffer.contents buf
+
+let exact_dp inst =
+  let c = inst.capacity in
+  let best = Array.make (c + 1) 0 in
+  Array.iter
+    (fun (it : item) ->
+      for room = c downto it.weight do
+        best.(room) <- max best.(room) (best.(room - it.weight) + it.profit)
+      done)
+    inst.items;
+  best.(c)
+
+module Generate = struct
+  let make ~seed ~n ~max_value (pick : Splitmix.gen -> int -> item) =
+    let rng = Splitmix.of_seed seed in
+    let items =
+      List.init n (fun _ ->
+          let weight = 1 + Splitmix.int rng max_value in
+          pick rng weight)
+    in
+    let total = List.fold_left (fun acc (it : item) -> acc + it.weight) 0 items in
+    (* Half the total weight is the standard "hard" capacity ratio. *)
+    instance ~items ~capacity:(max 1 (total / 2))
+
+  let uncorrelated ~seed ~n ~max_value =
+    make ~seed ~n ~max_value (fun rng weight ->
+        { weight; profit = 1 + Splitmix.int rng max_value })
+
+  let weakly_correlated ~seed ~n ~max_value =
+    make ~seed ~n ~max_value (fun rng weight ->
+        let spread = max 1 (max_value / 10) in
+        let delta = Splitmix.int rng (2 * spread) - spread in
+        { weight; profit = max 1 (weight + delta) })
+
+  let strongly_correlated ~seed ~n ~max_value =
+    make ~seed ~n ~max_value (fun _rng weight ->
+        { weight; profit = weight + (max_value / 10) + 1 })
+
+  let subset_sum ~seed ~n ~max_value =
+    (* Even weights with an odd capacity: no selection ever reaches the
+       capacity exactly, so the relaxation bound (= capacity while any
+       item remains fractionally placeable) never closes and pruning is
+       minimal — the classic hard subset-sum construction. *)
+    let rng = Splitmix.of_seed seed in
+    let items =
+      List.init n (fun _ ->
+          let weight = 2 * (1 + Splitmix.int rng max_value) in
+          { weight; profit = weight })
+    in
+    let total = List.fold_left (fun acc (it : item) -> acc + it.weight) 0 items in
+    instance ~items ~capacity:((total / 2) lor 1)
+end

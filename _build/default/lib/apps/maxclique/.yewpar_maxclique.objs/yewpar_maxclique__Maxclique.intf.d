@@ -1,0 +1,1 @@
+lib/apps/maxclique/maxclique.mli: Yewpar_bitset Yewpar_core Yewpar_graph

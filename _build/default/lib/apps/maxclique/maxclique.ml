@@ -1,0 +1,127 @@
+module Bitset = Yewpar_bitset.Bitset
+module Graph = Yewpar_graph.Graph
+module Problem = Yewpar_core.Problem
+
+type node = {
+  clique : int list;
+  size : int;
+  candidates : Bitset.t;
+  bound : int;
+}
+
+let root g =
+  let n = Graph.n_vertices g in
+  let candidates = Bitset.create n in
+  Bitset.fill_upto candidates n;
+  { clique = []; size = 0; candidates; bound = n }
+
+let upper_bound node = node.size + node.bound
+
+(* Greedy colouring (the paper's greedy_colour): repeatedly build an
+   independent set (one colour class); p_vertex lists the candidates in
+   colouring order, p_colour.(i) the colours used on the prefix up to i.
+   Within a class vertices come in increasing index order, which makes
+   the traversal heuristic deterministic. *)
+let colour_order g p =
+  let n = Bitset.cardinal p in
+  let p_vertex = Array.make (max n 1) 0 in
+  let p_colour = Array.make (max n 1) 0 in
+  let uncoloured = Bitset.copy p in
+  let idx = ref 0 in
+  let colour = ref 0 in
+  while not (Bitset.is_empty uncoloured) do
+    incr colour;
+    let colourable = Bitset.copy uncoloured in
+    let rec fill () =
+      let v = Bitset.first colourable in
+      if v >= 0 then begin
+        Bitset.remove uncoloured v;
+        Bitset.remove colourable v;
+        Bitset.diff_into colourable (Graph.neighbours g v);
+        p_vertex.(!idx) <- v;
+        p_colour.(!idx) <- !colour;
+        incr idx;
+        fill ()
+      end
+    in
+    fill ()
+  done;
+  (p_vertex, p_colour, n)
+
+let children g parent =
+  if Bitset.is_empty parent.candidates then Seq.empty
+  else begin
+    let p_vertex, p_colour, n = colour_order g parent.candidates in
+    (* Iterate in reverse colouring order: heuristically best (highest
+       colour) candidate first, exactly as Listing 1's [next]. The
+       [remaining] set is shared mutable state, so the sequence is
+       ephemeral — the engine forces each cell exactly once. *)
+    let remaining = Bitset.copy parent.candidates in
+    let rec gen k () =
+      if k < 0 then Seq.Nil
+      else begin
+        let v = p_vertex.(k) in
+        Bitset.remove remaining v;
+        let candidates = Bitset.inter remaining (Graph.neighbours g v) in
+        (* The child's candidates avoid v's whole colour class (they are
+           neighbours of v; class-mates are not), so p_colour.(k) - 1
+           colours suffice for any further extension -- the standard
+           MCSa bound, matching the hand-coded solver's cut. *)
+        let child =
+          { clique = v :: parent.clique; size = parent.size + 1; candidates;
+            bound = p_colour.(k) - 1 }
+        in
+        Seq.Cons (child, gen (k - 1))
+      end
+    in
+    gen (n - 1)
+  end
+
+(* Children are emitted in non-increasing colour-bound order, so a
+   failed bound check legitimately cuts all remaining siblings —
+   exactly the early loop exit of the hand-coded solvers. *)
+let max_clique g =
+  Problem.maximise ~name:"maxclique" ~space:g ~root:(root g) ~children
+    ~bound:upper_bound ~monotone_bound:true ~objective:(fun n -> n.size) ()
+
+let k_clique g ~k =
+  Problem.decide ~name:"kclique" ~space:g ~root:(root g) ~children
+    ~bound:upper_bound ~monotone_bound:true ~objective:(fun n -> n.size)
+    ~target:k ()
+
+let vertices_of node = List.sort compare node.clique
+
+module Specialised = struct
+  (* Direct MCSa1-style recursion: in-place vertex/colour arrays, early
+     loop exit on the bound (colour classes are non-increasing towards
+     lower indices, so the first failing candidate cuts all the rest),
+     no Seq or skeleton machinery. Mirrors the hand-crafted sequential
+     C++ implementation YewPar is compared against in Table 1. *)
+  let max_clique_size g =
+    let best_size = ref 0 in
+    let best = ref [] in
+    let rec expand clique size candidates =
+      if size > !best_size then begin
+        best_size := size;
+        best := clique
+      end;
+      if not (Bitset.is_empty candidates) then begin
+        let p_vertex, p_colour, n = colour_order g candidates in
+        let remaining = Bitset.copy candidates in
+        let rec loop k =
+          if k >= 0 && size + p_colour.(k) > !best_size then begin
+            let v = p_vertex.(k) in
+            Bitset.remove remaining v;
+            let candidates' = Bitset.inter remaining (Graph.neighbours g v) in
+            expand (v :: clique) (size + 1) candidates';
+            loop (k - 1)
+          end
+        in
+        loop (n - 1)
+      end
+    in
+    let all = Bitset.create (Graph.n_vertices g) in
+    Bitset.fill_upto all (Graph.n_vertices g);
+    expand [] 0 all;
+    (!best_size, List.sort compare !best)
+end

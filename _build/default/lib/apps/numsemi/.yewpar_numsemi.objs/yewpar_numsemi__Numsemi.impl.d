@@ -1,0 +1,1 @@
+lib/apps/numsemi/numsemi.ml: Array Bytes List Seq Yewpar_core

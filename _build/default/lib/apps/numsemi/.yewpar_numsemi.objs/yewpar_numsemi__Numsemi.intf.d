@@ -1,0 +1,1 @@
+lib/apps/numsemi/numsemi.mli: Yewpar_core

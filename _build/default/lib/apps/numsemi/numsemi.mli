@@ -1,0 +1,65 @@
+(** Numerical Semigroups (enumeration; paper §5.1, Fromentin & Hivert).
+
+    A numerical semigroup is a cofinite subset of ℕ containing 0 and
+    closed under addition; its genus is the number of missing naturals
+    (gaps). The semigroups of genus [g+1] are exactly the sets
+    [S \ {x}] for a semigroup [S] of genus [g] and a minimal generator
+    [x] of [S] exceeding its Frobenius number, so the semigroup tree is
+    searched by removing such generators — the paper's NS application
+    counts the semigroups of a given genus, i.e. the nodes at a given
+    depth.
+
+    Representation: a membership table up to [3·gmax + 3], which is
+    sound because the Frobenius number at genus [g] is at most [2g - 1]
+    and minimal generators are at most Frobenius + multiplicity. *)
+
+type space
+(** The exploration context (the genus limit, fixing table sizes). *)
+
+val space : gmax:int -> space
+(** Explore semigroups up to genus [gmax].
+    @raise Invalid_argument if [gmax < 0]. *)
+
+type node
+(** A numerical semigroup (immutable). *)
+
+val root : space -> node
+(** ℕ itself — the unique semigroup of genus 0. *)
+
+val genus : node -> int
+(** Number of gaps. *)
+
+val frobenius : node -> int
+(** Largest gap ([-1] for ℕ). *)
+
+val multiplicity : node -> int
+(** Smallest non-zero element. *)
+
+val mem : node -> int -> bool
+(** Membership of a natural number (valid up to the table bound). *)
+
+val minimal_generators_above_frobenius : space -> node -> int list
+(** The removable generators, in increasing order. *)
+
+val children : (space, node) Yewpar_core.Problem.generator
+(** One child per removable generator (increasing), stopping at the
+    genus limit. *)
+
+val count_at_genus : space -> g:int ->
+  (space, node, int) Yewpar_core.Problem.t
+(** Count the semigroups of genus [g] (requires [g <= gmax]). *)
+
+val count_tree : space -> (space, node, int) Yewpar_core.Problem.t
+(** Count all semigroups of genus [<= gmax] (the whole search tree). *)
+
+val genus_histogram : space -> (space, node, int array) Yewpar_core.Problem.t
+(** Count semigroups of {e every} genus at once: the result's index [g]
+    is the number of semigroups of genus [g]. Demonstrates enumeration
+    into a non-trivial commutative monoid (pointwise-summed integer
+    arrays) — one parallel traversal recovers the whole of OEIS A007323
+    up to [gmax]. *)
+
+val known_counts : int array
+(** The first entries of OEIS A007323 (numbers of numerical semigroups
+    by genus), the validation oracle:
+    [1; 1; 2; 4; 7; 12; 23; 39; 67; 118; 204; 343; 592; 1001; 1693; ...]. *)

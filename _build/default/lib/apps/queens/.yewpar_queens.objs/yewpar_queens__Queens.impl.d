@@ -1,0 +1,1 @@
+lib/apps/queens/queens.ml: Array List Seq Yewpar_core

@@ -1,0 +1,1 @@
+lib/apps/queens/queens.mli: Yewpar_core

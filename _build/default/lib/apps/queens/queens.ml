@@ -1,0 +1,71 @@
+module Problem = Yewpar_core.Problem
+
+type instance = { n : int }
+
+let instance ~n =
+  if n < 1 || n > 30 then invalid_arg "Queens.instance: n must be in 1..30";
+  { n }
+
+let size inst = inst.n
+
+type node = {
+  level : int;
+  columns : int list;
+  cols_mask : int;
+  diag1_mask : int;
+  diag2_mask : int;
+}
+
+let root _inst =
+  { level = 0; columns = []; cols_mask = 0; diag1_mask = 0; diag2_mask = 0 }
+
+let children inst parent =
+  if parent.level >= inst.n then Seq.empty
+  else begin
+    (* Masks are kept aligned to the next row: an anti-diagonal attack
+       moves one column left per row, a main-diagonal one column right. *)
+    let d1 = parent.diag1_mask and d2 = parent.diag2_mask in
+    let attacked = parent.cols_mask lor d1 lor d2 in
+    let rec gen col () =
+      if col >= inst.n then Seq.Nil
+      else if attacked land (1 lsl col) <> 0 then gen (col + 1) ()
+      else
+        Seq.Cons
+          ( {
+              level = parent.level + 1;
+              columns = col :: parent.columns;
+              cols_mask = parent.cols_mask lor (1 lsl col);
+              diag1_mask = (d1 lor (1 lsl col)) lsr 1;
+              diag2_mask = (d2 lor (1 lsl col)) lsl 1;
+            },
+            gen (col + 1) )
+    in
+    gen 0
+  end
+
+let count_solutions inst =
+  Problem.enumerate ~name:"queens" ~space:inst ~root:(root inst) ~children ~empty:0
+    ~combine:( + )
+    ~view:(fun node -> if node.level = inst.n then 1 else 0)
+
+let find_placement inst =
+  Problem.decide ~name:"queens-dec" ~space:inst ~root:(root inst) ~children
+    ~objective:(fun node -> node.level)
+    ~target:inst.n ()
+
+let placement_of inst node =
+  if node.level <> inst.n then invalid_arg "Queens.placement_of: partial placement";
+  Array.of_list (List.rev node.columns)
+
+let is_valid_placement inst cols =
+  Array.length cols = inst.n
+  &&
+  let ok = ref true in
+  for i = 0 to inst.n - 1 do
+    for j = i + 1 to inst.n - 1 do
+      if cols.(i) = cols.(j) || abs (cols.(i) - cols.(j)) = j - i then ok := false
+    done
+  done;
+  Array.for_all (fun c -> c >= 0 && c < inst.n) cols && !ok
+
+let known_counts = [| 1; 0; 0; 2; 10; 4; 40; 92; 352; 724; 2680; 14200 |]

@@ -1,0 +1,1 @@
+lib/apps/sip/sip.ml: Array List Seq Yewpar_bitset Yewpar_core Yewpar_graph

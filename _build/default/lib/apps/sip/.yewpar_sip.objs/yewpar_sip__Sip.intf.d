@@ -1,0 +1,1 @@
+lib/apps/sip/sip.mli: Yewpar_bitset Yewpar_core Yewpar_graph

@@ -1,0 +1,55 @@
+(** Subgraph Isomorphism Problem (decision; paper §5.1).
+
+    Find a (non-induced) embedding of a pattern graph into a target
+    graph: an injective vertex map carrying pattern edges to target
+    edges. Pattern vertices are assigned in non-increasing degree order
+    (most-constrained first); a search-tree node is a consistent partial
+    assignment and children try each compatible target vertex for the
+    next pattern vertex, highest target degree first. Consistency —
+    injectivity, adjacency of mapped neighbours, and a degree filter —
+    is enforced by the generator, so the tree contains only consistent
+    assignments and the decision search succeeds exactly at depth
+    [pattern size]. *)
+
+type instance
+(** A (pattern, target) pair with the pattern's static variable order. *)
+
+val instance : pattern:Yewpar_graph.Graph.t -> target:Yewpar_graph.Graph.t -> instance
+(** Build an instance. @raise Invalid_argument if the pattern is empty
+    or larger than the target. *)
+
+val pattern : instance -> Yewpar_graph.Graph.t
+(** The pattern graph. *)
+
+val target : instance -> Yewpar_graph.Graph.t
+(** The target graph. *)
+
+type node = {
+  level : int;  (** Number of pattern vertices assigned. *)
+  assignment : int array;
+      (** [assignment.(i)] is the target vertex of the [i]-th pattern
+          vertex {e in variable order}, for [i < level]. *)
+  used : Yewpar_bitset.Bitset.t;  (** Target vertices already used. *)
+}
+(** A consistent partial assignment. *)
+
+val root : instance -> node
+(** The empty assignment. *)
+
+val children : (instance, node) Yewpar_core.Problem.generator
+(** Consistent extensions of the next pattern vertex, highest target
+    degree first. *)
+
+val problem : instance -> (instance, node, node option) Yewpar_core.Problem.t
+(** The decision problem: a witness node iff an embedding exists. *)
+
+val embedding_of : instance -> node -> (int * int) list
+(** The [(pattern_vertex, target_vertex)] pairs of a complete witness.
+    @raise Invalid_argument on incomplete nodes. *)
+
+val check_embedding : instance -> (int * int) list -> bool
+(** Validate injectivity and edge preservation of an embedding. *)
+
+val brute_force : instance -> bool
+(** Oracle: existence of an embedding by unpruned enumeration (small
+    instances only). *)

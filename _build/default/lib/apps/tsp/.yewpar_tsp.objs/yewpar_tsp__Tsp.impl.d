@@ -1,0 +1,1 @@
+lib/apps/tsp/tsp.ml: Array Float Fun List Seq Yewpar_bitset Yewpar_core Yewpar_util

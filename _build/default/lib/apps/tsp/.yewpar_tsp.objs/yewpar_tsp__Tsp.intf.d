@@ -1,0 +1,1 @@
+lib/apps/tsp/tsp.mli: Yewpar_bitset Yewpar_core

@@ -1,0 +1,1 @@
+lib/apps/tsp/tsplib.ml: Array Buffer Float Fun In_channel List Printf String Tsp

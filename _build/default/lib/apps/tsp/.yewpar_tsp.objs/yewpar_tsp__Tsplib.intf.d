@@ -1,0 +1,1 @@
+lib/apps/tsp/tsplib.mli: Tsp

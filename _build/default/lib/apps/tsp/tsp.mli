@@ -1,0 +1,71 @@
+(** Travelling Salesperson by depth-first branch and bound (paper §5.1).
+
+    Tours start and end at city 0; a search-tree node is a partial tour,
+    children visit each remaining city ordered nearest-first (the search
+    heuristic). YewPar searches maximise, so tour lengths are negated:
+    the objective of a complete tour is minus its closed length, and the
+    pruning bound is minus an admissible lower bound on the cheapest
+    completion (each unvisited city's cheapest usable outgoing edge,
+    plus the cheapest continuation out of the current city). *)
+
+type instance
+(** Symmetric distances between [n] cities. *)
+
+val of_matrix : int array array -> instance
+(** Build an instance from a symmetric non-negative matrix with zero
+    diagonal. @raise Invalid_argument if malformed. *)
+
+val random_euclidean : seed:int -> n:int -> size:int -> instance
+(** [n] uniformly random points on a [size × size] grid, rounded
+    Euclidean distances — the classic random-TSP testbed. *)
+
+val n_cities : instance -> int
+(** Number of cities. *)
+
+val distance : instance -> int -> int -> int
+(** Distance lookup. *)
+
+type node = {
+  visited : Yewpar_bitset.Bitset.t;  (** Cities on the partial tour. *)
+  last : int;  (** Current city. *)
+  length : int;  (** Length of the open path so far. *)
+  tour_rev : int list;  (** The path, newest city first. *)
+}
+(** A partial tour beginning at city 0. *)
+
+val root : instance -> node
+(** The tour containing only city 0. *)
+
+val children : (instance, node) Yewpar_core.Problem.generator
+(** Extensions to each unvisited city, nearest first. *)
+
+val is_complete : instance -> node -> bool
+(** All cities visited. *)
+
+val tour_of : instance -> node -> int list
+(** The closed tour (starting at 0) when complete.
+    @raise Invalid_argument otherwise. *)
+
+val closed_length : instance -> node -> int
+(** Length of the tour closed back to city 0 (complete nodes only). *)
+
+val objective : instance -> node -> int
+(** Minus the closed length for complete nodes; a sentinel far below
+    any real tour otherwise. *)
+
+val lower_bound_remaining : instance -> node -> int
+(** Admissible lower bound on completing the partial tour to a closed
+    tour (0 for complete nodes). *)
+
+val problem : instance -> (instance, node, node) Yewpar_core.Problem.t
+(** The optimisation problem: find a shortest closed tour (returned as
+    the maximising node). *)
+
+val decision : instance -> max_length:int -> (instance, node, node option) Yewpar_core.Problem.t
+(** The decision variant: find any closed tour of length at most
+    [max_length], short-circuiting at the first witness. *)
+
+val exact_held_karp : instance -> int
+(** Reference optimal closed-tour length by Held–Karp dynamic
+    programming, O(2ⁿ·n²) — the validation oracle for small instances
+    (n ≤ ~15). *)

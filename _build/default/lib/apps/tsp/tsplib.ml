@@ -1,0 +1,108 @@
+let fields line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+(* Header lines look like "KEY : VALUE" (spaces around ':' optional). *)
+let header_of line =
+  match String.index_opt line ':' with
+  | None -> None
+  | Some i ->
+    let key = String.trim (String.sub line 0 i) in
+    let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+    Some (String.uppercase_ascii key, value)
+
+type weight_type = Euc2d | Ceil2d
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text |> List.map String.trim in
+  let dimension = ref None in
+  let weight_type = ref None in
+  let coords : (float * float) option array ref = ref [||] in
+  let rec scan_headers = function
+    | [] -> failwith "Tsplib: missing NODE_COORD_SECTION"
+    | line :: rest when line = "NODE_COORD_SECTION" -> rest
+    | line :: rest -> (
+      match header_of line with
+      | Some ("DIMENSION", v) -> (
+        match int_of_string_opt v with
+        | Some n when n > 0 ->
+          dimension := Some n;
+          scan_headers rest
+        | _ -> failwith (Printf.sprintf "Tsplib: bad DIMENSION %S" v))
+      | Some ("EDGE_WEIGHT_TYPE", "EUC_2D") ->
+        weight_type := Some Euc2d;
+        scan_headers rest
+      | Some ("EDGE_WEIGHT_TYPE", "CEIL_2D") ->
+        weight_type := Some Ceil2d;
+        scan_headers rest
+      | Some ("EDGE_WEIGHT_TYPE", other) ->
+        failwith (Printf.sprintf "Tsplib: unsupported EDGE_WEIGHT_TYPE %s" other)
+      | Some (("NAME" | "COMMENT" | "TYPE"), _) | Some _ -> scan_headers rest
+      | None when line = "" -> scan_headers rest
+      | None -> failwith (Printf.sprintf "Tsplib: unrecognised header line %S" line))
+  in
+  let body = scan_headers lines in
+  let n =
+    match !dimension with
+    | Some n -> n
+    | None -> failwith "Tsplib: missing DIMENSION"
+  in
+  let wt =
+    match !weight_type with
+    | Some w -> w
+    | None -> failwith "Tsplib: missing EDGE_WEIGHT_TYPE"
+  in
+  coords := Array.make n None;
+  let rec read_coords = function
+    | [] -> ()
+    | line :: _ when line = "EOF" -> ()
+    | "" :: rest -> read_coords rest
+    | line :: rest -> (
+      match fields line with
+      | [ idx; x; y ] -> (
+        match (int_of_string_opt idx, float_of_string_opt x, float_of_string_opt y) with
+        | Some i, Some x, Some y when i >= 1 && i <= n ->
+          !coords.(i - 1) <- Some (x, y);
+          read_coords rest
+        | _ -> failwith (Printf.sprintf "Tsplib: bad coordinate line %S" line))
+      | _ -> failwith (Printf.sprintf "Tsplib: bad coordinate line %S" line))
+  in
+  read_coords body;
+  let pts =
+    Array.mapi
+      (fun i c ->
+        match c with
+        | Some p -> p
+        | None -> failwith (Printf.sprintf "Tsplib: missing coordinates for node %d" (i + 1)))
+      !coords
+  in
+  let dist =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            let xi, yi = pts.(i) and xj, yj = pts.(j) in
+            let d = sqrt (((xi -. xj) ** 2.) +. ((yi -. yj) ** 2.)) in
+            match wt with
+            | Euc2d -> int_of_float (Float.round d)
+            | Ceil2d -> int_of_float (Float.ceil d)))
+  in
+  Tsp.of_matrix dist
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_string (In_channel.input_all ic))
+
+let to_string ~name pts =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "NAME : %s\n" name);
+  Buffer.add_string buf "TYPE : TSP\n";
+  Buffer.add_string buf (Printf.sprintf "DIMENSION : %d\n" (Array.length pts));
+  Buffer.add_string buf "EDGE_WEIGHT_TYPE : EUC_2D\n";
+  Buffer.add_string buf "NODE_COORD_SECTION\n";
+  Array.iteri
+    (fun i (x, y) -> Buffer.add_string buf (Printf.sprintf "%d %.4f %.4f\n" (i + 1) x y))
+    pts;
+  Buffer.add_string buf "EOF\n";
+  Buffer.contents buf

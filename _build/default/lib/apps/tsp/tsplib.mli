@@ -1,0 +1,19 @@
+(** TSPLIB-format instance I/O (EUC_2D subset).
+
+    Reads the ubiquitous TSPLIB format so standard instances (berlin52,
+    eil51, …) drop straight into the solver. The supported subset is
+    symmetric instances with [EDGE_WEIGHT_TYPE: EUC_2D] or [CEIL_2D]
+    and a [NODE_COORD_SECTION]; distances are rounded (EUC_2D) or
+    ceiled (CEIL_2D) Euclidean, per the TSPLIB specification. *)
+
+val parse_string : string -> Tsp.instance
+(** Parse TSPLIB text.
+    @raise Failure on malformed input or unsupported fields
+    (e.g. [EDGE_WEIGHT_TYPE: EXPLICIT]). *)
+
+val parse_file : string -> Tsp.instance
+(** Like {!parse_string}, from a file path. *)
+
+val to_string : name:string -> (float * float) array -> string
+(** Render coordinates as a TSPLIB EUC_2D instance (for generating test
+    fixtures). *)

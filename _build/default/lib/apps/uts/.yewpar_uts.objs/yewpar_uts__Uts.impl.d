@@ -1,0 +1,1 @@
+lib/apps/uts/uts.ml: Float Int64 Seq Yewpar_core Yewpar_util

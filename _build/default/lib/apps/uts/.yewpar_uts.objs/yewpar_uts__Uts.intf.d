@@ -1,0 +1,1 @@
+lib/apps/uts/uts.mli: Yewpar_core

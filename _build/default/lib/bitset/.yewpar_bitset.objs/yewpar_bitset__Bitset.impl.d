@@ -1,0 +1,1 @@
+lib/bitset/bitset.ml: Array Format List String Sys

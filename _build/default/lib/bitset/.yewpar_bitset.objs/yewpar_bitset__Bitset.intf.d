@@ -1,0 +1,1 @@
+lib/bitset/bitset.mli: Format

@@ -1,0 +1,144 @@
+(* Bits are packed into OCaml native ints (62 usable bits, keeping
+   arithmetic unboxed). Word w, bit b encode element w * bits_per_word + b. *)
+
+let bits_per_word = Sys.int_size (* 63 on 64-bit platforms *)
+
+type t = { words : int array; capacity : int }
+
+let words_for n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Array.make (max 1 (words_for n)) 0; capacity = n }
+
+let capacity s = s.capacity
+
+let copy s = { words = Array.copy s.words; capacity = s.capacity }
+
+let check s i =
+  if i < 0 || i >= s.capacity then invalid_arg "Bitset: element out of range"
+
+let add s i =
+  check s i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  s.words.(w) <- s.words.(w) lor (1 lsl b)
+
+let remove s i =
+  check s i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  s.words.(w) <- s.words.(w) land lnot (1 lsl b)
+
+let mem s i =
+  check s i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  s.words.(w) land (1 lsl b) <> 0
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+
+let is_empty s =
+  let rec go i = i >= Array.length s.words || (s.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let check_pair a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset: capacity mismatch"
+
+let inter_into dst src =
+  check_pair dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land src.words.(i)
+  done
+
+let union_into dst src =
+  check_pair dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) lor src.words.(i)
+  done
+
+let diff_into dst src =
+  check_pair dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land lnot src.words.(i)
+  done
+
+let inter a b =
+  let r = copy a in
+  inter_into r b;
+  r
+
+let equal a b =
+  check_pair a b;
+  let rec go i = i >= Array.length a.words || (a.words.(i) = b.words.(i) && go (i + 1)) in
+  go 0
+
+let subset a b =
+  check_pair a b;
+  let rec go i =
+    i >= Array.length a.words || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1))
+  in
+  go 0
+
+let lowest_bit_index x =
+  (* x <> 0; index of its least significant set bit. *)
+  let rec go i x = if x land 1 <> 0 then i else go (i + 1) (x lsr 1) in
+  go 0 x
+
+let first s =
+  let rec go w =
+    if w >= Array.length s.words then -1
+    else if s.words.(w) = 0 then go (w + 1)
+    else (w * bits_per_word) + lowest_bit_index s.words.(w)
+  in
+  go 0
+
+let next_from s i =
+  if i >= s.capacity then -1
+  else begin
+    let i = max i 0 in
+    let w0 = i / bits_per_word and b0 = i mod bits_per_word in
+    let masked = s.words.(w0) land (-1 lsl b0) in
+    if masked <> 0 then (w0 * bits_per_word) + lowest_bit_index masked
+    else begin
+      let rec go w =
+        if w >= Array.length s.words then -1
+        else if s.words.(w) = 0 then go (w + 1)
+        else (w * bits_per_word) + lowest_bit_index s.words.(w)
+      in
+      go (w0 + 1)
+    end
+  end
+
+let iter f s =
+  let rec go i =
+    let j = next_from s i in
+    if j >= 0 then begin
+      f j;
+      go (j + 1)
+    end
+  in
+  go 0
+
+let fold f s acc =
+  let acc = ref acc in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let of_list n xs =
+  let s = create n in
+  List.iter (add s) xs;
+  s
+
+let clear s = Array.fill s.words 0 (Array.length s.words) 0
+
+let fill_upto s k =
+  for i = 0 to min k s.capacity - 1 do
+    add s i
+  done
+
+let pp ppf s =
+  Format.fprintf ppf "{%s}" (String.concat ", " (List.map string_of_int (elements s)))

@@ -1,0 +1,1 @@
+lib/core/coordination.ml: Printf String

@@ -1,0 +1,1 @@
+lib/core/dot.ml: Buffer Printf Problem Queue Seq String

@@ -1,0 +1,1 @@
+lib/core/engine.ml: List Problem Seq Yewpar_util

@@ -1,0 +1,1 @@
+lib/core/ops.ml: Knowledge Problem Yewpar_util

@@ -1,0 +1,1 @@
+lib/core/ordered_core.mli: Problem

@@ -1,0 +1,1 @@
+lib/core/sequential.ml: Engine Knowledge Ops Problem Stats

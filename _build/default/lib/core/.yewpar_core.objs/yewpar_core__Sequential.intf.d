@@ -1,0 +1,1 @@
+lib/core/sequential.mli: Problem Stats

@@ -1,0 +1,1 @@
+lib/core/workpool.ml: Int Map Yewpar_util

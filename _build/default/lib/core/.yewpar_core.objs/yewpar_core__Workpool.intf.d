@@ -1,0 +1,1 @@
+lib/core/workpool.mli:

@@ -1,0 +1,56 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let export ?(max_depth = 3) ?(max_nodes = 200) ~label (p : _ Problem.t) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "digraph search_tree {\n";
+  Buffer.add_string buf "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  let count = ref 0 in
+  let next_id () =
+    let id = !count in
+    incr count;
+    id
+  in
+  (* Breadth-first so the prefix is level-complete under the node cap;
+     within a level children keep their heuristic order. *)
+  let queue = Queue.create () in
+  let root_id = next_id () in
+  Queue.add (p.Problem.root, root_id, 0) queue;
+  Buffer.add_string buf
+    (Printf.sprintf "  n%d [label=\"%s\"];\n" root_id (escape (label p.Problem.root)));
+  while not (Queue.is_empty queue) do
+    let node, id, depth = Queue.pop queue in
+    if depth >= max_depth then
+      Buffer.add_string buf (Printf.sprintf "  n%d [style=dashed];\n" id)
+    else begin
+      let truncated = ref false in
+      let rec walk seq =
+        match Seq.uncons seq with
+        | None -> ()
+        | Some (child, rest) ->
+          if !count >= max_nodes then truncated := true
+          else begin
+            let cid = next_id () in
+            Buffer.add_string buf
+              (Printf.sprintf "  n%d [label=\"%s\"];\n" cid (escape (label child)));
+            Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" id cid);
+            Queue.add (child, cid, depth + 1) queue;
+            walk rest
+          end
+      in
+      walk (p.Problem.children p.Problem.space node);
+      if !truncated then
+        Buffer.add_string buf (Printf.sprintf "  n%d [style=dashed];\n" id)
+    end
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Graphviz export of search-tree prefixes.
+
+    Renders the top of a problem's search tree as a DOT digraph for
+    debugging generators and heuristics: children appear left to right
+    in heuristic order, each node carries a user-supplied label, and for
+    bounded searches the node's objective/bound can be folded into that
+    label. Trees are huge; the export walks only a bounded prefix and
+    marks where it truncated. *)
+
+val export :
+  ?max_depth:int -> ?max_nodes:int -> label:('node -> string) ->
+  ('space, 'node, 'result) Problem.t -> string
+(** [export ~label p] is a DOT digraph of [p]'s search tree down to
+    [max_depth] (default 3) and at most [max_nodes] nodes (default 200,
+    breadth-first, heuristic order within each level). Nodes whose
+    children were cut off are drawn dashed. The output is accepted by
+    [dot -Tsvg]. *)

@@ -1,0 +1,117 @@
+module Vec = Yewpar_util.Vec
+
+type ('space, 'node) frame = {
+  node : 'node;
+  mutable rest : 'node Seq.t;
+  depth : int;
+}
+
+type ('space, 'node) t = {
+  space : 'space;
+  children : ('space, 'node) Problem.generator;
+  frames : ('space, 'node) frame Vec.t;
+  root : 'node;
+  root_depth : int;
+  mutable entered : int;
+  mutable pruned : int;
+  mutable backtracks : int;
+  mutable max_depth : int;
+}
+
+let make ~space ~children ~root_depth root =
+  let frames = Vec.create () in
+  Vec.push frames { node = root; rest = children space root; depth = root_depth };
+  { space; children; frames; root; root_depth;
+    entered = 0; pruned = 0; backtracks = 0; max_depth = root_depth }
+
+let root t = t.root
+
+type 'node step =
+  | Enter of 'node
+  | Pruned of 'node
+  | Leave
+  | Exhausted
+
+let step ?(prune_rest = false) ~keep t =
+  match Vec.top t.frames with
+  | None -> Exhausted
+  | Some f -> (
+    match Seq.uncons f.rest with
+    | None ->
+      ignore (Vec.pop t.frames);
+      t.backtracks <- t.backtracks + 1;
+      Leave
+    | Some (child, rest) ->
+      f.rest <- rest;
+      if keep child then begin
+        let depth = f.depth + 1 in
+        Vec.push t.frames { node = child; rest = t.children t.space child; depth };
+        t.entered <- t.entered + 1;
+        if depth > t.max_depth then t.max_depth <- depth;
+        Enter child
+      end
+      else begin
+        if prune_rest then f.rest <- Seq.empty;
+        t.pruned <- t.pruned + 1;
+        Pruned child
+      end)
+
+let current_depth t =
+  match Vec.top t.frames with Some f -> f.depth | None -> t.root_depth - 1
+
+let stack_size t = Vec.length t.frames
+let backtracks t = t.backtracks
+let nodes_entered t = t.entered
+let nodes_pruned t = t.pruned
+let max_depth t = t.max_depth
+
+(* Drain a frame's remaining children into a traversal-order list. *)
+let drain_frame f =
+  let rec go acc rest =
+    match Seq.uncons rest with
+    | None -> List.rev acc
+    | Some (c, rest) -> go (c :: acc) rest
+  in
+  let cs = go [] f.rest in
+  f.rest <- Seq.empty;
+  cs
+
+(* Index of the lowest frame that still has unexplored children. Frames
+   found empty have their (possibly ephemeral) sequence pinned to the
+   uncons result so nothing is forced twice. *)
+let lowest_nonempty t =
+  let n = Vec.length t.frames in
+  let rec go i =
+    if i >= n then None
+    else begin
+      let f = Vec.get t.frames i in
+      match Seq.uncons f.rest with
+      | None ->
+        f.rest <- Seq.empty;
+        go (i + 1)
+      | Some (c, rest) ->
+        f.rest <- Seq.cons c rest;
+        Some f
+    end
+  in
+  go 0
+
+let split_lowest t =
+  match lowest_nonempty t with
+  | None -> ([], 0)
+  | Some f -> (drain_frame f, f.depth + 1)
+
+let split_one t =
+  match lowest_nonempty t with
+  | None -> None
+  | Some f -> (
+    match Seq.uncons f.rest with
+    | None -> None (* unreachable: lowest_nonempty guarantees a child *)
+    | Some (c, rest) ->
+      f.rest <- rest;
+      Some (c, f.depth + 1))
+
+let drain_top t =
+  match Vec.top t.frames with
+  | None -> ([], 0)
+  | Some f -> (drain_frame f, f.depth + 1)

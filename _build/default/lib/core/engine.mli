@@ -1,0 +1,81 @@
+(** Resumable depth-first traversal over a stack of Lazy Node Generators.
+
+    The engine implements the traversal rules of the paper's semantics
+    (expand/backtrack/terminate, Figure 2) one step at a time, so search
+    coordinations can interleave traversal with spawning, steal checks
+    and budget accounting. It maintains the generator stack of §4.1:
+    one frame per node on the current branch, each holding the not-yet-
+    explored children in heuristic order.
+
+    The same engine backs the sequential skeleton, the Domain-parallel
+    runtime and the discrete-event simulator, guaranteeing identical
+    traversal order and pruning everywhere. *)
+
+type ('space, 'node) t
+(** A suspended depth-first search of one subtree (a task). *)
+
+val make :
+  space:'space -> children:('space, 'node) Problem.generator ->
+  root_depth:int -> 'node -> ('space, 'node) t
+(** [make ~space ~children ~root_depth root] starts a traversal of the
+    subtree rooted at [root], whose depth in the global tree is
+    [root_depth]. The caller is responsible for {e processing} [root]
+    itself (tasks process their root when scheduled). *)
+
+val root : ('space, 'node) t -> 'node
+(** The subtree root this engine was created for. *)
+
+type 'node step =
+  | Enter of 'node
+      (** Moved to a new node (the paper's [expand]); the caller must
+          process it. *)
+  | Pruned of 'node
+      (** The next child failed the [keep] predicate; its subtree was
+          discarded without materialisation (the paper's [prune]). *)
+  | Leave  (** Backtracked one level ([backtrack]/[terminate]). *)
+  | Exhausted  (** The whole subtree has been traversed. *)
+
+val step :
+  ?prune_rest:bool -> keep:('node -> bool) -> ('space, 'node) t -> 'node step
+(** Advance the traversal by one transition. [keep] is the pruning
+    predicate evaluated on each child before it is entered; returning
+    [false] discards the child's entire subtree. With [prune_rest]
+    (default false — set it from {!Ops.view.prune_siblings}), a failed
+    [keep] additionally discards all later siblings without
+    materialising them, which is sound when the generator yields
+    children in non-increasing bound order (§4.1). *)
+
+val current_depth : ('space, 'node) t -> int
+(** Global depth of the node currently being expanded (the top frame);
+    [root_depth - 1] once exhausted. *)
+
+val stack_size : ('space, 'node) t -> int
+(** Height of the generator stack. *)
+
+val backtracks : ('space, 'node) t -> int
+(** Number of [Leave] transitions so far (the Budget coordination's
+    backtrack counter). *)
+
+val nodes_entered : ('space, 'node) t -> int
+(** Number of [Enter] transitions so far. *)
+
+val nodes_pruned : ('space, 'node) t -> int
+(** Number of [Pruned] transitions so far. *)
+
+val max_depth : ('space, 'node) t -> int
+(** Deepest global depth entered so far (at least [root_depth]). *)
+
+val split_lowest : ('space, 'node) t -> 'node list * int
+(** Remove {e all} unexplored children at the lowest depth (closest to
+    the task root) and return them in traversal order together with
+    their global depth — the paper's [spawn-budget] rule (and chunked
+    Stack-Stealing). Returns [([], 0)] if nothing is splittable. *)
+
+val split_one : ('space, 'node) t -> ('node * int) option
+(** Remove the first (in traversal order) unexplored child at the lowest
+    depth — the paper's [spawn-stack] rule. *)
+
+val drain_top : ('space, 'node) t -> 'node list * int
+(** Remove all unexplored children of the {e current} node and return
+    them in traversal order with their global depth — the building block
+    of the Depth-Bounded coordination's [spawn-depth] rule. *)

@@ -1,0 +1,82 @@
+module Vec = Yewpar_util.Vec
+
+type 'node view = {
+  process : 'node -> bool;
+  keep : 'node -> bool;
+  prune_siblings : bool;
+  priority : 'node -> int;
+}
+
+type ('node, 'result) harness = {
+  view : 'node Knowledge.t -> 'node view;
+  result : 'node Knowledge.t -> 'result;
+}
+
+let enum_harness (spec : ('n, 'acc) Problem.enum_spec) : ('n, 'acc) harness =
+  (* One private accumulator per view avoids cross-worker contention;
+     commutativity of [combine] makes the final merge order irrelevant. *)
+  let accumulators : 'acc ref Vec.t = Vec.create () in
+  let view _knowledge =
+    let acc = ref spec.empty in
+    Vec.push accumulators acc;
+    {
+      process = (fun n -> acc := spec.combine !acc (spec.view n); true);
+      keep = (fun _ -> true);
+      prune_siblings = false;
+      priority = (fun _ -> 0);
+    }
+  in
+  let result _knowledge =
+    Vec.fold_left (fun total acc -> spec.combine total !acc) spec.empty accumulators
+  in
+  { view; result }
+
+let opt_harness (obj : 'n Problem.objective) : ('n, 'n) harness =
+  let view (k : 'n Knowledge.t) =
+    let keep =
+      match obj.bound with
+      | None -> fun _ -> true
+      | Some bound -> fun c -> bound c > k.best_obj ()
+    in
+    { process = (fun n -> ignore (k.submit n (obj.value n)); true);
+      keep;
+      prune_siblings = obj.monotone && obj.bound <> None;
+      priority = (match obj.bound with Some b -> b | None -> obj.value) }
+  in
+  let result (k : 'n Knowledge.t) =
+    match k.best_node () with
+    | Some n -> n
+    | None -> failwith "Ops: optimisation finished without processing the root"
+  in
+  { view; result }
+
+let dec_harness (obj : 'n Problem.objective) ~target : ('n, 'n option) harness =
+  let view (k : 'n Knowledge.t) =
+    let keep =
+      match obj.bound with
+      | None -> fun _ -> true
+      | Some bound -> fun c -> bound c >= target
+    in
+    let process n =
+      let v = obj.value n in
+      if v >= target then begin
+        ignore (k.submit n v);
+        false
+      end
+      else true
+    in
+    { process; keep;
+      prune_siblings = obj.monotone && obj.bound <> None;
+      priority = (match obj.bound with Some b -> b | None -> obj.value) }
+  in
+  let result (k : 'n Knowledge.t) =
+    match k.best_node () with
+    | Some n when obj.value n >= target -> Some n
+    | Some _ | None -> None
+  in
+  { view; result }
+
+let harness : type n r. (n, r) Problem.kind -> (n, r) harness = function
+  | Problem.Enumerate spec -> enum_harness spec
+  | Problem.Optimise obj -> opt_harness obj
+  | Problem.Decide { objective; target } -> dec_harness objective ~target

@@ -1,0 +1,41 @@
+(** Per-worker node processing derived from the search type.
+
+    Factors the node-processing and pruning rules of the paper's
+    semantics (accumulate / strengthen / skip / prune / shortcircuit,
+    Figure 2) out of the coordination methods, so every runtime —
+    sequential, Domain-parallel, simulated-distributed — executes
+    identical search-type logic and only differs in {e where} knowledge
+    lives and {e when} tasks are spawned. *)
+
+type 'node view = {
+  process : 'node -> bool;
+      (** Process a node: accumulate (enumeration) or offer an incumbent
+          (optimisation/decision). Returns [false] iff a decision search
+          just reached its target and the whole search should
+          short-circuit (the paper's [shortcircuit] rule). *)
+  keep : 'node -> bool;
+      (** The pruning predicate of the [prune] rule: [false] means the
+          node's subtree provably cannot contribute and must be
+          discarded before materialisation. *)
+  prune_siblings : bool;
+      (** True iff a failed [keep] also discards all later siblings
+          (set from {!Problem.objective.monotone}). *)
+  priority : 'node -> int;
+      (** Optimistic priority for best-first pools: the bound when one
+          exists, else the objective, else 0 (enumeration). *)
+}
+
+type ('node, 'result) harness = {
+  view : 'node Knowledge.t -> 'node view;
+      (** Create a worker's view over the knowledge store that worker
+          reads and writes. Enumeration views own a private accumulator;
+          create at most one view per worker. *)
+  result : 'node Knowledge.t -> 'result;
+      (** Assemble the final result once all workers are done, reading
+          the authoritative knowledge store (for enumeration, the merge
+          of every view's accumulator). *)
+}
+
+val harness : ('node, 'result) Problem.kind -> ('node, 'result) harness
+(** Build the processing harness for a search type. A fresh harness must
+    be built per search run (it owns enumeration accumulators). *)

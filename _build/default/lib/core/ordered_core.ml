@@ -1,0 +1,80 @@
+let rec path_compare a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: a', y :: b' -> if x <> y then compare x y else path_compare a' b'
+
+type 'n entry = { e_path : int list; e_value : int; e_node : 'n }
+
+type 'n prefix = {
+  entries : 'n entry list;
+  tasks : (int list * 'n) list;
+  steps : int;
+}
+
+let prefix_walk ~dcutoff (obj : _ Problem.objective) children space root =
+  if dcutoff <= 0 then { entries = []; tasks = [ ([], root) ]; steps = 0 }
+  else begin
+    let keep_against threshold c =
+      match obj.Problem.bound with None -> true | Some b -> b c > threshold
+    in
+    let prune_rest = obj.Problem.monotone && obj.Problem.bound <> None in
+    let entries = ref [] in
+    let tasks = ref [] in
+    let best = ref min_int in
+    let steps = ref 0 in
+    let submit rev_path node =
+      incr steps;
+      let v = obj.Problem.value node in
+      if v > !best then begin
+        best := v;
+        entries := { e_path = List.rev rev_path; e_value = v; e_node = node } :: !entries
+      end
+    in
+    let rec expand node rev_path depth =
+      let i = ref (-1) in
+      let rec walk seq =
+        match Seq.uncons seq with
+        | None -> ()
+        | Some (child, rest) ->
+          incr i;
+          let child_rev_path = !i :: rev_path in
+          if depth + 1 = dcutoff then begin
+            tasks := (List.rev child_rev_path, child) :: !tasks;
+            walk rest
+          end
+          else if keep_against !best child then begin
+            submit child_rev_path child;
+            expand child child_rev_path (depth + 1);
+            walk rest
+          end
+          else begin
+            incr steps;
+            if not prune_rest then walk rest
+          end
+      in
+      walk (children space node)
+    in
+    submit [] root;
+    expand root [] 0;
+    { entries = !entries; tasks = List.rev !tasks; steps = !steps }
+  end
+
+let left_best entries path =
+  List.fold_left
+    (fun acc e -> if path_compare e.e_path path < 0 then max acc e.e_value else acc)
+    min_int entries
+
+let select entries =
+  List.fold_left
+    (fun acc e ->
+      match acc with
+      | None -> Some e
+      | Some b ->
+        if e.e_value > b.e_value
+           || (e.e_value = b.e_value && path_compare e.e_path b.e_path < 0)
+        then Some e
+        else Some b)
+    None entries
+  |> Option.map (fun e -> e.e_node)

@@ -1,0 +1,48 @@
+(** Shared machinery of the Ordered (replicable) skeletons.
+
+    Both Ordered runtimes ({!Yewpar_sim.Ordered} on the simulated
+    cluster, {!Yewpar_par.Ordered_shm} on domains) share the same
+    position algebra and sequential prefix phase; this module holds the
+    common parts so the replicability argument lives in exactly one
+    place:
+
+    - a {e position} is the path of child indices from the root;
+      lexicographic order on positions is the heuristic (traversal)
+      order, and an ancestor precedes its descendants;
+    - the prefix above the cutoff depth is walked sequentially,
+      yielding incumbent {e entries} (strict improvements, tagged with
+      their positions) and the parallel {e tasks} in heuristic order;
+    - the final answer is the entry with maximal value and, among
+      those, the leftmost position — which both runtimes' left-only
+      pruning guarantees to be present regardless of schedule. *)
+
+val path_compare : int list -> int list -> int
+(** Lexicographic order on positions (the traversal order [≪]). *)
+
+type 'n entry = {
+  e_path : int list;  (** Position of the submitting task / prefix node. *)
+  e_value : int;  (** Objective value. *)
+  e_node : 'n;  (** The incumbent node. *)
+}
+(** A recorded incumbent. *)
+
+type 'n prefix = {
+  entries : 'n entry list;  (** Prefix incumbents, most recent first. *)
+  tasks : (int list * 'n) list;  (** Parallel tasks in heuristic order. *)
+  steps : int;  (** Nodes processed (and bound checks paid) in the prefix. *)
+}
+(** Result of the sequential prefix phase. *)
+
+val prefix_walk :
+  dcutoff:int -> 'n Problem.objective ->
+  ('s, 'n) Problem.generator -> 's -> 'n -> 'n prefix
+(** Walk the tree above [dcutoff] depth-first with standard (sequential,
+    hence left-only) pruning. With [dcutoff <= 0] the root itself is the
+    single task and nothing is processed. *)
+
+val left_best : 'n entry list -> int list -> int
+(** Best value among entries at positions strictly left of the given
+    position ([min_int] if none). *)
+
+val select : 'n entry list -> 'n option
+(** The maximal-value, leftmost-position entry's node. *)

@@ -1,0 +1,43 @@
+type ('space, 'node) generator = 'space -> 'node -> 'node Seq.t
+
+type ('node, 'acc) enum_spec = {
+  empty : 'acc;
+  combine : 'acc -> 'acc -> 'acc;
+  view : 'node -> 'acc;
+}
+
+type 'node objective = {
+  value : 'node -> int;
+  bound : ('node -> int) option;
+  monotone : bool;
+}
+
+type ('node, 'result) kind =
+  | Enumerate : ('node, 'acc) enum_spec -> ('node, 'acc) kind
+  | Optimise : 'node objective -> ('node, 'node) kind
+  | Decide : { objective : 'node objective; target : int } -> ('node, 'node option) kind
+
+type ('space, 'node, 'result) t = {
+  name : string;
+  space : 'space;
+  root : 'node;
+  children : ('space, 'node) generator;
+  kind : ('node, 'result) kind;
+}
+
+let enumerate ~name ~space ~root ~children ~empty ~combine ~view =
+  { name; space; root; children; kind = Enumerate { empty; combine; view } }
+
+let count_nodes ~name ~space ~root ~children =
+  enumerate ~name ~space ~root ~children ~empty:0 ~combine:( + ) ~view:(fun _ -> 1)
+
+let maximise ~name ~space ~root ~children ?bound ?(monotone_bound = false)
+    ~objective () =
+  { name; space; root; children;
+    kind = Optimise { value = objective; bound; monotone = monotone_bound } }
+
+let decide ~name ~space ~root ~children ?bound ?(monotone_bound = false)
+    ~objective ~target () =
+  { name; space; root; children;
+    kind = Decide { objective = { value = objective; bound; monotone = monotone_bound };
+                    target } }

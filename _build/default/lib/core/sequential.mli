@@ -1,0 +1,15 @@
+(** The Sequential skeleton (paper Listing 2).
+
+    Depth-first search over the generator stack with search-type
+    processing and pruning, no spawning. The three instantiations
+    [Sequential × {Enumeration, Optimisation, Decision}] are the first
+    three of the paper's twelve skeletons; they are also the baseline
+    every speedup in the evaluation is measured against. *)
+
+val search : ?stats:Stats.t -> ('space, 'node, 'result) Problem.t -> 'result
+(** [search problem] runs the search to completion on the calling
+    thread. When [stats] is supplied, traversal counters are accumulated
+    into it. Decision searches stop at the first witness. *)
+
+val search_with_stats : ('space, 'node, 'result) Problem.t -> 'result * Stats.t
+(** Like {!search}, returning fresh statistics. *)

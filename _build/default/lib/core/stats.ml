@@ -1,0 +1,28 @@
+type t = {
+  mutable nodes : int;
+  mutable pruned : int;
+  mutable backtracks : int;
+  mutable max_depth : int;
+  mutable tasks : int;
+  mutable steals : int;
+}
+
+let create () =
+  { nodes = 0; pruned = 0; backtracks = 0; max_depth = 0; tasks = 0; steals = 0 }
+
+let add acc s =
+  acc.nodes <- acc.nodes + s.nodes;
+  acc.pruned <- acc.pruned + s.pruned;
+  acc.backtracks <- acc.backtracks + s.backtracks;
+  acc.max_depth <- max acc.max_depth s.max_depth;
+  acc.tasks <- acc.tasks + s.tasks;
+  acc.steals <- acc.steals + s.steals
+
+let copy s =
+  { nodes = s.nodes; pruned = s.pruned; backtracks = s.backtracks;
+    max_depth = s.max_depth; tasks = s.tasks; steals = s.steals }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "nodes=%d pruned=%d backtracks=%d max_depth=%d tasks=%d steals=%d"
+    s.nodes s.pruned s.backtracks s.max_depth s.tasks s.steals

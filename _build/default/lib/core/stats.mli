@@ -1,0 +1,26 @@
+(** Search statistics.
+
+    Every skeleton can account nodes processed, prunes, backtracks,
+    spawned tasks and steals; the benchmark harness derives virtual
+    runtimes and overhead percentages from these counters. *)
+
+type t = {
+  mutable nodes : int;  (** Nodes processed (objective evaluated). *)
+  mutable pruned : int;  (** Subtrees discarded by the bound check. *)
+  mutable backtracks : int;  (** Generator-stack pops. *)
+  mutable max_depth : int;  (** Deepest node processed. *)
+  mutable tasks : int;  (** Tasks spawned (parallel skeletons). *)
+  mutable steals : int;  (** Successful steals (parallel skeletons). *)
+}
+
+val create : unit -> t
+(** All-zero statistics. *)
+
+val add : t -> t -> unit
+(** [add acc s] accumulates [s] into [acc] ([max] for [max_depth]). *)
+
+val copy : t -> t
+(** An independent snapshot. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering for logs. *)

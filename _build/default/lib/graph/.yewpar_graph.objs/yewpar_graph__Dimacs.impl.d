@@ -1,0 +1,1 @@
+lib/graph/dimacs.ml: Buffer Fun Graph In_channel List Printf String

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Char Float Fun Graph List String Yewpar_util

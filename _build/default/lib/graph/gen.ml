@@ -1,0 +1,91 @@
+module Splitmix = Yewpar_util.Splitmix
+
+let uniform ~seed n p =
+  let rng = Splitmix.of_seed seed in
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Splitmix.float rng < p then Graph.add_edge g u v
+    done
+  done;
+  g
+
+let hidden_clique ~seed n p k =
+  if k > n then invalid_arg "Gen.hidden_clique: clique larger than graph";
+  let rng = Splitmix.of_seed seed in
+  let g = uniform ~seed:(seed lxor 0x5eed) n p in
+  (* Plant the clique on a random k-subset chosen by partial shuffle. *)
+  let verts = Array.init n Fun.id in
+  for i = 0 to k - 1 do
+    let j = i + Splitmix.int rng (n - i) in
+    let t = verts.(i) in
+    verts.(i) <- verts.(j);
+    verts.(j) <- t
+  done;
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      Graph.add_edge g verts.(i) verts.(j)
+    done
+  done;
+  g
+
+let two_level ~seed n p_low p_high =
+  let rng = Splitmix.of_seed seed in
+  let w = Array.init n (fun _ -> Splitmix.float rng) in
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let p = p_low +. ((p_high -. p_low) *. (w.(u) +. w.(v)) /. 2.) in
+      if Splitmix.float rng < p then Graph.add_edge g u v
+    done
+  done;
+  g
+
+let complete n =
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Graph.add_edge g u v
+    done
+  done;
+  g
+
+let cycle n =
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    Graph.add_edge g u ((u + 1) mod n)
+  done;
+  g
+
+let figure1 () =
+  (* Edges read off the search tree in Figure 1 of the paper
+     (a=0, b=1, c=2, d=3, e=4, f=5, g=6, h=7). *)
+  let g = Graph.create 8 in
+  List.iter
+    (fun (u, v) -> Graph.add_edge g u v)
+    [ (2, 0); (2, 1); (2, 4); (0, 1); (5, 0); (5, 6); (5, 3); (0, 6); (0, 3);
+      (6, 3); (6, 1); (7, 0); (7, 4) ];
+  let name v = String.make 1 (Char.chr (Char.code 'a' + v)) in
+  (g, name)
+
+let pattern_in_target ~seed ~target_n ~target_p ~pattern_n ~sat =
+  if pattern_n > target_n then invalid_arg "Gen.pattern_in_target: pattern too large";
+  let rng = Splitmix.of_seed (seed lxor 0x51b) in
+  let target = uniform ~seed:(seed lxor 0x7a6) target_n target_p in
+  if sat then begin
+    (* Induce the pattern on a random subset so an embedding exists. *)
+    let verts = Array.init target_n Fun.id in
+    for i = 0 to pattern_n - 1 do
+      let j = i + Splitmix.int rng (target_n - i) in
+      let t = verts.(i) in
+      verts.(i) <- verts.(j);
+      verts.(j) <- t
+    done;
+    let vs = Array.to_list (Array.sub verts 0 pattern_n) in
+    (Graph.induced target vs, target)
+  end
+  else begin
+    (* A denser independent pattern is unlikely to embed. *)
+    let p' = Float.min 0.95 (target_p +. 0.25) in
+    (uniform ~seed:(seed lxor 0xbad) pattern_n p', target)
+  end

@@ -1,0 +1,44 @@
+(** Deterministic random-graph generators.
+
+    Stand-ins for the paper's DIMACS instance families (see DESIGN.md):
+    every generator is driven by a named splitmix64 seed so instances
+    are reproducible across runs and machines.
+
+    - {!uniform} models the [sanr*] family (uniform edge density);
+    - {!hidden_clique} models the [brock*] family (a clique planted in a
+      random graph, hard for greedy heuristics);
+    - {!two_level} models the [p_hat*] family (wide degree spread from
+      vertex weights). *)
+
+val uniform : seed:int -> int -> float -> Graph.t
+(** [uniform ~seed n p] is an Erdős–Rényi G(n, p) graph. *)
+
+val hidden_clique : seed:int -> int -> float -> int -> Graph.t
+(** [hidden_clique ~seed n p k] is G(n, p) with an additional clique
+    planted on [k] random vertices. @raise Invalid_argument if [k > n]. *)
+
+val two_level : seed:int -> int -> float -> float -> Graph.t
+(** [two_level ~seed n p_low p_high] draws a weight in [\[0,1\]] for each
+    vertex and connects [u, v] with probability
+    [p_low + (p_high - p_low) * (w_u + w_v) / 2], yielding the broad
+    degree distribution characteristic of the [p_hat] instances. *)
+
+val complete : int -> Graph.t
+(** The complete graph K_n. *)
+
+val cycle : int -> Graph.t
+(** The cycle C_n (for [n >= 3]). *)
+
+val figure1 : unit -> Graph.t * (int -> string)
+(** The 8-vertex example graph of the paper's Figure 1 together with the
+    vertex-naming function ([0..7] ↦ ["a".."h"]). Its maximum clique is
+    [{a, d, f, g}]. *)
+
+val pattern_in_target :
+  seed:int -> target_n:int -> target_p:float -> pattern_n:int -> sat:bool ->
+  Graph.t * Graph.t
+(** [pattern_in_target ~seed ~target_n ~target_p ~pattern_n ~sat] builds a
+    subgraph-isomorphism instance [(pattern, target)]. When [sat] is true
+    the pattern is an induced subgraph of the target (so an embedding is
+    guaranteed); when false the pattern is an independent G(pattern_n, p')
+    with [p'] denser than the target, making an embedding unlikely. *)

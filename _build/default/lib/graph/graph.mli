@@ -1,0 +1,52 @@
+(** Undirected graphs as adjacency bitsets.
+
+    The search space of the clique and subgraph-isomorphism solvers: a
+    vector mapping each vertex to the bitset of its neighbours, exactly
+    the representation of the paper's Listing 1 ([std::vector<VertexSet>]). *)
+
+type t
+(** An undirected simple graph on vertices [0 .. n_vertices - 1]. *)
+
+val create : int -> t
+(** [create n] is the edgeless graph on [n] vertices.
+    @raise Invalid_argument if [n < 0]. *)
+
+val n_vertices : t -> int
+(** Number of vertices. *)
+
+val n_edges : t -> int
+(** Number of (undirected) edges. *)
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge g u v] inserts the undirected edge [{u,v}]; self-loops are
+    ignored. @raise Invalid_argument if a vertex is out of range. *)
+
+val has_edge : t -> int -> int -> bool
+(** Adjacency test. *)
+
+val neighbours : t -> int -> Yewpar_bitset.Bitset.t
+(** The adjacency bitset of a vertex — {b do not mutate}; treat as
+    read-only (shared, not copied, for speed). *)
+
+val degree : t -> int -> int
+(** Number of neighbours. *)
+
+val density : t -> float
+(** [n_edges / (n choose 2)]; [0.] for graphs with fewer than 2 vertices. *)
+
+val vertices : t -> int list
+(** [0; 1; ...; n-1]. *)
+
+val is_clique : t -> int list -> bool
+(** Whether the given vertices are pairwise adjacent (and distinct). *)
+
+val complement : t -> t
+(** The complement graph (no self-loops). *)
+
+val induced : t -> int list -> t
+(** [induced g vs] is the subgraph induced by [vs]; vertex [i] of the
+    result is [List.nth vs i]. *)
+
+val degeneracy_order : t -> int array
+(** Vertices in non-increasing degree order — the static search-order
+    heuristic used by the clique node generator. *)

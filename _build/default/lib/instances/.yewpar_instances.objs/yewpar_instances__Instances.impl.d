@@ -1,0 +1,1 @@
+lib/instances/instances.ml: Hashtbl Lazy List Printf String Yewpar_core Yewpar_graph Yewpar_knapsack Yewpar_maxclique Yewpar_numsemi Yewpar_sip Yewpar_tsp Yewpar_uts

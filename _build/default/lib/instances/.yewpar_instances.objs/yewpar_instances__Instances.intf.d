@@ -1,0 +1,1 @@
+lib/instances/instances.mli: Lazy Yewpar_core Yewpar_graph

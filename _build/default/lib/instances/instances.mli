@@ -1,0 +1,46 @@
+(** Named benchmark instances.
+
+    Seeded synthetic stand-ins for the paper's standard instances
+    (DIMACS cliques, Pisinger knapsacks, random TSP, SIP pairs, UTS
+    shapes, semigroup genus limits), scaled so that the full benchmark
+    suite completes in minutes on a single core — see DESIGN.md's
+    substitution table. Instance names keep the family of the original
+    they stand in for (e.g. [brock400_1-s] is a brock-style
+    hidden-clique graph at reduced scale). Everything is lazy: an
+    instance is only materialised when first used. *)
+
+type packed =
+  | Packed :
+      ('s, 'n, 'r) Yewpar_core.Problem.t * ('r -> string)
+      -> packed
+      (** A search problem with its types hidden — plus a renderer for
+          its result — so heterogeneous instance suites can share one
+          benchmark driver and CLI. *)
+
+type t = {
+  name : string;  (** Instance name (family-derived). *)
+  app : string;  (** Application: maxclique, knapsack, tsp, sip, uts, ns. *)
+  problem : packed Lazy.t;  (** The problem, built on demand. *)
+}
+
+val clique_graphs : (string * Yewpar_graph.Graph.t Lazy.t) list
+(** The 18 Table 1 clique graphs (brock-, p_hat-, san-, sanr- and
+    MANN-style stand-ins), by name. *)
+
+val table1 : t list
+(** The Table 1 instances as MaxClique optimisation problems. *)
+
+val figure4 : t * Yewpar_graph.Graph.t Lazy.t * int
+(** The Figure 4 k-clique decision instance: the packed problem, its
+    graph and the clique size sought. *)
+
+val table2_suite : (string * t list) list
+(** The Table 2 evaluation: for each of the six applications, the
+    instances over which speedups are aggregated. *)
+
+val find : string -> t
+(** Look up any registered instance by name.
+    @raise Not_found if unknown. *)
+
+val all : unit -> t list
+(** Every registered instance. *)

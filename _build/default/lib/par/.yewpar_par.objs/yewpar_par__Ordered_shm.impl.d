@@ -1,0 +1,1 @@
+lib/par/ordered_shm.ml: Array Atomic Domain List Mutex Yewpar_core

@@ -1,0 +1,1 @@
+lib/par/ordered_shm.mli: Yewpar_core

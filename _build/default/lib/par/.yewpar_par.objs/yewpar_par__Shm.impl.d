@@ -1,0 +1,1 @@
+lib/par/shm.ml: Array Atomic Condition Domain Hashtbl List Mutex Seq Yewpar_core Yewpar_util

@@ -1,0 +1,1 @@
+lib/par/shm.mli: Yewpar_core

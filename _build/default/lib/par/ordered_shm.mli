@@ -1,0 +1,19 @@
+(** The Ordered (replicable) skeleton on real OCaml 5 domains.
+
+    The shared-memory counterpart of {!Yewpar_sim.Ordered}: tasks carry
+    their heuristic position (path of child indices from the root), a
+    task prunes only with incumbents from strictly-left positions, and
+    ties break towards the leftmost position. The returned incumbent is
+    therefore the leftmost optimum — identical to
+    {!Yewpar_core.Sequential.search}'s answer — on {e every} run, even
+    though domain scheduling is genuinely nondeterministic. The test
+    suite checks this by hammering repeated runs. *)
+
+val search :
+  ?workers:int -> ?dcutoff:int ->
+  ('space, 'node, 'node) Yewpar_core.Problem.t -> 'node
+(** [search problem] runs an Optimise problem under the Ordered skeleton
+    on [workers] domains (default [Domain.recommended_domain_count ()]),
+    spawning the subtrees below depth [dcutoff] (default 2) as tasks.
+    @raise Invalid_argument if the problem is not an optimisation
+    problem. *)

@@ -1,0 +1,255 @@
+module Deque = Yewpar_util.Deque
+module Engine = Yewpar_core.Engine
+module Workpool = Yewpar_core.Workpool
+module Knowledge = Yewpar_core.Knowledge
+module Ops = Yewpar_core.Ops
+module Coordination = Yewpar_core.Coordination
+module Problem = Yewpar_core.Problem
+module Sequential = Yewpar_core.Sequential
+
+type 'n task = { node : 'n; depth : int }
+
+(* A mutex/condition-protected depth-aware order-preserving pool
+   (deepest-first pops keep the shared-memory search depth-first), with
+   an atomic size mirror so busy workers can poll emptiness without
+   taking the lock. *)
+type 'n pool = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  tasks : 'n task Workpool.t;
+  size : int Atomic.t;
+}
+
+let pool_create ~policy () =
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    tasks = Workpool.create ~policy ();
+    size = Atomic.make 0;
+  }
+
+let parallel_run (type s n r) ~n_workers ?stats ~coordination
+    (p : (s, n, r) Problem.t) : r =
+  (* Cross-domain counters; folded into [stats] after the join. *)
+  let c_nodes = Atomic.make 0 in
+  let c_pruned = Atomic.make 0 in
+  let c_tasks = Atomic.make 0 in
+  let c_backtracks = Atomic.make 0 in
+  let c_max_depth = Atomic.make 0 in
+  let rec bump_max cell v =
+    let cur = Atomic.get cell in
+    if v > cur && not (Atomic.compare_and_set cell cur v) then bump_max cell v
+  in
+  let pool_policy =
+    match coordination with
+    | Coordination.Best_first _ -> Workpool.Priority
+    | _ -> Workpool.Depth
+  in
+  let pool = pool_create ~policy:pool_policy () in
+  let outstanding = Atomic.make 0 in
+  let waiting = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let knowledge = Knowledge.make_atomic () in
+  let harness = Ops.harness p.Problem.kind in
+  (* Views are created in the main domain (the enumeration harness is
+     not thread-safe at view-creation time), one per worker. *)
+  let views = Array.init n_workers (fun _ -> harness.Ops.view knowledge) in
+
+  let task_priority =
+    match coordination with
+    | Coordination.Best_first _ -> (views.(0)).Ops.priority
+    | _ -> fun _ -> 0
+  in
+  let push task =
+    Atomic.incr c_tasks;
+    Atomic.incr outstanding;
+    Mutex.lock pool.mutex;
+    Workpool.push pool.tasks ~depth:task.depth ~priority:(task_priority task.node)
+      task;
+    Atomic.incr pool.size;
+    Condition.signal pool.nonempty;
+    Mutex.unlock pool.mutex
+  in
+  let wake_all () =
+    Mutex.lock pool.mutex;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.mutex
+  in
+  let finish_task () =
+    if Atomic.fetch_and_add outstanding (-1) = 1 then wake_all ()
+  in
+  let request_stop () =
+    Atomic.set stop true;
+    wake_all ()
+  in
+
+  (* Blocking task acquisition; [None] means the search is over. *)
+  let take () =
+    Mutex.lock pool.mutex;
+    let rec wait () =
+      if Atomic.get stop then None
+      else
+        match Workpool.pop_local pool.tasks with
+        | Some t ->
+          Atomic.decr pool.size;
+          Some t
+        | None ->
+          if Atomic.get outstanding = 0 then None
+          else begin
+            Atomic.incr waiting;
+            Condition.wait pool.nonempty pool.mutex;
+            Atomic.decr waiting;
+            wait ()
+          end
+    in
+    let r = wait () in
+    Mutex.unlock pool.mutex;
+    r
+  in
+
+  (* Bound-filter a split chunk with the engine's sibling-cut semantics
+     so dead tasks are never spawned. *)
+  let filter_chunk (view : n Ops.view) cs =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | c :: rest ->
+        if view.Ops.keep c then go (c :: acc) rest
+        else if view.Ops.prune_siblings then List.rev acc
+        else go acc rest
+    in
+    go [] cs
+  in
+
+  (* Stack-Stealing work pushing: a running worker sheds work when the
+     pool is dry and someone is waiting for it. *)
+  let maybe_split_for_thieves view ~chunked e =
+    if Atomic.get waiting > 0 && Atomic.get pool.size = 0 then
+      if chunked then begin
+        let cs, depth = Engine.split_lowest e in
+        List.iter (fun node -> push { node; depth }) (filter_chunk view cs)
+      end
+      else
+        match Engine.split_one e with
+        | Some (node, depth) -> if view.Ops.keep node then push { node; depth }
+        | None -> ()
+  in
+
+  let exec_task (view : n Ops.view) task =
+    if not (view.Ops.keep task.node) then Atomic.incr c_pruned
+    else if not (view.Ops.process task.node) then begin
+      Atomic.incr c_nodes;
+      request_stop ()
+    end
+    else begin
+      Atomic.incr c_nodes;
+      match coordination with
+      | (Coordination.Depth_bounded { dcutoff } | Coordination.Best_first { dcutoff })
+        when task.depth < dcutoff ->
+        let rec spawn_children seq =
+          match Seq.uncons seq with
+          | None -> ()
+          | Some (c, rest) ->
+            if view.Ops.keep c then begin
+              push { node = c; depth = task.depth + 1 };
+              spawn_children rest
+            end
+            else if not view.Ops.prune_siblings then spawn_children rest
+        in
+        spawn_children (p.Problem.children p.Problem.space task.node)
+      | Coordination.Sequential | Coordination.Depth_bounded _
+      | Coordination.Stack_stealing _ | Coordination.Budget _
+      | Coordination.Best_first _ | Coordination.Random_spawn _ ->
+        let e =
+          Engine.make ~space:p.Problem.space ~children:p.Problem.children
+            ~root_depth:task.depth task.node
+        in
+        let last_bt = ref 0 in
+        let rng = Yewpar_util.Splitmix.of_seed (Hashtbl.hash task.depth lxor 0x5e1f) in
+        let rec go () =
+          if Atomic.get stop then ()
+          else
+            match
+              Engine.step ~prune_rest:view.Ops.prune_siblings ~keep:view.Ops.keep e
+            with
+            | Engine.Enter n ->
+              if view.Ops.process n then begin
+                (match coordination with
+                | Coordination.Stack_stealing { chunked } ->
+                  maybe_split_for_thieves view ~chunked e
+                | _ -> ());
+                go ()
+              end
+              else request_stop ()
+            | Engine.Pruned _ -> go ()
+            | Engine.Leave ->
+              (match coordination with
+              | Coordination.Budget { budget }
+                when Engine.backtracks e - !last_bt >= budget ->
+                let cs, depth = Engine.split_lowest e in
+                List.iter (fun node -> push { node; depth }) (filter_chunk view cs);
+                last_bt := Engine.backtracks e
+              | Coordination.Random_spawn { mean_interval }
+                when Yewpar_util.Splitmix.int rng mean_interval = 0 -> (
+                match Engine.split_one e with
+                | Some (node, depth) when view.Ops.keep node -> push { node; depth }
+                | Some _ | None -> ())
+              | _ -> ());
+              go ()
+            | Engine.Exhausted -> ()
+        in
+        go ();
+        ignore (Atomic.fetch_and_add c_nodes (Engine.nodes_entered e));
+        ignore (Atomic.fetch_and_add c_pruned (Engine.nodes_pruned e));
+        ignore (Atomic.fetch_and_add c_backtracks (Engine.backtracks e));
+        bump_max c_max_depth (Engine.max_depth e)
+    end
+  in
+
+  (* A user exception (e.g. a raising generator) must not deadlock the
+     pool: record it, short-circuit every worker, and re-raise after the
+     join. *)
+  let failure : exn option Atomic.t = Atomic.make None in
+  let worker i () =
+    let view = views.(i) in
+    let rec loop () =
+      match take () with
+      | None -> ()
+      | Some t ->
+        (try exec_task view t
+         with e ->
+           ignore (Atomic.compare_and_set failure None (Some e));
+           request_stop ());
+        finish_task ();
+        loop ()
+    in
+    loop ()
+  in
+
+  push { node = p.Problem.root; depth = 0 };
+  let domains = Array.init n_workers (fun i -> Domain.spawn (worker i)) in
+  Array.iter Domain.join domains;
+  (match Atomic.get failure with Some e -> raise e | None -> ());
+  (match stats with
+  | None -> ()
+  | Some st ->
+    st.Yewpar_core.Stats.nodes <- st.Yewpar_core.Stats.nodes + Atomic.get c_nodes;
+    st.Yewpar_core.Stats.pruned <- st.Yewpar_core.Stats.pruned + Atomic.get c_pruned;
+    st.Yewpar_core.Stats.backtracks <-
+      st.Yewpar_core.Stats.backtracks + Atomic.get c_backtracks;
+    st.Yewpar_core.Stats.max_depth <-
+      max st.Yewpar_core.Stats.max_depth (Atomic.get c_max_depth);
+    st.Yewpar_core.Stats.tasks <- st.Yewpar_core.Stats.tasks + Atomic.get c_tasks);
+  harness.Ops.result knowledge
+
+let run ?workers ?stats ~coordination p =
+  match coordination with
+  | Coordination.Sequential -> Sequential.search ?stats p
+  | Coordination.Depth_bounded _ | Coordination.Stack_stealing _
+  | Coordination.Budget _ | Coordination.Best_first _ | Coordination.Random_spawn _ ->
+    let n_workers =
+      match workers with
+      | Some w when w >= 1 -> w
+      | Some _ -> invalid_arg "Shm.run: workers must be >= 1"
+      | None -> Domain.recommended_domain_count ()
+    in
+    parallel_run ~n_workers ?stats ~coordination p

@@ -1,0 +1,31 @@
+(** Shared-memory parallel skeletons on OCaml 5 domains.
+
+    The multicore half of the paper's two deployment scales: real
+    parallel execution with an atomic incumbent (lock-free CAS
+    maximisation), a mutex-protected order-preserving central workpool
+    and a global short-circuit flag. All three parallel coordinations
+    are supported:
+
+    - Depth-Bounded: tasks above the cutoff push their children to the
+      pool;
+    - Budget: a task exceeding its backtrack budget sheds its
+      lowest-depth subtrees to the pool;
+    - Stack-Stealing: running workers split their lowest-depth subtree
+      on demand whenever idle workers are waiting on an empty pool
+      (work pushing, the shared-memory analogue of the paper's
+      victim-side splitting).
+
+    Results equal the sequential skeleton's up to the documented
+    nondeterminism of optimisation/decision witnesses. On a single-core
+    machine the skeletons still run correctly (domains time-slice);
+    speedups obviously require real cores. *)
+
+val run :
+  ?workers:int -> ?stats:Yewpar_core.Stats.t ->
+  coordination:Yewpar_core.Coordination.t ->
+  ('space, 'node, 'result) Yewpar_core.Problem.t -> 'result
+(** [run ~coordination p] executes [p] on [workers] domains (default:
+    [Domain.recommended_domain_count ()]). [Sequential] coordination
+    delegates to {!Yewpar_core.Sequential.search}. When [stats] is
+    supplied, node/prune/task/steal counters aggregated across all
+    domains are accumulated into it after the join. *)

@@ -1,0 +1,1 @@
+lib/semantics/model.ml: Array Format List Subtree Word Yewpar_util

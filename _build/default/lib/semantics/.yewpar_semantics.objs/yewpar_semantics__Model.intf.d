@@ -1,0 +1,1 @@
+lib/semantics/model.mli: Format Subtree Word Yewpar_util

@@ -1,0 +1,1 @@
+lib/semantics/subtree.ml: Set Word

@@ -1,0 +1,1 @@
+lib/semantics/subtree.mli: Set Word

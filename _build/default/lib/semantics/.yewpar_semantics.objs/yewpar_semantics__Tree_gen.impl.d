@@ -1,0 +1,1 @@
+lib/semantics/tree_gen.ml: Fun List Queue Subtree Word Yewpar_util

@@ -1,0 +1,1 @@
+lib/semantics/tree_gen.mli: Subtree Yewpar_util

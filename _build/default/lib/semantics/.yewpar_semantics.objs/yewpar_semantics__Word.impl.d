@@ -1,0 +1,1 @@
+lib/semantics/word.ml: Format List String

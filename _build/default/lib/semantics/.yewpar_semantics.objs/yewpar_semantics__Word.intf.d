@@ -1,0 +1,1 @@
+lib/semantics/word.mli: Format

@@ -1,0 +1,247 @@
+module Splitmix = Yewpar_util.Splitmix
+
+type spec =
+  | Enum of { h : Word.t -> int }
+  | Opt of { h : Word.t -> int; justifies : Word.t -> Word.t -> bool }
+  | Dec of { h : Word.t -> int; top : int; justifies : Word.t -> Word.t -> bool }
+
+type knowledge = Acc of int | Inc of Word.t
+
+type active = { task : Subtree.t; pos : Word.t; bt : int }
+
+type thread = Idle | Active of active
+
+type config = {
+  knowledge : knowledge;
+  tasks : Subtree.t list;
+  threads : thread array;
+}
+
+type params = {
+  dcutoff : int option;
+  kbudget : int option;
+  stack_spawn : bool;
+  generic_spawn : bool;
+}
+
+let no_spawns =
+  { dcutoff = None; kbudget = None; stack_spawn = false; generic_spawn = false }
+
+type rule =
+  | Schedule of int
+  | Expand of int
+  | Backtrack of int
+  | Terminate of int
+  | Prune of int
+  | Shortcircuit of int
+  | Spawn of int * Word.t
+  | Spawn_depth of int
+  | Spawn_budget of int
+  | Spawn_stack of int
+
+let h_of = function Enum { h } -> h | Opt { h; _ } -> h | Dec { h; _ } -> h
+
+let justifies_of = function
+  | Enum _ -> None
+  | Opt { justifies; _ } | Dec { justifies; _ } -> Some justifies
+
+let initial spec ~n_threads s0 =
+  let knowledge =
+    match spec with
+    | Enum _ -> Acc 0
+    | Opt _ | Dec _ -> Inc s0.Subtree.root
+  in
+  { knowledge; tasks = [ s0 ]; threads = Array.make n_threads Idle }
+
+let is_final c = c.tasks = [] && Array.for_all (fun t -> t = Idle) c.threads
+
+(* Node processing (→N): accumulate for enumeration, strengthen/skip for
+   optimisation and decision. *)
+let process spec knowledge v =
+  let h = h_of spec in
+  match (spec, knowledge) with
+  | Enum _, Acc x -> Acc (x + h v)
+  | (Opt _ | Dec _), Inc u -> if h v > h u then Inc v else Inc u
+  | Enum _, Inc _ | (Opt _ | Dec _), Acc _ ->
+    invalid_arg "Model: knowledge does not match search type"
+
+let set_thread c i t =
+  let threads = Array.copy c.threads in
+  threads.(i) <- t;
+  { c with threads }
+
+(* The enabling conditions of each rule, mirroring Figure 2. *)
+
+let enabled spec params c =
+  let rules = ref [] in
+  let add r = rules := r :: !rules in
+  let incumbent = match c.knowledge with Inc u -> Some u | Acc _ -> None in
+  Array.iteri
+    (fun i th ->
+      match th with
+      | Idle -> if c.tasks <> [] then add (Schedule i)
+      | Active { task; pos; bt } -> (
+        (* Traversal: exactly one of expand/backtrack/terminate. *)
+        (match Subtree.next task pos with
+        | None -> add (Terminate i)
+        | Some v' ->
+          if Word.is_prefix pos v' then add (Expand i) else add (Backtrack i));
+        (* Pruning. *)
+        (match (justifies_of spec, incumbent) with
+        | Some justifies, Some u ->
+          if justifies u pos && Subtree.cardinal (Subtree.subtree_at task pos) > 1
+          then add (Prune i)
+        | _ -> ());
+        (* Short-circuit (decision only). *)
+        (match (spec, incumbent) with
+        | Dec { h; top; _ }, Some u -> if h u >= top then add (Shortcircuit i)
+        | _ -> ());
+        (* Spawning. *)
+        if params.generic_spawn then
+          Subtree.WSet.iter
+            (fun u -> if Word.compare pos u < 0 then add (Spawn (i, u)))
+            task.Subtree.nodes;
+        (match params.dcutoff with
+        | Some d when Word.depth pos < d && Subtree.children task pos <> [] ->
+          add (Spawn_depth i)
+        | _ -> ());
+        (match params.kbudget with
+        | Some k when bt >= k && Subtree.lowest_after task pos <> [] ->
+          add (Spawn_budget i)
+        | _ -> ());
+        if params.stack_spawn && c.tasks = []
+           && Subtree.next_lowest task pos <> None
+        then add (Spawn_stack i)))
+    c.threads;
+  List.rev !rules
+
+let thread_of c i =
+  match c.threads.(i) with
+  | Active a -> a
+  | Idle -> invalid_arg "Model.apply: thread is idle"
+
+(* Remove the given subtree roots from a task, queueing them as new
+   tasks in traversal order. *)
+let shed c i roots =
+  let a = thread_of c i in
+  let spawned = List.map (fun u -> Subtree.subtree_at a.task u) roots in
+  let task = List.fold_left Subtree.remove_subtree a.task roots in
+  let c = set_thread c i (Active { a with task }) in
+  { c with tasks = c.tasks @ spawned }
+
+let apply spec params c rule =
+  let fail () = invalid_arg "Model.apply: rule not enabled" in
+  ignore params;
+  match rule with
+  | Schedule i -> (
+    match (c.threads.(i), c.tasks) with
+    | Idle, task :: tasks ->
+      let pos = task.Subtree.root in
+      let c = { c with tasks } in
+      let c = set_thread c i (Active { task; pos; bt = 0 }) in
+      { c with knowledge = process spec c.knowledge pos }
+    | _ -> fail ())
+  | Expand i | Backtrack i -> (
+    let a = thread_of c i in
+    match Subtree.next a.task a.pos with
+    | None -> fail ()
+    | Some v' ->
+      let descending = Word.is_prefix a.pos v' in
+      (match rule with
+      | Expand _ when not descending -> fail ()
+      | Backtrack _ when descending -> fail ()
+      | _ -> ());
+      let bt = if descending then a.bt else a.bt + 1 in
+      let c = set_thread c i (Active { a with pos = v'; bt }) in
+      { c with knowledge = process spec c.knowledge v' })
+  | Terminate i ->
+    let a = thread_of c i in
+    if Subtree.next a.task a.pos <> None then fail ();
+    set_thread c i Idle
+  | Prune i ->
+    let a = thread_of c i in
+    let task = Subtree.remove_below a.task a.pos in
+    set_thread c i (Active { a with task })
+  | Shortcircuit i ->
+    ignore (thread_of c i);
+    { c with tasks = []; threads = Array.map (fun _ -> Idle) c.threads }
+  | Spawn (i, u) ->
+    let a = thread_of c i in
+    if not (Word.compare a.pos u < 0 && Subtree.mem u a.task) then fail ();
+    shed c i [ u ]
+  | Spawn_depth i ->
+    let a = thread_of c i in
+    shed c i (Subtree.children a.task a.pos)
+  | Spawn_budget i ->
+    let a = thread_of c i in
+    let c = shed c i (Subtree.lowest_after a.task a.pos) in
+    let a' = thread_of c i in
+    set_thread c i (Active { a' with bt = 0 })
+  | Spawn_stack i -> (
+    let a = thread_of c i in
+    match Subtree.next_lowest a.task a.pos with
+    | None -> fail ()
+    | Some u -> shed c i [ u ])
+
+let run ?(max_steps = 10_000_000) ~rng spec params ~n_threads s0 =
+  let c = ref (initial spec ~n_threads s0) in
+  let steps = ref 0 in
+  let rec loop () =
+    match enabled spec params !c with
+    | [] ->
+      if is_final !c then ((!c).knowledge, !steps)
+      else failwith "Model.run: stuck in a non-final configuration"
+    | rules ->
+      incr steps;
+      if !steps > max_steps then failwith "Model.run: step limit exceeded";
+      let rule = List.nth rules (Splitmix.int rng (List.length rules)) in
+      c := apply spec params !c rule;
+      loop ()
+  in
+  loop ()
+
+let enum_reference h s = Subtree.WSet.fold (fun v acc -> acc + h v) s.Subtree.nodes 0
+
+let max_reference h s =
+  Subtree.WSet.fold (fun v acc -> max acc (h v)) s.Subtree.nodes min_int
+
+let exact_bound s h v = max_reference h (Subtree.subtree_at s v)
+
+let pp_rule ppf = function
+  | Schedule i -> Format.fprintf ppf "schedule(thread %d)" i
+  | Expand i -> Format.fprintf ppf "expand(thread %d)" i
+  | Backtrack i -> Format.fprintf ppf "backtrack(thread %d)" i
+  | Terminate i -> Format.fprintf ppf "terminate(thread %d)" i
+  | Prune i -> Format.fprintf ppf "prune(thread %d)" i
+  | Shortcircuit i -> Format.fprintf ppf "shortcircuit(thread %d)" i
+  | Spawn (i, w) -> Format.fprintf ppf "spawn(thread %d, %a)" i Word.pp w
+  | Spawn_depth i -> Format.fprintf ppf "spawn-depth(thread %d)" i
+  | Spawn_budget i -> Format.fprintf ppf "spawn-budget(thread %d)" i
+  | Spawn_stack i -> Format.fprintf ppf "spawn-stack(thread %d)" i
+
+let pp_thread ppf = function
+  | Idle -> Format.fprintf ppf "_"
+  | Active a ->
+    Format.fprintf ppf "<%d nodes @ %a, bt=%d>" (Subtree.cardinal a.task) Word.pp
+      a.pos a.bt
+
+let pp_config ppf c =
+  (match c.knowledge with
+  | Acc x -> Format.fprintf ppf "acc=%d" x
+  | Inc u -> Format.fprintf ppf "inc=%a" Word.pp u);
+  Format.fprintf ppf ", %d tasks, threads [%a]" (List.length c.tasks)
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_thread)
+    (Array.to_list c.threads)
+
+let measure c =
+  let task_sizes = List.fold_left (fun acc t -> acc + Subtree.cardinal t) 0 c.tasks in
+  let unexplored = ref 0 in
+  let active = ref 0 in
+  Array.iter
+    (function
+      | Idle -> ()
+      | Active { task; pos; _ } ->
+        incr active;
+        unexplored := !unexplored + Subtree.strict_successors_count task pos)
+    c.threads;
+  (task_sizes + !unexplored, !unexplored, !active)

@@ -1,0 +1,111 @@
+(** The multi-threaded operational semantics of Figure 2, executable.
+
+    Configurations [⟨σ, Tasks, θ₁ … θₙ⟩] and all reduction rules —
+    traversal (schedule/expand/backtrack/terminate), node processing
+    (accumulate/strengthen/skip), pruning (prune/shortcircuit) and the
+    four spawn rules — are implemented directly. A seeded driver
+    explores random interleavings, which is how the test suite checks
+    Theorems 3.1–3.3: every maximal reduction sequence terminates and
+    produces the reference sum / maximum, whatever the interleaving and
+    whatever spawning and pruning happened along the way. *)
+
+type spec =
+  | Enum of { h : Word.t -> int }
+      (** Enumeration into the monoid [(int, +, 0)]. *)
+  | Opt of { h : Word.t -> int; justifies : Word.t -> Word.t -> bool }
+      (** Optimisation; [justifies u v] is the admissible pruning
+          relation [u ▷ v] (§3.5). *)
+  | Dec of { h : Word.t -> int; top : int; justifies : Word.t -> Word.t -> bool }
+      (** Decision: [h] must be cut off at the greatest element [top]. *)
+
+type knowledge =
+  | Acc of int  (** Enumeration accumulator [⟨x⟩]. *)
+  | Inc of Word.t  (** Incumbent [{u}]. *)
+
+type active = { task : Subtree.t; pos : Word.t; bt : int }
+(** [⟨S, v⟩ᵏ]: searching [task], currently at [pos], having backtracked
+    [bt] times. *)
+
+type thread =
+  | Idle  (** [⊥]. *)
+  | Active of active  (** A busy thread. *)
+
+type config = {
+  knowledge : knowledge;
+  tasks : Subtree.t list;  (** Pending-task queue, head first. *)
+  threads : thread array;
+}
+
+type params = {
+  dcutoff : int option;  (** Enable [spawn-depth] below this depth. *)
+  kbudget : int option;  (** Enable [spawn-budget] at this backtrack count. *)
+  stack_spawn : bool;  (** Enable [spawn-stack]. *)
+  generic_spawn : bool;  (** Enable the nondeterministic [spawn] rule. *)
+}
+
+val no_spawns : params
+(** All spawn rules disabled (sequential semantics). *)
+
+type rule =
+  | Schedule of int
+  | Expand of int
+  | Backtrack of int
+  | Terminate of int
+  | Prune of int
+  | Shortcircuit of int
+  | Spawn of int * Word.t
+  | Spawn_depth of int
+  | Spawn_budget of int
+  | Spawn_stack of int
+      (** A rule instance; the [int] is the acting thread. *)
+
+val initial : spec -> n_threads:int -> Subtree.t -> config
+(** The initial configuration [⟨σ₀, [S₀], ⊥, …, ⊥⟩]. *)
+
+val is_final : config -> bool
+(** Empty task queue and all threads idle. *)
+
+val enabled : spec -> params -> config -> rule list
+(** All rule instances applicable to the configuration. Traversal rules
+    are paired with their node-processing successor, as in the paper's
+    [→ᵢ = (→ᵀᵢ ∘ →ᴺᵢ) ∪ →ᴾᵢ ∪ →ˢᵢ]. *)
+
+val apply : spec -> params -> config -> rule -> config
+(** Apply one rule instance. @raise Invalid_argument if not enabled. *)
+
+val run :
+  ?max_steps:int -> rng:Yewpar_util.Splitmix.gen -> spec -> params ->
+  n_threads:int -> Subtree.t -> knowledge * int
+(** Drive the semantics with uniformly random rule choices until a final
+    configuration, returning the final knowledge and the step count.
+    @raise Failure if [max_steps] (default [10_000_000]) is exceeded —
+    which Theorem 3.3 says cannot happen for sane inputs. *)
+
+val enum_reference : (Word.t -> int) -> Subtree.t -> int
+(** [Σ { h(v) | v ∈ S }] — the right-hand side of Theorem 3.1. *)
+
+val max_reference : (Word.t -> int) -> Subtree.t -> int
+(** [max { h(v) | v ∈ S }] — the right-hand side of Theorem 3.2. *)
+
+val exact_bound : Subtree.t -> (Word.t -> int) -> Word.t -> int
+(** [exact_bound s h v] is the maximum of [h] over [subtree(s, v)] — the
+    tightest admissible bound, from which tests derive pruning relations
+    [justifies u v = h u >= exact_bound s h v]. *)
+
+val pp_rule : Format.formatter -> rule -> unit
+(** Human-readable rule instance, e.g. ["spawn-budget(thread 2)"]. *)
+
+val pp_config : Format.formatter -> config -> unit
+(** One-line configuration rendering: knowledge, task count, and each
+    thread's state. *)
+
+val measure : config -> int * int * int
+(** A termination measure for Theorem 3.3, strictly lexicographically
+    decreasing at every reduction: [(unvisited, thread_unexplored,
+    active)] where [unvisited] counts nodes not yet processed anywhere
+    (pending-task sizes plus per-thread unexplored counts),
+    [thread_unexplored] the unexplored nodes held by active threads, and
+    [active] the number of active threads. (The paper sketches a
+    multiset measure; the multiset order argument does not cover a spawn
+    that sheds a thread's {e entire} remaining work, so we use this
+    refined triple, which does.) *)

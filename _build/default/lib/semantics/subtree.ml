@@ -1,0 +1,55 @@
+module WSet = Set.Make (Word)
+
+type t = { root : Word.t; nodes : WSet.t }
+
+let v ~root nodes =
+  if not (WSet.mem root nodes) then invalid_arg "Subtree.v: root not a member";
+  (match WSet.min_elt_opt nodes with
+  | Some least when Word.equal least root -> ()
+  | _ -> invalid_arg "Subtree.v: root is not the least element");
+  { root; nodes }
+
+let whole nodes =
+  match WSet.min_elt_opt nodes with
+  | None -> invalid_arg "Subtree.whole: empty set"
+  | Some least -> { root = least; nodes }
+
+let cardinal s = WSet.cardinal s.nodes
+let mem w s = WSet.mem w s.nodes
+
+let next s w = WSet.find_first_opt (fun u -> Word.compare u w > 0) s.nodes
+
+let children s w =
+  let d = Word.depth w + 1 in
+  WSet.elements
+    (WSet.filter (fun u -> Word.depth u = d && Word.is_prefix w u) s.nodes)
+
+let subtree_at s u =
+  if not (mem u s) then invalid_arg "Subtree.subtree_at: not a member";
+  { root = u; nodes = WSet.filter (fun w -> Word.is_prefix u w) s.nodes }
+
+let remove_subtree s u =
+  if Word.equal u s.root then invalid_arg "Subtree.remove_subtree: cannot remove root";
+  { s with nodes = WSet.filter (fun w -> not (Word.is_prefix u w)) s.nodes }
+
+let remove_below s v =
+  { s with
+    nodes =
+      WSet.filter
+        (fun w -> not (Word.is_prefix v w) || Word.equal v w)
+        s.nodes }
+
+let successors s w = WSet.filter (fun u -> Word.compare u w > 0) s.nodes
+
+let lowest_after s w =
+  let succ = successors s w in
+  if WSet.is_empty succ then []
+  else begin
+    let min_depth = WSet.fold (fun u acc -> min acc (Word.depth u)) succ max_int in
+    WSet.elements (WSet.filter (fun u -> Word.depth u = min_depth) succ)
+  end
+
+let next_lowest s w =
+  match lowest_after s w with [] -> None | u :: _ -> Some u
+
+let strict_successors_count s w = WSet.cardinal (successors s w)

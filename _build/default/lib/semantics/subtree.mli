@@ -1,0 +1,57 @@
+(** Subtrees of the formal model (paper §3.1).
+
+    A subtree [S] is a set of words with a least element (its root)
+    that is prefix-closed above the root. Tasks in the operational
+    semantics are subtrees; the traversal, pruning and spawn rules all
+    reduce to the set operations below. *)
+
+module WSet : Set.S with type elt = Word.t
+(** Sets of words ordered by traversal order. *)
+
+type t = private { root : Word.t; nodes : WSet.t }
+(** A subtree; [nodes] always contains [root]. *)
+
+val whole : WSet.t -> t
+(** [whole nodes] is the subtree rooted at the least element of [nodes]
+    (the initial task [S₀] when [nodes] is a prefix-closed tree).
+    @raise Invalid_argument on the empty set. *)
+
+val v : root:Word.t -> WSet.t -> t
+(** Assemble a subtree from a root and its node set (the root must be a
+    member and least). @raise Invalid_argument if violated. *)
+
+val cardinal : t -> int
+(** Number of nodes. *)
+
+val mem : Word.t -> t -> bool
+(** Membership. *)
+
+val next : t -> Word.t -> Word.t option
+(** [next s v] is the node immediately following [v] in traversal order,
+    [None] if [v] is the last node — the semantics' [next(S, v)]. *)
+
+val children : t -> Word.t -> Word.t list
+(** Children of [v] present in [s], in traversal order. *)
+
+val subtree_at : t -> Word.t -> t
+(** [subtree_at s u] is [subtree(S, u)], the members of [s] descending
+    from (and including) [u]. @raise Invalid_argument if [u ∉ s]. *)
+
+val remove_subtree : t -> Word.t -> t
+(** [remove_subtree s u] is [S \ subtree(S, u)]; [u] must not be the
+    root of [s]. *)
+
+val remove_below : t -> Word.t -> t
+(** [remove_below s v] is [S \ (subtree(S, v) \ {v})] — the [prune]
+    rule's removal of everything strictly below [v]. *)
+
+val lowest_after : t -> Word.t -> Word.t list
+(** [lowest(S, v)]: the successors of [v] (traversal order) at minimum
+    depth, themselves in traversal order. *)
+
+val next_lowest : t -> Word.t -> Word.t option
+(** [nextLowest(S, v)]: the first of {!lowest_after}. *)
+
+val strict_successors_count : t -> Word.t -> int
+(** Number of nodes after [v] in traversal order (the termination
+    measure contribution of an active thread). *)

@@ -1,0 +1,44 @@
+module Splitmix = Yewpar_util.Splitmix
+
+let random_tree ~rng ~max_children ~max_depth ~target_size =
+  let nodes = ref (Subtree.WSet.singleton Word.root) in
+  let queue = Queue.create () in
+  Queue.add Word.root queue;
+  let size = ref 1 in
+  while (not (Queue.is_empty queue)) && !size < target_size do
+    let w = Queue.pop queue in
+    if Word.depth w < max_depth then begin
+      let k = Splitmix.int rng (max_children + 1) in
+      for a = 0 to k - 1 do
+        if !size < target_size then begin
+          let c = Word.child w a in
+          nodes := Subtree.WSet.add c !nodes;
+          incr size;
+          Queue.add c queue
+        end
+      done
+    end
+  done;
+  Subtree.whole !nodes
+
+let path n =
+  let rec go acc w i =
+    if i > n then acc
+    else
+      let w = Word.child w 0 in
+      go (Subtree.WSet.add w acc) w (i + 1)
+  in
+  Subtree.whole (go (Subtree.WSet.singleton Word.root) Word.root 1)
+
+let uniform ~breadth ~depth =
+  let rec go acc w d =
+    if d = 0 then acc
+    else
+      List.fold_left
+        (fun acc a ->
+          let c = Word.child w a in
+          go (Subtree.WSet.add c acc) c (d - 1))
+        acc
+        (List.init breadth Fun.id)
+  in
+  Subtree.whole (go (Subtree.WSet.singleton Word.root) Word.root depth)

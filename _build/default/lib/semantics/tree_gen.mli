@@ -1,0 +1,20 @@
+(** Random finite search trees for exercising the semantics.
+
+    Generates prefix-closed word sets — valid initial tasks for
+    {!Model} — with controllable breadth, depth and size, all driven by
+    a splitmix64 stream so each tree is reproducible. *)
+
+val random_tree :
+  rng:Yewpar_util.Splitmix.gen -> max_children:int -> max_depth:int ->
+  target_size:int -> Subtree.t
+(** [random_tree ~rng ~max_children ~max_depth ~target_size] grows a
+    tree from the root, giving each frontier node a uniform number of
+    children in [\[0, max_children\]] until the depth limit or roughly
+    [target_size] nodes are reached. Always contains at least the
+    root. *)
+
+val path : int -> Subtree.t
+(** A degenerate tree: a single path of the given length (labels 0). *)
+
+val uniform : breadth:int -> depth:int -> Subtree.t
+(** The complete [breadth]-ary tree of the given depth. *)

@@ -1,0 +1,33 @@
+type t = int list
+
+let root = []
+
+let rec compare u v =
+  match (u, v) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | a :: u', b :: v' -> if a < b then -1 else if a > b then 1 else compare u' v'
+
+let equal u v = compare u v = 0
+
+let depth = List.length
+
+let rec is_prefix u v =
+  match (u, v) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | a :: u', b :: v' -> a = b && is_prefix u' v'
+
+let is_strict_prefix u v = is_prefix u v && List.length u < List.length v
+
+let parent w =
+  match List.rev w with
+  | [] -> None
+  | _ :: rev_init -> Some (List.rev rev_init)
+
+let child w a = w @ [ a ]
+
+let pp ppf = function
+  | [] -> Format.pp_print_string ppf "\xce\xb5"
+  | w -> Format.pp_print_string ppf (String.concat "." (List.map string_of_int w))

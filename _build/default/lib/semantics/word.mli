@@ -1,0 +1,38 @@
+(** Search-tree nodes as words (paper §3.1).
+
+    A node of the formal model is a finite word over an integer
+    alphabet; the root is the empty word. With sibling order taken to be
+    the numeric order of labels, the paper's traversal order [≪] — the
+    linear extension of prefix order and sibling order that depth-first
+    search follows — coincides with lexicographic order on words, which
+    is what {!compare} implements. *)
+
+type t = int list
+(** A node: the sequence of child labels from the root. *)
+
+val root : t
+(** The empty word [ϵ]. *)
+
+val compare : t -> t -> int
+(** Lexicographic comparison — the traversal order [≪]. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val depth : t -> int
+(** [|w|], the node's depth. *)
+
+val is_prefix : t -> t -> bool
+(** [is_prefix u v] is the prefix order [u ⪯ v] (reflexive). *)
+
+val is_strict_prefix : t -> t -> bool
+(** [u ≺ v]: proper ancestry. *)
+
+val parent : t -> t option
+(** The parent word, or [None] for the root. *)
+
+val child : t -> int -> t
+(** [child w a] is the word [wa]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Print as [ε] or [1.0.2]. *)

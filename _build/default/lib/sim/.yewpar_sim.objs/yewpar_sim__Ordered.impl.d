@@ -1,0 +1,1 @@
+lib/sim/ordered.ml: Array Config Float List Metrics Yewpar_core

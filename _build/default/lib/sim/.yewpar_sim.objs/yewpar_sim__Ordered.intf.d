@@ -1,0 +1,1 @@
+lib/sim/ordered.mli: Config Metrics Yewpar_core

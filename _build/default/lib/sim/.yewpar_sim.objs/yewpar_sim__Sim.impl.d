@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Config Float List Metrics Printf Seq Sys Trace Yewpar_core Yewpar_util

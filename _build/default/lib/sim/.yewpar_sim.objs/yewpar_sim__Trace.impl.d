@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Buffer List Printf Yewpar_util

@@ -1,0 +1,36 @@
+type t = {
+  makespan : float;
+  total_work : float;
+  nodes : int;
+  pruned : int;
+  tasks : int;
+  steal_attempts : int;
+  steal_successes : int;
+  bound_broadcasts : int;
+  workers : int;
+  tasks_per_locality : int array;
+}
+
+let efficiency m =
+  if m.makespan <= 0. then 1.
+  else m.total_work /. (m.makespan *. float_of_int m.workers)
+
+let speedup ~sequential_time m =
+  if m.makespan <= 0. then infinity else sequential_time /. m.makespan
+
+let imbalance m =
+  let n = Array.length m.tasks_per_locality in
+  let total = Array.fold_left ( + ) 0 m.tasks_per_locality in
+  if n < 2 || total = 0 then 1.
+  else
+    let mean = float_of_int total /. float_of_int n in
+    let hi = Array.fold_left max 0 m.tasks_per_locality in
+    float_of_int hi /. mean
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<v>makespan     %.6fs@,total work   %.6fs (%d workers, efficiency %.1f%%)@,\
+     nodes        %d (+%d pruned)@,tasks        %d (imbalance %.2f)@,\
+     steals       %d/%d@,broadcasts   %d@]"
+    m.makespan m.total_work m.workers (100. *. efficiency m) m.nodes m.pruned
+    m.tasks (imbalance m) m.steal_successes m.steal_attempts m.bound_broadcasts

@@ -1,0 +1,30 @@
+(** Outcome measurements of one simulated run. *)
+
+type t = {
+  makespan : float;  (** Virtual time from start to completion. *)
+  total_work : float;  (** Sum of all workers' busy virtual time. *)
+  nodes : int;  (** Nodes processed across all workers. *)
+  pruned : int;  (** Children discarded by bound checks. *)
+  tasks : int;  (** Tasks that ever existed (including the root). *)
+  steal_attempts : int;  (** Steal/acquire messages sent. *)
+  steal_successes : int;  (** Attempts that delivered work. *)
+  bound_broadcasts : int;  (** Incumbent improvements broadcast. *)
+  workers : int;  (** Total workers in the topology. *)
+  tasks_per_locality : int array;
+      (** Tasks started on each locality — the load-balance fingerprint
+          (a single hot locality means spawning failed to diffuse). *)
+}
+
+val efficiency : t -> float
+(** [total_work / (makespan * workers)] — parallel efficiency. *)
+
+val speedup : sequential_time:float -> t -> float
+(** Speedup of this run against a (virtual) sequential runtime. *)
+
+val imbalance : t -> float
+(** Max-over-mean of {!field-tasks_per_locality}: [1.0] is perfectly
+    balanced; higher means hot localities. [1.0] when fewer than two
+    localities or no tasks. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable rendering. *)

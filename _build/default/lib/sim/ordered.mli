@@ -1,0 +1,33 @@
+(** The Ordered skeleton: replicable optimisation search.
+
+    The paper (§2.1) cites a specialised skeleton that "carefully
+    controls anomalies to provide replicable performance guarantees"
+    (Archibald et al., JPDC 2018). This module implements the core of
+    that idea for optimisation searches on the simulated cluster:
+
+    - the tree above [dcutoff] is walked {e sequentially} (it is tiny),
+      producing the parallel tasks in heuristic order, each tagged with
+      its {e position} — the path of child indices from the root;
+    - a task may be pruned only by incumbents from positions strictly
+      to its {b left} (earlier in heuristic order), never from its
+      right — right-to-left knowledge flow is exactly what makes
+      ordinary parallel search irreproducible (§2.1);
+    - ties between equal-valued incumbents are broken towards the
+      {b leftmost} position.
+
+    The guarantee (checked by the test suite): the returned incumbent is
+    the leftmost optimum of the tree — the same node the Sequential
+    skeleton returns — for {e every} topology, worker count and
+    schedule. The price is pruning power: right-to-left acceleration
+    anomalies are deliberately forfeited, so Ordered never beats the
+    anomaly-assisted skeletons on time, but its results (and its
+    workload, up to timing of left-incumbent arrival) are replicable. *)
+
+val search :
+  ?costs:Config.costs -> ?dcutoff:int -> topology:Config.topology ->
+  ('space, 'node, 'node) Yewpar_core.Problem.t -> 'node * Metrics.t
+(** [search ~topology problem] runs an Optimise problem under the
+    Ordered skeleton ([dcutoff] defaults to 2) and returns the leftmost
+    optimal node plus simulated metrics.
+    @raise Invalid_argument if the problem is not an optimisation
+    problem. *)

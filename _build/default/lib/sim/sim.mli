@@ -1,0 +1,43 @@
+(** Deterministic discrete-event simulation of distributed YewPar.
+
+    Executes any search problem under any coordination on a simulated
+    cluster ({!Config.topology}), faithfully modelling the paper's
+    runtime (§4.3):
+
+    - one order-preserving workpool per locality (tasks run in the
+      heuristic order they were spawned — FIFO), with idle workers
+      taking local tasks first and stealing from random remote pools
+      otherwise (Depth-Bounded and Budget);
+    - direct victim-to-thief stack stealing with explicit request/reply
+      messages, random victim selection preferring local victims, and
+      optional chunking (Stack-Stealing);
+    - incumbent bounds broadcast to other localities with a latency;
+      stale local bounds cost pruning opportunities but never
+      correctness;
+    - a decision search short-circuits the whole cluster the moment a
+      witness is processed.
+
+    Virtual time advances by the {!Config.costs} model; the search
+    itself executes {e for real} through {!Yewpar_core.Engine}, so
+    results are exact and parallel anomalies (superlinear speedups,
+    slowdowns from disrupted heuristic order) emerge from the
+    interleaving rather than being scripted. Runs are deterministic in
+    [(problem, topology, coordination, costs, seed)]. *)
+
+val run :
+  ?costs:Config.costs -> ?seed:int -> ?trace:Trace.t ->
+  topology:Config.topology ->
+  coordination:Yewpar_core.Coordination.t ->
+  ('space, 'node, 'result) Yewpar_core.Problem.t -> 'result * Metrics.t
+(** Simulate one run, returning the (exact) search result and the
+    virtual-time metrics. Pass a {!Trace.t} collector to additionally
+    record every worker's busy intervals (Gantt-style forensics).
+    @raise Failure on an internal scheduling deadlock (a bug, not a
+    user error). *)
+
+val virtual_sequential :
+  ?costs:Config.costs -> ('space, 'node, 'result) Yewpar_core.Problem.t ->
+  'result * float
+(** The sequential-skeleton baseline under the same cost accounting
+    (one worker, no overheads): the denominator of every speedup the
+    benchmark harness reports. *)

@@ -1,0 +1,35 @@
+module Vec = Yewpar_util.Vec
+
+type span = {
+  worker : int;
+  start : float;
+  duration : float;
+  label : string;
+}
+
+type t = { spans : span Vec.t }
+
+let create () = { spans = Vec.create () }
+
+let record t ~worker ~start ~duration ~label =
+  if duration > 0. then Vec.push t.spans { worker; start; duration; label }
+
+let spans t =
+  List.stable_sort
+    (fun a b -> compare a.start b.start)
+    (Vec.to_list t.spans)
+
+let busy_time t ~worker =
+  Vec.fold_left
+    (fun acc s -> if s.worker = worker then acc +. s.duration else acc)
+    0. t.spans
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "worker,start,duration,label\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%.9f,%.9f,%s\n" s.worker s.start s.duration s.label))
+    (spans t);
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** Execution traces of simulated runs.
+
+    An opt-in recorder that captures every busy interval of every
+    simulated worker, labelled by what the worker was doing. Traces
+    support the kind of schedule forensics the paper's §5 analysis
+    relies on (who was starved when, how work diffused after a steal),
+    and export to CSV for plotting Gantt charts. *)
+
+type span = {
+  worker : int;  (** Worker id (locality = id / workers_per_locality). *)
+  start : float;  (** Virtual start time of the busy interval. *)
+  duration : float;  (** Virtual length of the interval. *)
+  label : string;  (** What the worker was doing: "task", "engine", … *)
+}
+(** One busy interval. *)
+
+type t
+(** A mutable trace collector. *)
+
+val create : unit -> t
+(** A fresh, empty collector; pass it to {!Sim.run}'s [?trace]. *)
+
+val record : t -> worker:int -> start:float -> duration:float -> label:string -> unit
+(** Append a span (called by the simulator; zero-duration spans are
+    dropped). *)
+
+val spans : t -> span list
+(** All recorded spans in chronological order of [start] (stable for
+    equal starts). *)
+
+val busy_time : t -> worker:int -> float
+(** Total recorded busy time of one worker. *)
+
+val to_csv : t -> string
+(** Render as [worker,start,duration,label] CSV with a header line. *)

@@ -1,0 +1,1 @@
+lib/util/deque.ml: Array List

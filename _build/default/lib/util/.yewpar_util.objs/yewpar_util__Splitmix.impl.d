@@ -1,0 +1,1 @@
+lib/util/splitmix.ml: Char Int64 String

@@ -1,0 +1,55 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable head : int; (* index of the front element *)
+  mutable len : int;
+}
+
+let create () = { data = [||]; head = 0; len = 0 }
+
+let length d = d.len
+let is_empty d = d.len = 0
+
+let capacity d = Array.length d.data
+
+let ensure_room d x =
+  let cap = capacity d in
+  if d.len = cap then begin
+    let new_cap = max 16 (2 * cap) in
+    let data = Array.make new_cap x in
+    for i = 0 to d.len - 1 do
+      data.(i) <- d.data.((d.head + i) mod cap)
+    done;
+    d.data <- data;
+    d.head <- 0
+  end
+
+let push_back d x =
+  ensure_room d x;
+  d.data.((d.head + d.len) mod capacity d) <- x;
+  d.len <- d.len + 1
+
+let push_front d x =
+  ensure_room d x;
+  d.head <- (d.head - 1 + capacity d) mod capacity d;
+  d.data.(d.head) <- x;
+  d.len <- d.len + 1
+
+let pop_front d =
+  if d.len = 0 then None
+  else begin
+    let x = d.data.(d.head) in
+    d.head <- (d.head + 1) mod capacity d;
+    d.len <- d.len - 1;
+    Some x
+  end
+
+let pop_back d =
+  if d.len = 0 then None
+  else begin
+    let x = d.data.((d.head + d.len - 1) mod capacity d) in
+    d.len <- d.len - 1;
+    Some x
+  end
+
+let to_list d =
+  List.init d.len (fun i -> d.data.((d.head + i) mod capacity d))

@@ -1,0 +1,32 @@
+(** Double-ended queues on a growable ring buffer.
+
+    Workpools in both runtimes are deques: the paper's order-preserving
+    pool pops from the {e front} (FIFO — tasks run in the heuristic order
+    they were spawned), while the LIFO ablation pops from the {e back}. *)
+
+type 'a t
+(** A deque of ['a]. *)
+
+val create : unit -> 'a t
+(** A fresh empty deque. *)
+
+val length : 'a t -> int
+(** Number of stored elements. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty d] is [length d = 0]. *)
+
+val push_back : 'a t -> 'a -> unit
+(** Append at the back. *)
+
+val push_front : 'a t -> 'a -> unit
+(** Prepend at the front. *)
+
+val pop_front : 'a t -> 'a option
+(** Remove from the front ([None] when empty). *)
+
+val pop_back : 'a t -> 'a option
+(** Remove from the back ([None] when empty). *)
+
+val to_list : 'a t -> 'a list
+(** Elements front to back. *)

@@ -1,0 +1,67 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int; mutable next_seq : int }
+
+let create () = { data = [||]; len = 0; next_seq = 0 }
+
+let size h = h.len
+let is_empty h = h.len = 0
+
+(* [before a b] orders by priority then by insertion sequence, making
+   pop order total and deterministic. *)
+let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let swap h i j =
+  let t = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- t
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before h.data.(i) h.data.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && before h.data.(l) h.data.(!smallest) then smallest := l;
+  if r < h.len && before h.data.(r) h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let add h prio value =
+  let e = { prio; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  if h.len = Array.length h.data then begin
+    let cap = max 16 (2 * Array.length h.data) in
+    let data = Array.make cap e in
+    Array.blit h.data 0 data 0 h.len;
+    h.data <- data
+  end;
+  h.data.(h.len) <- e;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let peek_min h =
+  if h.len = 0 then None
+  else
+    let e = h.data.(0) in
+    Some (e.prio, e.value)
+
+let pop_min h =
+  if h.len = 0 then None
+  else begin
+    let e = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h 0
+    end;
+    Some (e.prio, e.value)
+  end

@@ -1,0 +1,27 @@
+(** Binary min-heaps keyed by float priorities.
+
+    The event queue of the discrete-event simulator ({!Yewpar_sim}).
+    Ties are broken by insertion order so simulation runs are
+    deterministic. *)
+
+type 'a t
+(** A min-heap of ['a] payloads keyed by [float] priority. *)
+
+val create : unit -> 'a t
+(** A fresh empty heap. *)
+
+val size : 'a t -> int
+(** Number of stored entries. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [size h = 0]. *)
+
+val add : 'a t -> float -> 'a -> unit
+(** [add h p x] inserts [x] with priority [p]. *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority entry; among equal priorities
+    the earliest-inserted entry wins. [None] when empty. *)
+
+val peek_min : 'a t -> (float * 'a) option
+(** Like {!pop_min} without removal. *)

@@ -1,0 +1,37 @@
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geometric_mean = function
+  | [] -> nan
+  | xs ->
+    let log_sum =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0. then invalid_arg "Summary.geometric_mean: non-positive value";
+          acc +. log x)
+        0. xs
+    in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let median = function
+  | [] -> nan
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let stddev = function
+  | [] -> nan
+  | xs ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.) xs) in
+    sqrt var
+
+let min_max = function
+  | [] -> invalid_arg "Summary.min_max: empty list"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
+
+let percent_change ~baseline v = (v -. baseline) /. baseline *. 100.

@@ -1,0 +1,25 @@
+(** Summary statistics for benchmark reporting.
+
+    The paper reports geometric means (Tables 1 and 2) and cumulative
+    statistics over repeated runs; these helpers implement exactly the
+    aggregations used by [bench/main.ml]. *)
+
+val mean : float list -> float
+(** Arithmetic mean; [nan] on the empty list. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive values; [nan] on the empty list.
+    @raise Invalid_argument if any value is non-positive. *)
+
+val median : float list -> float
+(** Median (mean of middle pair for even lengths); [nan] on empty. *)
+
+val stddev : float list -> float
+(** Population standard deviation; [nan] on empty. *)
+
+val min_max : float list -> float * float
+(** Smallest and largest values. @raise Invalid_argument on empty. *)
+
+val percent_change : baseline:float -> float -> float
+(** [percent_change ~baseline v] is [(v - baseline) / baseline * 100.] —
+    the slowdown-% convention of Table 1. *)

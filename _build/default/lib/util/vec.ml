@@ -1,0 +1,55 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length v = v.len
+let is_empty v = v.len = 0
+
+let grow v x =
+  if Array.length v.data = 0 then v.data <- Array.make 8 x
+  else begin
+    let data = Array.make (2 * Array.length v.data) v.data.(0) in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let push v x =
+  if v.len = Array.length v.data then grow v x;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then None
+  else begin
+    v.len <- v.len - 1;
+    Some v.data.(v.len)
+  end
+
+let top v = if v.len = 0 then None else Some v.data.(v.len - 1)
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec: index out of range"
+
+let get v i = check v i; v.data.(i)
+let set v i x = check v i; v.data.(i) <- x
+
+let clear v = v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do f v.data.(i) done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do acc := f !acc v.data.(i) done;
+  !acc
+
+let to_list v = List.rev (fold_left (fun acc x -> x :: acc) [] v)
+
+let of_list xs =
+  let v = create () in
+  List.iter (push v) xs;
+  v
+
+let exists p v =
+  let rec go i = i < v.len && (p v.data.(i) || go (i + 1)) in
+  go 0

@@ -1,0 +1,50 @@
+(** Growable arrays.
+
+    A minimal dynamic-array substrate (OCaml 5.1 predates [Dynarray]).
+    Used pervasively for generator stacks, event lists and workpools. *)
+
+type 'a t
+(** A growable array of ['a]. *)
+
+val create : unit -> 'a t
+(** [create ()] is a fresh empty vector. *)
+
+val of_list : 'a list -> 'a t
+(** [of_list xs] is a vector holding the elements of [xs] in order. *)
+
+val length : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty v] is [length v = 0]. *)
+
+val push : 'a t -> 'a -> unit
+(** Append an element at the end, growing the backing store if needed. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the last element, or [None] if empty. *)
+
+val top : 'a t -> 'a option
+(** The last element without removing it, or [None] if empty. *)
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the [i]th element. @raise Invalid_argument if out of range. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** [set v i x] replaces the [i]th element.
+    @raise Invalid_argument if out of range. *)
+
+val clear : 'a t -> unit
+(** Remove all elements (capacity is retained). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Iterate front to back. *)
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Fold front to back. *)
+
+val to_list : 'a t -> 'a list
+(** Elements front to back as a list. *)
+
+val exists : ('a -> bool) -> 'a t -> bool
+(** [exists p v] is true iff some element satisfies [p]. *)

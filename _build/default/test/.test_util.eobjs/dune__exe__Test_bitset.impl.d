@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Int List QCheck QCheck_alcotest Set Yewpar_bitset

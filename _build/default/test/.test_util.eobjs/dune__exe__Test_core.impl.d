@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Domain Fun List Printf QCheck QCheck_alcotest Str String Yewpar_core

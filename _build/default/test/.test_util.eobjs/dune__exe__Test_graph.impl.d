@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float List QCheck QCheck_alcotest Yewpar_graph

@@ -1,0 +1,1 @@
+test/test_instances.ml: Alcotest Lazy List Printf String Yewpar_core Yewpar_graph Yewpar_instances Yewpar_maxclique

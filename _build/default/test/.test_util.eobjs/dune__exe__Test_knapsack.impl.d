@@ -1,0 +1,1 @@
+test/test_knapsack.ml: Alcotest Array List Printf QCheck QCheck_alcotest Seq Yewpar_core Yewpar_knapsack Yewpar_util

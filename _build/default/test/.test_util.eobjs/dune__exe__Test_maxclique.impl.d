@@ -1,0 +1,1 @@
+test/test_maxclique.ml: Alcotest Array Hashtbl List Printf Seq Yewpar_bitset Yewpar_core Yewpar_graph Yewpar_maxclique

@@ -1,0 +1,1 @@
+test/test_numsemi.ml: Alcotest Array Printf Seq Yewpar_core Yewpar_numsemi Yewpar_sim

@@ -1,0 +1,1 @@
+test/test_ordered.ml: Alcotest Array List Printf Seq Yewpar_core Yewpar_graph Yewpar_knapsack Yewpar_maxclique Yewpar_par Yewpar_sim Yewpar_tsp

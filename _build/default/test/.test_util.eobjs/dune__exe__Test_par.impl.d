@@ -1,0 +1,1 @@
+test/test_par.ml: Alcotest Atomic List Printexc Printf Seq Yewpar_core Yewpar_graph Yewpar_knapsack Yewpar_maxclique Yewpar_par Yewpar_uts

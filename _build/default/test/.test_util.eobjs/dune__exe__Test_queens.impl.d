@@ -1,0 +1,1 @@
+test/test_queens.ml: Alcotest Array List Printf Yewpar_core Yewpar_par Yewpar_queens Yewpar_sim

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Yewpar_core Yewpar_semantics Yewpar_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Hashtbl List Option Printf QCheck QCheck_alcotest Seq String Yewpar_core Yewpar_graph Yewpar_knapsack Yewpar_maxclique Yewpar_sim Yewpar_uts

@@ -1,0 +1,1 @@
+test/test_sip.ml: Alcotest Printf Yewpar_core Yewpar_graph Yewpar_sip

@@ -1,0 +1,1 @@
+test/test_skeletons.ml: Alcotest Fun List Printf Yewpar_core Yewpar_graph Yewpar_knapsack Yewpar_maxclique Yewpar_numsemi Yewpar_par Yewpar_sim Yewpar_sip Yewpar_tsp Yewpar_uts

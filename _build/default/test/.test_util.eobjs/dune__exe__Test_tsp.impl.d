@@ -1,0 +1,1 @@
+test/test_tsp.ml: Alcotest List Printf Seq Yewpar_core Yewpar_tsp

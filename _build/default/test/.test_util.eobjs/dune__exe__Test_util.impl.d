@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Fun List QCheck QCheck_alcotest String Yewpar_util

@@ -1,0 +1,1 @@
+test/test_workpool.ml: Alcotest List QCheck QCheck_alcotest Yewpar_core

@@ -1,0 +1,140 @@
+module Bitset = Yewpar_bitset.Bitset
+module IntSet = Set.Make (Int)
+
+let basics () =
+  let s = Bitset.create 100 in
+  Alcotest.(check bool) "fresh empty" true (Bitset.is_empty s);
+  Alcotest.(check int) "capacity" 100 (Bitset.capacity s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal s);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem s 63);
+  Alcotest.(check bool) "mem 62" false (Bitset.mem s 62);
+  Bitset.remove s 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 63);
+  Alcotest.(check (list int)) "elements sorted" [ 0; 64; 99 ] (Bitset.elements s);
+  Alcotest.(check int) "first" 0 (Bitset.first s);
+  Alcotest.(check int) "next_from" 64 (Bitset.next_from s 1);
+  Alcotest.(check int) "next_from exact" 64 (Bitset.next_from s 64);
+  Alcotest.(check int) "next_from beyond" (-1) (Bitset.next_from s 100);
+  Bitset.clear s;
+  Alcotest.(check bool) "cleared" true (Bitset.is_empty s);
+  Alcotest.(check int) "first of empty" (-1) (Bitset.first s)
+
+let range_checks () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "add out of range"
+    (Invalid_argument "Bitset: element out of range") (fun () -> Bitset.add s 10);
+  Alcotest.check_raises "mem out of range"
+    (Invalid_argument "Bitset: element out of range") (fun () ->
+      ignore (Bitset.mem s (-1)));
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Bitset.create: negative capacity") (fun () ->
+      ignore (Bitset.create (-1)));
+  let t = Bitset.create 11 in
+  Alcotest.check_raises "capacity mismatch" (Invalid_argument "Bitset: capacity mismatch")
+    (fun () -> Bitset.inter_into s t)
+
+let zero_capacity () =
+  let s = Bitset.create 0 in
+  Alcotest.(check int) "cardinal" 0 (Bitset.cardinal s);
+  Alcotest.(check bool) "empty" true (Bitset.is_empty s);
+  Alcotest.(check int) "first" (-1) (Bitset.first s)
+
+let fill_upto () =
+  let s = Bitset.create 10 in
+  Bitset.fill_upto s 4;
+  Alcotest.(check (list int)) "prefix" [ 0; 1; 2; 3 ] (Bitset.elements s);
+  let t = Bitset.create 5 in
+  Bitset.fill_upto t 50;
+  Alcotest.(check int) "clamped to capacity" 5 (Bitset.cardinal t)
+
+(* Property tests against the Set reference model. *)
+
+let cap = 130
+
+let set_of_list xs = IntSet.of_list (List.map (fun x -> abs x mod cap) xs)
+
+let bs_of_set s =
+  let b = Bitset.create cap in
+  IntSet.iter (Bitset.add b) s;
+  b
+
+let gen_pair = QCheck.(pair (list small_int) (list small_int))
+
+let check_op name op set_op =
+  QCheck.Test.make ~name ~count:300 gen_pair (fun (xs, ys) ->
+      let sa = set_of_list xs and sb = set_of_list ys in
+      let a = bs_of_set sa and b = bs_of_set sb in
+      op a b;
+      Bitset.elements a = IntSet.elements (set_op sa sb))
+
+let prop_inter = check_op "inter_into models Set.inter" Bitset.inter_into IntSet.inter
+let prop_union = check_op "union_into models Set.union" Bitset.union_into IntSet.union
+let prop_diff = check_op "diff_into models Set.diff" Bitset.diff_into IntSet.diff
+
+let prop_cardinal =
+  QCheck.Test.make ~name:"cardinal models Set.cardinal" ~count:300
+    QCheck.(list small_int)
+    (fun xs ->
+      let s = set_of_list xs in
+      Bitset.cardinal (bs_of_set s) = IntSet.cardinal s)
+
+let prop_subset =
+  QCheck.Test.make ~name:"subset models Set.subset" ~count:300 gen_pair
+    (fun (xs, ys) ->
+      let sa = set_of_list xs and sb = set_of_list ys in
+      Bitset.subset (bs_of_set sa) (bs_of_set sb) = IntSet.subset sa sb)
+
+let prop_equal =
+  QCheck.Test.make ~name:"equal is extensional" ~count:300 gen_pair (fun (xs, ys) ->
+      let sa = set_of_list xs and sb = set_of_list ys in
+      Bitset.equal (bs_of_set sa) (bs_of_set sb) = IntSet.equal sa sb)
+
+let prop_iter_order =
+  QCheck.Test.make ~name:"iter visits in increasing order" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let s = set_of_list xs in
+      let order = ref [] in
+      Bitset.iter (fun i -> order := i :: !order) (bs_of_set s);
+      List.rev !order = IntSet.elements s)
+
+let prop_fold =
+  QCheck.Test.make ~name:"fold models Set.fold" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let s = set_of_list xs in
+      Bitset.fold (fun i acc -> acc + i) (bs_of_set s) 0
+      = IntSet.fold (fun i acc -> acc + i) s 0)
+
+let prop_copy_independent =
+  QCheck.Test.make ~name:"copy is independent" ~count:100
+    QCheck.(list small_int)
+    (fun xs ->
+      let a = bs_of_set (set_of_list xs) in
+      let b = Bitset.copy a in
+      Bitset.add b 0;
+      Bitset.remove b 0;
+      Bitset.add a 1;
+      Bitset.mem b 1 = IntSet.mem 1 (set_of_list xs))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_inter; prop_union; prop_diff; prop_cardinal; prop_subset; prop_equal;
+      prop_iter_order; prop_fold; prop_copy_independent ]
+
+let () =
+  Alcotest.run "bitset"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "basics" `Quick basics;
+          Alcotest.test_case "range checks" `Quick range_checks;
+          Alcotest.test_case "zero capacity" `Quick zero_capacity;
+          Alcotest.test_case "fill_upto" `Quick fill_upto;
+        ] );
+      ("properties", qsuite);
+    ]

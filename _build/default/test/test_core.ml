@@ -1,0 +1,486 @@
+module Engine = Yewpar_core.Engine
+module Problem = Yewpar_core.Problem
+module Knowledge = Yewpar_core.Knowledge
+module Ops = Yewpar_core.Ops
+module Sequential = Yewpar_core.Sequential
+module Coordination = Yewpar_core.Coordination
+module Stats = Yewpar_core.Stats
+
+(* An explicit rose tree as a toy search space. *)
+type tree = T of int * tree list
+
+let value (T (v, _)) = v
+let children_of () (T (_, cs)) = List.to_seq cs
+
+let rec size (T (_, cs)) = 1 + List.fold_left (fun acc c -> acc + size c) 0 cs
+let rec max_value (T (v, cs)) = List.fold_left (fun acc c -> max acc (max_value c)) v cs
+
+(*      1
+      / | \
+     2  5  3
+    / \     \
+   7   4     9   *)
+let sample =
+  T (1, [ T (2, [ T (7, []); T (4, []) ]); T (5, []); T (3, [ T (9, []) ]) ])
+
+let count_problem root =
+  Problem.count_nodes ~name:"count" ~space:() ~root ~children:children_of
+
+let max_problem root =
+  Problem.maximise ~name:"max" ~space:() ~root ~children:children_of
+    ~objective:value ()
+
+let engine_traversal_order () =
+  (* The engine must visit nodes in depth-first, left-to-right order. *)
+  let e = Engine.make ~space:() ~children:children_of ~root_depth:0 sample in
+  let visited = ref [] in
+  let rec drive () =
+    match Engine.step ~keep:(fun _ -> true) e with
+    | Engine.Enter n ->
+      visited := value n :: !visited;
+      drive ()
+    | Engine.Pruned _ | Engine.Leave -> drive ()
+    | Engine.Exhausted -> ()
+  in
+  drive ();
+  Alcotest.(check (list int)) "dfs order" [ 2; 7; 4; 5; 3; 9 ] (List.rev !visited);
+  Alcotest.(check int) "backtracks = nodes+1 pops" 7 (Engine.backtracks e);
+  Alcotest.(check int) "entered" 6 (Engine.nodes_entered e);
+  Alcotest.(check int) "max depth" 2 (Engine.max_depth e);
+  Alcotest.(check int) "exhausted depth" (-1) (Engine.current_depth e)
+
+let engine_pruning () =
+  (* Pruning the subtree rooted at 2 skips 7 and 4. *)
+  let e = Engine.make ~space:() ~children:children_of ~root_depth:0 sample in
+  let visited = ref [] in
+  let rec drive () =
+    match Engine.step ~keep:(fun n -> value n <> 2) e with
+    | Engine.Enter n ->
+      visited := value n :: !visited;
+      drive ()
+    | Engine.Pruned _ | Engine.Leave -> drive ()
+    | Engine.Exhausted -> ()
+  in
+  drive ();
+  Alcotest.(check (list int)) "pruned traversal" [ 5; 3; 9 ] (List.rev !visited);
+  Alcotest.(check int) "pruned count" 1 (Engine.nodes_pruned e)
+
+let engine_split_one () =
+  let e = Engine.make ~space:() ~children:children_of ~root_depth:0 sample in
+  (* Before any step, split_one removes the first root child (2). *)
+  (match Engine.split_one e with
+  | Some (n, d) ->
+    Alcotest.(check int) "lowest split is leftmost child" 2 (value n);
+    Alcotest.(check int) "depth" 1 d
+  | None -> Alcotest.fail "expected a split");
+  (* The remaining traversal must skip the whole subtree of 2. *)
+  let visited = ref [] in
+  let rec drive () =
+    match Engine.step ~keep:(fun _ -> true) e with
+    | Engine.Enter n ->
+      visited := value n :: !visited;
+      drive ()
+    | Engine.Pruned _ | Engine.Leave -> drive ()
+    | Engine.Exhausted -> ()
+  in
+  drive ();
+  Alcotest.(check (list int)) "rest of tree" [ 5; 3; 9 ] (List.rev !visited)
+
+let engine_split_lowest () =
+  let e = Engine.make ~space:() ~children:children_of ~root_depth:3 sample in
+  let cs, d = Engine.split_lowest e in
+  Alcotest.(check (list int)) "all root children split" [ 2; 5; 3 ]
+    (List.map value cs);
+  Alcotest.(check int) "absolute depth honours root_depth" 4 d;
+  Alcotest.(check (pair (list int) int)) "nothing left to split" ([], 0)
+    (let cs, d = Engine.split_lowest e in
+     (List.map value cs, d));
+  (match Engine.step ~keep:(fun _ -> true) e with
+  | Engine.Leave -> ()
+  | _ -> Alcotest.fail "expected immediate backtrack after full split");
+  match Engine.step ~keep:(fun _ -> true) e with
+  | Engine.Exhausted -> ()
+  | _ -> Alcotest.fail "expected exhaustion"
+
+let engine_split_lowest_mid_search () =
+  let e = Engine.make ~space:() ~children:children_of ~root_depth:0 sample in
+  (* Enter node 2; lowest unexplored frame is then the root (5, 3). *)
+  (match Engine.step ~keep:(fun _ -> true) e with
+  | Engine.Enter n -> Alcotest.(check int) "entered 2" 2 (value n)
+  | _ -> Alcotest.fail "expected Enter");
+  let cs, d = Engine.split_lowest e in
+  Alcotest.(check (list int)) "root remainder split" [ 5; 3 ] (List.map value cs);
+  Alcotest.(check int) "depth 1" 1 d;
+  (* 7 and 4 (children of 2) remain. *)
+  let visited = ref [] in
+  let rec drive () =
+    match Engine.step ~keep:(fun _ -> true) e with
+    | Engine.Enter n ->
+      visited := value n :: !visited;
+      drive ()
+    | Engine.Pruned _ | Engine.Leave -> drive ()
+    | Engine.Exhausted -> ()
+  in
+  drive ();
+  Alcotest.(check (list int)) "kept subtree of 2" [ 7; 4 ] (List.rev !visited)
+
+let engine_drain_top () =
+  let e = Engine.make ~space:() ~children:children_of ~root_depth:0 sample in
+  let cs, d = Engine.drain_top e in
+  Alcotest.(check (list int)) "top frame drained" [ 2; 5; 3 ] (List.map value cs);
+  Alcotest.(check int) "depth" 1 d
+
+let engine_depth_tracking () =
+  let e = Engine.make ~space:() ~children:children_of ~root_depth:5 sample in
+  Alcotest.(check int) "initial depth = root_depth" 5 (Engine.current_depth e);
+  Alcotest.(check int) "stack size 1" 1 (Engine.stack_size e);
+  (match Engine.step ~keep:(fun _ -> true) e with
+  | Engine.Enter _ ->
+    Alcotest.(check int) "descended" 6 (Engine.current_depth e);
+    Alcotest.(check int) "stack grew" 2 (Engine.stack_size e)
+  | _ -> Alcotest.fail "expected Enter");
+  Alcotest.(check int) "root anchor preserved" 1 (value (Engine.root e))
+
+let sequential_count () =
+  let r, stats = Sequential.search_with_stats (count_problem sample) in
+  Alcotest.(check int) "counts all nodes" (size sample) r;
+  Alcotest.(check int) "stats nodes" (size sample) stats.Stats.nodes
+
+let sequential_max () =
+  let n = Sequential.search (max_problem sample) in
+  Alcotest.(check int) "finds max" (max_value sample) (value n)
+
+let sequential_decide () =
+  let dec target =
+    Problem.decide ~name:"dec" ~space:() ~root:sample ~children:children_of
+      ~objective:value ~target ()
+  in
+  (match Sequential.search (dec 9) with
+  | Some n -> Alcotest.(check int) "witness value" 9 (value n)
+  | None -> Alcotest.fail "expected witness");
+  (match Sequential.search (dec 10) with
+  | Some _ -> Alcotest.fail "no witness above 9"
+  | None -> ());
+  (* Root itself can be a witness. *)
+  match Sequential.search (dec 1) with
+  | Some n -> Alcotest.(check int) "root witness" 1 (value n)
+  | None -> Alcotest.fail "root should satisfy"
+
+let sequential_shortcircuit_stops () =
+  (* With a short-circuiting target, the nodes counter must stop early:
+     target 2 is hit at the very first entered node. *)
+  let stats = Stats.create () in
+  let dec =
+    Problem.decide ~name:"dec" ~space:() ~root:sample ~children:children_of
+      ~objective:value ~target:2 ()
+  in
+  (match Sequential.search ~stats dec with
+  | Some n -> Alcotest.(check int) "first witness in order" 2 (value n)
+  | None -> Alcotest.fail "expected witness");
+  Alcotest.(check int) "stopped after two nodes" 2 stats.Stats.nodes
+
+let sequential_bound_prunes () =
+  (* With the exact-subtree-max bound, only the path to one maximum plus
+     bound-failed siblings is visited. *)
+  let rec bound (T (v, cs)) = List.fold_left (fun acc c -> max acc (bound c)) v cs in
+  let stats = Stats.create () in
+  let p =
+    Problem.maximise ~name:"maxb" ~space:() ~root:sample ~children:children_of
+      ~bound ~objective:value ()
+  in
+  let n = Sequential.search ~stats p in
+  Alcotest.(check int) "still optimal with pruning" 9 (value n);
+  Alcotest.(check bool) "pruning happened" true (stats.Stats.pruned > 0)
+
+let enumeration_monoid () =
+  (* Sum of values, a different monoid from counting. *)
+  let p =
+    Problem.enumerate ~name:"sum" ~space:() ~root:sample ~children:children_of
+      ~empty:0 ~combine:( + ) ~view:value
+  in
+  Alcotest.(check int) "sum over tree" (1 + 2 + 7 + 4 + 5 + 3 + 9) (Sequential.search p)
+
+let knowledge_ref () =
+  let k = Knowledge.make_ref () in
+  Alcotest.(check int) "initial bound" min_int (k.Knowledge.best_obj ());
+  Alcotest.(check bool) "first submit improves" true (k.Knowledge.submit "a" 3);
+  Alcotest.(check bool) "equal does not improve" false (k.Knowledge.submit "b" 3);
+  Alcotest.(check bool) "lower does not improve" false (k.Knowledge.submit "c" 1);
+  Alcotest.(check bool) "higher improves" true (k.Knowledge.submit "d" 5);
+  Alcotest.(check int) "best obj" 5 (k.Knowledge.best_obj ());
+  Alcotest.(check (option string)) "best node" (Some "d") (k.Knowledge.best_node ())
+
+let knowledge_atomic_races () =
+  (* Hammer the atomic store from several domains; the maximum must
+     win and the witness must be consistent with it. *)
+  let k = Knowledge.make_atomic () in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to 999 do
+              ignore (k.Knowledge.submit ((d * 1000) + i) ((d * 1000) + i))
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "max wins" 3999 (k.Knowledge.best_obj ());
+  Alcotest.(check (option int)) "witness matches" (Some 3999) (k.Knowledge.best_node ())
+
+let ops_enum_merges_views () =
+  let spec = { Problem.empty = 0; combine = ( + ); view = (fun n -> n) } in
+  let h = Ops.harness (Problem.Enumerate spec) in
+  let k = Knowledge.make_ref () in
+  let v1 = h.Ops.view k and v2 = h.Ops.view k in
+  ignore (v1.Ops.process 5);
+  ignore (v2.Ops.process 7);
+  ignore (v1.Ops.process 1);
+  Alcotest.(check int) "accumulators merge" 13 (h.Ops.result k)
+
+let ops_decide_keep () =
+  let h =
+    Ops.harness
+      (Problem.Decide
+         { objective = { value = Fun.id; bound = Some (fun n -> n + 1); monotone = false }; target = 10 })
+  in
+  let k = Knowledge.make_ref () in
+  let v = h.Ops.view k in
+  Alcotest.(check bool) "bound below target pruned" false (v.Ops.keep 8);
+  Alcotest.(check bool) "bound reaching target kept" true (v.Ops.keep 9);
+  Alcotest.(check bool) "below target continues" true (v.Ops.process 9);
+  Alcotest.(check bool) "target short-circuits" false (v.Ops.process 10);
+  Alcotest.(check (option int)) "witness recorded" (Some 10) (h.Ops.result k)
+
+let coordination_strings () =
+  let roundtrip c =
+    match Coordination.of_string (Coordination.to_string c) with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e
+  in
+  ignore roundtrip;
+  Alcotest.(check string) "seq" "seq" (Coordination.to_string Coordination.Sequential);
+  (match Coordination.of_string "depthbounded:3" with
+  | Ok (Coordination.Depth_bounded { dcutoff }) ->
+    Alcotest.(check int) "dcutoff parsed" 3 dcutoff
+  | _ -> Alcotest.fail "parse depthbounded");
+  (match Coordination.of_string "stacksteal:chunked" with
+  | Ok (Coordination.Stack_stealing { chunked }) ->
+    Alcotest.(check bool) "chunked" true chunked
+  | _ -> Alcotest.fail "parse stacksteal");
+  (match Coordination.of_string "budget:100000" with
+  | Ok (Coordination.Budget { budget }) -> Alcotest.(check int) "budget" 100000 budget
+  | _ -> Alcotest.fail "parse budget");
+  (match Coordination.of_string "nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "should reject unknown");
+  (match Coordination.of_string "bestfirst:3" with
+  | Ok (Coordination.Best_first { dcutoff }) ->
+    Alcotest.(check int) "bestfirst parsed" 3 dcutoff
+  | _ -> Alcotest.fail "parse bestfirst");
+  (match Coordination.of_string "randomspawn:64" with
+  | Ok (Coordination.Random_spawn { mean_interval }) ->
+    Alcotest.(check int) "randomspawn parsed" 64 mean_interval
+  | _ -> Alcotest.fail "parse randomspawn");
+  match Coordination.of_string "budget:-2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "should reject negative budget"
+
+let dot_export () =
+  let dot =
+    Yewpar_core.Dot.export ~max_depth:5 ~max_nodes:100
+      ~label:(fun n -> string_of_int (value n))
+      (count_problem sample)
+  in
+  Alcotest.(check bool) "digraph header" true
+    (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  let count_sub sub =
+    let re = Str.regexp_string sub in
+    let rec go i acc =
+      match Str.search_forward re dot i with
+      | j -> go (j + 1) (acc + 1)
+      | exception Not_found -> acc
+    in
+    go 0 0
+  in
+  ignore count_sub;
+  (* 7 nodes and 6 edges in the sample tree. *)
+  let edges =
+    String.split_on_char '\n' dot
+    |> List.filter (fun l ->
+           match String.index_opt l '>' with Some _ -> true | None -> false)
+  in
+  Alcotest.(check int) "six edges" 6 (List.length edges)
+
+let dot_truncation () =
+  let dot =
+    Yewpar_core.Dot.export ~max_depth:1 ~max_nodes:100
+      ~label:(fun n -> Printf.sprintf "v=%d \"quoted\"" (value n))
+      (count_problem sample)
+  in
+  Alcotest.(check bool) "escaped quotes" true
+    (let re = Str.regexp_string "\\\"quoted\\\"" in
+     match Str.search_forward re dot 0 with
+     | _ -> true
+     | exception Not_found -> false);
+  Alcotest.(check bool) "dashed truncation markers" true
+    (let re = Str.regexp_string "style=dashed" in
+     match Str.search_forward re dot 0 with
+     | _ -> true
+     | exception Not_found -> false)
+
+let ordered_core_paths () =
+  let module OC = Yewpar_core.Ordered_core in
+  Alcotest.(check bool) "ancestor first" true (OC.path_compare [ 1 ] [ 1; 0 ] < 0);
+  Alcotest.(check bool) "sibling order" true (OC.path_compare [ 0; 9 ] [ 1 ] < 0);
+  Alcotest.(check int) "equal" 0 (OC.path_compare [ 2; 3 ] [ 2; 3 ]);
+  let entries =
+    [ { OC.e_path = [ 0 ]; e_value = 5; e_node = "a" };
+      { OC.e_path = [ 2 ]; e_value = 9; e_node = "b" };
+      { OC.e_path = [ 1; 1 ]; e_value = 9; e_node = "c" } ]
+  in
+  Alcotest.(check int) "left best of [1]" 5 (OC.left_best entries [ 1 ]);
+  Alcotest.(check int) "left best of [3]" 9 (OC.left_best entries [ 3 ]);
+  Alcotest.(check int) "left best of [0]" min_int (OC.left_best entries [ 0 ]);
+  Alcotest.(check (option string)) "select leftmost max" (Some "c")
+    (OC.select entries);
+  Alcotest.(check (option string)) "select empty" None (OC.select [])
+
+let ordered_core_prefix () =
+  let module OC = Yewpar_core.Ordered_core in
+  let obj =
+    { Problem.value; bound = None; monotone = false }
+  in
+  let prefix = OC.prefix_walk ~dcutoff:1 obj children_of () sample in
+  (* Depth-1 cutoff: root processed; its three children become tasks. *)
+  Alcotest.(check int) "one prefix node" 1 prefix.OC.steps;
+  Alcotest.(check int) "three tasks" 3 (List.length prefix.OC.tasks);
+  Alcotest.(check (list (list int))) "task positions in order"
+    [ [ 0 ]; [ 1 ]; [ 2 ] ]
+    (List.map fst prefix.OC.tasks);
+  let zero = OC.prefix_walk ~dcutoff:0 obj children_of () sample in
+  Alcotest.(check int) "dcutoff 0: root is the task" 1 (List.length zero.OC.tasks);
+  Alcotest.(check int) "dcutoff 0: nothing processed" 0 zero.OC.steps
+
+(* Property: sequential count equals the rose-tree size for random trees. *)
+let tree_gen =
+  let open QCheck.Gen in
+  let rec build depth =
+    if depth = 0 then map (fun v -> T (v, [])) small_int
+    else
+      small_int >>= fun v ->
+      list_size (int_bound 3) (build (depth - 1)) >>= fun cs -> return (T (v, cs))
+  in
+  build 4
+
+let tree_arb = QCheck.make tree_gen
+
+let prop_count =
+  QCheck.Test.make ~name:"sequential count = tree size" ~count:100 tree_arb (fun t ->
+      Sequential.search (count_problem t) = size t)
+
+let prop_max =
+  QCheck.Test.make ~name:"sequential max = tree max" ~count:100 tree_arb (fun t ->
+      value (Sequential.search (max_problem t)) = max_value t)
+
+let prop_prune_safe =
+  (* An admissible bound must never change the optimisation answer. *)
+  QCheck.Test.make ~name:"admissible pruning preserves optimum" ~count:100 tree_arb
+    (fun t ->
+      let rec bound (T (v, cs)) =
+        List.fold_left (fun acc c -> max acc (bound c)) v cs
+      in
+      let p =
+        Problem.maximise ~name:"m" ~space:() ~root:t ~children:children_of ~bound
+          ~objective:value ()
+      in
+      value (Sequential.search p) = max_value t)
+
+(* Splitting soundness: interleave random low-depth splits with the
+   traversal; the nodes visited by the engine plus the nodes in the
+   split-off subtrees must exactly cover the tree (each node once). *)
+let prop_split_soundness =
+  QCheck.Test.make ~name:"splits partition the tree" ~count:150
+    QCheck.(pair tree_arb (list (int_bound 2)))
+    (fun (t, choices) ->
+      let rec subtree_size (T (_, cs)) =
+        1 + List.fold_left (fun a c -> a + subtree_size c) 0 cs
+      in
+      let engine = Engine.make ~space:() ~children:children_of ~root_depth:0 t in
+      let visited = ref 1 (* the root, processed by the caller *) in
+      let split_off = ref 0 in
+      let choices = ref choices in
+      let next_choice () =
+        match !choices with
+        | [] -> 99 (* no more splits *)
+        | c :: rest ->
+          choices := rest;
+          c
+      in
+      let rec drive () =
+        (match next_choice () with
+        | 0 -> (
+          match Engine.split_one engine with
+          | Some (n, _) -> split_off := !split_off + subtree_size n
+          | None -> ())
+        | 1 ->
+          let cs, _ = Engine.split_lowest engine in
+          List.iter (fun n -> split_off := !split_off + subtree_size n) cs
+        | _ -> ());
+        match Engine.step ~keep:(fun _ -> true) engine with
+        | Engine.Enter _ ->
+          incr visited;
+          drive ()
+        | Engine.Pruned _ | Engine.Leave -> drive ()
+        | Engine.Exhausted -> ()
+      in
+      drive ();
+      !visited + !split_off = size t)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_count; prop_max; prop_prune_safe; prop_split_soundness ]
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "traversal order" `Quick engine_traversal_order;
+          Alcotest.test_case "pruning" `Quick engine_pruning;
+          Alcotest.test_case "split one" `Quick engine_split_one;
+          Alcotest.test_case "split lowest" `Quick engine_split_lowest;
+          Alcotest.test_case "split lowest mid-search" `Quick
+            engine_split_lowest_mid_search;
+          Alcotest.test_case "drain top" `Quick engine_drain_top;
+          Alcotest.test_case "depth tracking" `Quick engine_depth_tracking;
+        ] );
+      ( "sequential",
+        [
+          Alcotest.test_case "count" `Quick sequential_count;
+          Alcotest.test_case "max" `Quick sequential_max;
+          Alcotest.test_case "decide" `Quick sequential_decide;
+          Alcotest.test_case "short-circuit" `Quick sequential_shortcircuit_stops;
+          Alcotest.test_case "bound prunes" `Quick sequential_bound_prunes;
+          Alcotest.test_case "other monoid" `Quick enumeration_monoid;
+        ] );
+      ( "knowledge",
+        [
+          Alcotest.test_case "ref store" `Quick knowledge_ref;
+          Alcotest.test_case "atomic store races" `Quick knowledge_atomic_races;
+        ] );
+      ( "ops",
+        [
+          Alcotest.test_case "enum merges views" `Quick ops_enum_merges_views;
+          Alcotest.test_case "decide keep/process" `Quick ops_decide_keep;
+        ] );
+      ("coordination", [ Alcotest.test_case "parsing" `Quick coordination_strings ]);
+      ( "ordered-core",
+        [
+          Alcotest.test_case "paths and selection" `Quick ordered_core_paths;
+          Alcotest.test_case "prefix walk" `Quick ordered_core_prefix;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "export" `Quick dot_export;
+          Alcotest.test_case "truncation + escaping" `Quick dot_truncation;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,81 @@
+module Instances = Yewpar_instances.Instances
+module Sequential = Yewpar_core.Sequential
+
+let registry_integrity () =
+  let all = Instances.all () in
+  Alcotest.(check bool) "non-empty registry" true (List.length all > 20);
+  let names = List.map (fun i -> i.Instances.name) all in
+  Alcotest.(check int) "names unique" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun i ->
+      if
+        not
+          (List.mem i.Instances.app
+             [ "maxclique"; "kclique"; "knapsack"; "tsp"; "sip"; "uts"; "ns" ])
+      then Alcotest.fail ("unknown app tag " ^ i.Instances.app))
+    all
+
+let table1_is_18 () =
+  Alcotest.(check int) "Table 1 has 18 instances" 18 (List.length Instances.table1);
+  Alcotest.(check int) "clique graphs match" 18 (List.length Instances.clique_graphs)
+
+let table2_suites () =
+  let suite = Instances.table2_suite in
+  Alcotest.(check int) "six applications" 6 (List.length suite);
+  List.iter
+    (fun (app, instances) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has instances" app)
+        true
+        (List.length instances >= 3))
+    suite
+
+let find_works () =
+  let i = Instances.find "brock400_1-s" in
+  Alcotest.(check string) "app" "maxclique" i.Instances.app;
+  (match Instances.find "nonexistent" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "find must raise on unknown names")
+
+let figure4_shape () =
+  let _, graph, k = Instances.figure4 in
+  let g = Lazy.force graph in
+  (* The planted clique guarantees satisfiability at k-1 ... *)
+  (match Sequential.search (Yewpar_maxclique.Maxclique.k_clique g ~k:(k - 1)) with
+  | Some node ->
+    Alcotest.(check bool) "witness valid" true
+      (Yewpar_graph.Graph.is_clique g (Yewpar_maxclique.Maxclique.vertices_of node))
+  | None -> Alcotest.fail "figure 4 instance must contain its planted clique")
+
+let packed_problems_run () =
+  (* Every Table 2 instance must at least start: run the cheapest one
+     per app under the sequential skeleton via the packed wrapper.
+     (Full sweeps happen in the benchmark harness.) *)
+  List.iter
+    (fun (app, instances) ->
+      match instances with
+      | [] -> Alcotest.fail (app ^ " suite empty")
+      | inst :: _ -> (
+        match Lazy.force inst.Instances.problem with
+        | Instances.Packed (p, _) ->
+          (* Just forcing the lazy problem checks instance construction. *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s constructs" app inst.Instances.name)
+            true
+            (String.length p.Yewpar_core.Problem.name > 0)))
+    Instances.table2_suite
+
+let () =
+  Alcotest.run "instances"
+    [
+      ( "instances",
+        [
+          Alcotest.test_case "registry integrity" `Quick registry_integrity;
+          Alcotest.test_case "table 1 count" `Quick table1_is_18;
+          Alcotest.test_case "table 2 suites" `Quick table2_suites;
+          Alcotest.test_case "find" `Quick find_works;
+          Alcotest.test_case "figure 4" `Quick figure4_shape;
+          Alcotest.test_case "packed problems" `Quick packed_problems_run;
+        ] );
+    ]

@@ -1,0 +1,155 @@
+module Bitset = Yewpar_bitset.Bitset
+module Graph = Yewpar_graph.Graph
+module Gen = Yewpar_graph.Gen
+module Mc = Yewpar_maxclique.Maxclique
+module Sequential = Yewpar_core.Sequential
+module Problem = Yewpar_core.Problem
+
+(* Exponential reference: maximum clique by plain recursion, no bounds.
+   Only for small graphs. *)
+let brute_force_max_clique g =
+  let n = Graph.n_vertices g in
+  let best = ref 0 in
+  let rec go size candidates =
+    if size > !best then best := size;
+    List.iteri
+      (fun i v ->
+        let candidates' =
+          List.filteri (fun j u -> j > i && Graph.has_edge g u v) candidates
+        in
+        ignore i;
+        go (size + 1) candidates')
+      candidates
+  in
+  ignore n;
+  go 0 (Graph.vertices g);
+  !best
+
+let figure1_max () =
+  let g, name = Gen.figure1 () in
+  let node = Sequential.search (Mc.max_clique g) in
+  Alcotest.(check int) "figure 1 maximum clique size" 4 node.Mc.size;
+  let names = List.map name (Mc.vertices_of node) in
+  Alcotest.(check (list string)) "figure 1 witness" [ "a"; "d"; "f"; "g" ] names;
+  Alcotest.(check bool) "witness is a clique" true
+    (Graph.is_clique g (Mc.vertices_of node))
+
+let figure1_kclique () =
+  let g, _ = Gen.figure1 () in
+  (match Sequential.search (Mc.k_clique g ~k:3) with
+  | Some node ->
+    Alcotest.(check int) "3-clique found" 3 node.Mc.size;
+    Alcotest.(check bool) "3-clique valid" true
+      (Graph.is_clique g (Mc.vertices_of node))
+  | None -> Alcotest.fail "expected a 3-clique");
+  (match Sequential.search (Mc.k_clique g ~k:5) with
+  | Some _ -> Alcotest.fail "no 5-clique exists in figure 1"
+  | None -> ())
+
+let complete_graph () =
+  let g = Gen.complete 9 in
+  let node = Sequential.search (Mc.max_clique g) in
+  Alcotest.(check int) "K9 max clique" 9 node.Mc.size
+
+let empty_graph () =
+  let g = Graph.create 7 in
+  let node = Sequential.search (Mc.max_clique g) in
+  Alcotest.(check int) "edgeless graph" 1 node.Mc.size
+
+let singleton_graph () =
+  let g = Graph.create 1 in
+  let node = Sequential.search (Mc.max_clique g) in
+  Alcotest.(check int) "one vertex" 1 node.Mc.size
+
+let cycle_graph () =
+  let g = Gen.cycle 8 in
+  let node = Sequential.search (Mc.max_clique g) in
+  Alcotest.(check int) "C8 max clique" 2 node.Mc.size
+
+let hidden_clique_found () =
+  let g = Gen.hidden_clique ~seed:7 40 0.3 9 in
+  let node = Sequential.search (Mc.max_clique g) in
+  Alcotest.(check bool) "planted clique recovered" true (node.Mc.size >= 9);
+  Alcotest.(check bool) "witness valid" true
+    (Graph.is_clique g (Mc.vertices_of node))
+
+let colour_order_properties () =
+  let g = Gen.uniform ~seed:3 30 0.5 in
+  let p = Bitset.create 30 in
+  Bitset.fill_upto p 30;
+  let p_vertex, p_colour, n = Mc.colour_order g p in
+  Alcotest.(check int) "all vertices coloured" 30 n;
+  let seen = Hashtbl.create 30 in
+  Array.iteri (fun i v -> if i < n then Hashtbl.replace seen v ()) p_vertex;
+  Alcotest.(check int) "orders a permutation" 30 (Hashtbl.length seen);
+  for i = 1 to n - 1 do
+    if p_colour.(i) < p_colour.(i - 1) then
+      Alcotest.fail "prefix colour counts must be non-decreasing"
+  done;
+  (* A colour count never exceeds the prefix length. *)
+  for i = 0 to n - 1 do
+    if p_colour.(i) > i + 1 then Alcotest.fail "colour count exceeds prefix size"
+  done
+
+let matches_brute_force () =
+  for seed = 0 to 14 do
+    let n = 8 + (seed mod 6) in
+    let g = Gen.uniform ~seed:(100 + seed) n 0.5 in
+    let expected = brute_force_max_clique g in
+    let node = Sequential.search (Mc.max_clique g) in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d agrees with brute force" seed)
+      expected node.Mc.size
+  done
+
+let matches_specialised () =
+  for seed = 0 to 9 do
+    let g = Gen.uniform ~seed:(200 + seed) 30 0.6 in
+    let size, vs = Mc.Specialised.max_clique_size g in
+    let node = Sequential.search (Mc.max_clique g) in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d specialised = skeleton" seed)
+      size node.Mc.size;
+    Alcotest.(check bool) "specialised witness valid" true (Graph.is_clique g vs)
+  done
+
+let bound_admissible () =
+  (* The colouring bound at a node dominates the best clique size
+     reachable in that node's subtree. *)
+  let g = Gen.uniform ~seed:17 18 0.6 in
+  let best_below node =
+    let sub =
+      Problem.maximise ~name:"sub" ~space:g ~root:node ~children:Mc.children
+        ~objective:(fun n -> n.Mc.size) ()
+    in
+    (Sequential.search sub).Mc.size
+  in
+  let rec walk node depth =
+    if depth < 2 then
+      Seq.iter
+        (fun c ->
+          if Mc.upper_bound c < best_below c then
+            Alcotest.fail "upper bound not admissible";
+          walk c (depth + 1))
+        (Mc.children g node)
+  in
+  walk (Mc.root g) 0
+
+let () =
+  Alcotest.run "maxclique"
+    [
+      ( "maxclique",
+        [
+          Alcotest.test_case "figure1 maximum" `Quick figure1_max;
+          Alcotest.test_case "figure1 k-clique" `Quick figure1_kclique;
+          Alcotest.test_case "complete graph" `Quick complete_graph;
+          Alcotest.test_case "empty graph" `Quick empty_graph;
+          Alcotest.test_case "singleton graph" `Quick singleton_graph;
+          Alcotest.test_case "cycle graph" `Quick cycle_graph;
+          Alcotest.test_case "hidden clique" `Quick hidden_clique_found;
+          Alcotest.test_case "colour order" `Quick colour_order_properties;
+          Alcotest.test_case "vs brute force" `Quick matches_brute_force;
+          Alcotest.test_case "vs specialised" `Quick matches_specialised;
+          Alcotest.test_case "bound admissible" `Quick bound_admissible;
+        ] );
+    ]

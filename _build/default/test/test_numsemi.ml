@@ -1,0 +1,116 @@
+module Ns = Yewpar_numsemi.Numsemi
+module Sequential = Yewpar_core.Sequential
+
+let oeis_counts () =
+  (* The decisive validation: counts per genus match OEIS A007323. *)
+  let sp = Ns.space ~gmax:12 in
+  for g = 0 to 12 do
+    let count = Sequential.search (Ns.count_at_genus sp ~g) in
+    Alcotest.(check int) (Printf.sprintf "genus %d" g) Ns.known_counts.(g) count
+  done
+
+let tree_count_is_partial_sums () =
+  let gmax = 10 in
+  let sp = Ns.space ~gmax in
+  let total = Sequential.search (Ns.count_tree sp) in
+  let expected = Array.fold_left ( + ) 0 (Array.sub Ns.known_counts 0 (gmax + 1)) in
+  Alcotest.(check int) "tree size = cumulative counts" expected total
+
+let root_properties () =
+  let sp = Ns.space ~gmax:5 in
+  let r = Ns.root sp in
+  Alcotest.(check int) "genus 0" 0 (Ns.genus r);
+  Alcotest.(check int) "frobenius -1" (-1) (Ns.frobenius r);
+  Alcotest.(check int) "multiplicity 1" 1 (Ns.multiplicity r);
+  Alcotest.(check bool) "0 in N" true (Ns.mem r 0);
+  Alcotest.(check bool) "5 in N" true (Ns.mem r 5);
+  Alcotest.(check (list int)) "only generator of N above F is 1" [ 1 ]
+    (Ns.minimal_generators_above_frobenius sp r)
+
+let children_are_semigroups () =
+  (* Every child must be closed under addition (within the table). *)
+  let sp = Ns.space ~gmax:6 in
+  let closed node bound =
+    let ok = ref true in
+    for a = 1 to bound do
+      for b = a to bound - a do
+        if Ns.mem node a && Ns.mem node b && a + b <= bound && not (Ns.mem node (a + b))
+        then ok := false
+      done
+    done;
+    !ok
+  in
+  let rec walk node depth =
+    Alcotest.(check bool) "closed under addition" true (closed node 18);
+    if depth < 4 then Seq.iter (fun c -> walk c (depth + 1)) (Ns.children sp node)
+  in
+  walk (Ns.root sp) 0
+
+let child_invariants () =
+  let sp = Ns.space ~gmax:6 in
+  let rec walk node depth =
+    Seq.iter
+      (fun c ->
+        Alcotest.(check int) "genus increments" (Ns.genus node + 1) (Ns.genus c);
+        Alcotest.(check bool) "frobenius grows" true (Ns.frobenius c > Ns.frobenius node);
+        Alcotest.(check bool) "frobenius is a gap" false (Ns.mem c (Ns.frobenius c));
+        Alcotest.(check bool) "multiplicity member" true (Ns.mem c (Ns.multiplicity c));
+        if depth < 3 then walk c (depth + 1))
+      (Ns.children sp node)
+  in
+  walk (Ns.root sp) 0
+
+let genus_limit_respected () =
+  let sp = Ns.space ~gmax:3 in
+  let rec deepest node =
+    Seq.fold_left (fun acc c -> max acc (deepest c)) (Ns.genus node)
+      (Ns.children sp node)
+  in
+  Alcotest.(check int) "no node beyond gmax" 3 (deepest (Ns.root sp));
+  Alcotest.check_raises "count beyond gmax rejected"
+    (Invalid_argument "Numsemi.count_at_genus: beyond gmax") (fun () ->
+      ignore (Ns.count_at_genus sp ~g:4))
+
+let histogram_matches_oeis () =
+  let gmax = 11 in
+  let sp = Ns.space ~gmax in
+  let hist = Sequential.search (Ns.genus_histogram sp) in
+  Alcotest.(check int) "histogram length" (gmax + 1) (Array.length hist);
+  for g = 0 to gmax do
+    Alcotest.(check int) (Printf.sprintf "histogram genus %d" g)
+      Ns.known_counts.(g) hist.(g)
+  done
+
+let histogram_parallel () =
+  (* The array monoid must merge correctly across workers. *)
+  let sp = Ns.space ~gmax:10 in
+  let expected = Sequential.search (Ns.genus_histogram sp) in
+  let got, _ =
+    Yewpar_sim.Sim.run
+      ~topology:(Yewpar_sim.Config.topology ~localities:2 ~workers:4)
+      ~coordination:(Yewpar_core.Coordination.Budget { budget = 25 })
+      (Ns.genus_histogram sp)
+  in
+  Alcotest.(check (array int)) "parallel histogram" expected got
+
+let negative_gmax () =
+  Alcotest.check_raises "negative gmax"
+    (Invalid_argument "Numsemi.space: negative genus limit") (fun () ->
+      ignore (Ns.space ~gmax:(-1)))
+
+let () =
+  Alcotest.run "numsemi"
+    [
+      ( "numsemi",
+        [
+          Alcotest.test_case "OEIS A007323 counts" `Quick oeis_counts;
+          Alcotest.test_case "tree count" `Quick tree_count_is_partial_sums;
+          Alcotest.test_case "root" `Quick root_properties;
+          Alcotest.test_case "closure" `Quick children_are_semigroups;
+          Alcotest.test_case "child invariants" `Quick child_invariants;
+          Alcotest.test_case "genus limit" `Quick genus_limit_respected;
+          Alcotest.test_case "negative gmax" `Quick negative_gmax;
+          Alcotest.test_case "genus histogram" `Quick histogram_matches_oeis;
+          Alcotest.test_case "parallel histogram" `Quick histogram_parallel;
+        ] );
+    ]

@@ -1,0 +1,84 @@
+module Q = Yewpar_queens.Queens
+module Sequential = Yewpar_core.Sequential
+module Coordination = Yewpar_core.Coordination
+module Sim = Yewpar_sim.Sim
+module Config = Yewpar_sim.Config
+module Shm = Yewpar_par.Shm
+
+let known_counts () =
+  (* OEIS A000170 up to n = 10. *)
+  for n = 1 to 10 do
+    let count = Sequential.search (Q.count_solutions (Q.instance ~n)) in
+    Alcotest.(check int) (Printf.sprintf "%d-queens count" n)
+      Q.known_counts.(n - 1) count
+  done
+
+let decision_witnesses () =
+  (* Solvable exactly when n = 1 or n >= 4. *)
+  for n = 1 to 9 do
+    let inst = Q.instance ~n in
+    match Sequential.search (Q.find_placement inst) with
+    | Some node ->
+      if not (n = 1 || n >= 4) then
+        Alcotest.fail (Printf.sprintf "%d-queens should be unsolvable" n);
+      let cols = Q.placement_of inst node in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d-queens witness valid" n)
+        true (Q.is_valid_placement inst cols)
+    | None ->
+      if n = 1 || n >= 4 then
+        Alcotest.fail (Printf.sprintf "%d-queens should be solvable" n)
+  done
+
+let validator () =
+  let inst = Q.instance ~n:4 in
+  Alcotest.(check bool) "known solution" true (Q.is_valid_placement inst [| 1; 3; 0; 2 |]);
+  Alcotest.(check bool) "column clash" false (Q.is_valid_placement inst [| 1; 1; 0; 2 |]);
+  Alcotest.(check bool) "diagonal clash" false
+    (Q.is_valid_placement inst [| 0; 1; 3; 2 |]);
+  Alcotest.(check bool) "wrong arity" false (Q.is_valid_placement inst [| 1; 3; 0 |]);
+  Alcotest.(check bool) "out of range" false (Q.is_valid_placement inst [| 1; 3; 0; 4 |])
+
+let bounds_checked () =
+  Alcotest.check_raises "n too small" (Invalid_argument "Queens.instance: n must be in 1..30")
+    (fun () -> ignore (Q.instance ~n:0));
+  Alcotest.check_raises "n too large" (Invalid_argument "Queens.instance: n must be in 1..30")
+    (fun () -> ignore (Q.instance ~n:31));
+  let inst = Q.instance ~n:5 in
+  Alcotest.check_raises "partial placement"
+    (Invalid_argument "Queens.placement_of: partial placement") (fun () ->
+      ignore (Q.placement_of inst (Q.root inst)))
+
+let parallel_agreement () =
+  let inst = Q.instance ~n:9 in
+  let expected = Sequential.search (Q.count_solutions inst) in
+  List.iter
+    (fun coordination ->
+      let via_sim, _ =
+        Sim.run
+          ~topology:(Config.topology ~localities:2 ~workers:4)
+          ~coordination (Q.count_solutions inst)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "sim count (%s)" (Coordination.to_string coordination))
+        expected via_sim;
+      let via_shm = Shm.run ~workers:3 ~coordination (Q.count_solutions inst) in
+      Alcotest.(check int)
+        (Printf.sprintf "shm count (%s)" (Coordination.to_string coordination))
+        expected via_shm)
+    [ Coordination.Depth_bounded { dcutoff = 2 };
+      Coordination.Stack_stealing { chunked = true };
+      Coordination.Budget { budget = 100 } ]
+
+let () =
+  Alcotest.run "queens"
+    [
+      ( "queens",
+        [
+          Alcotest.test_case "OEIS counts" `Quick known_counts;
+          Alcotest.test_case "decision witnesses" `Quick decision_witnesses;
+          Alcotest.test_case "validator" `Quick validator;
+          Alcotest.test_case "bounds" `Quick bounds_checked;
+          Alcotest.test_case "parallel agreement" `Quick parallel_agreement;
+        ] );
+    ]

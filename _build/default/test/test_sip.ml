@@ -1,0 +1,112 @@
+module Sip = Yewpar_sip.Sip
+module Graph = Yewpar_graph.Graph
+module Gen = Yewpar_graph.Gen
+module Sequential = Yewpar_core.Sequential
+
+let triangle_in_k4 () =
+  let inst = Sip.instance ~pattern:(Gen.complete 3) ~target:(Gen.complete 4) in
+  match Sequential.search (Sip.problem inst) with
+  | Some node ->
+    let emb = Sip.embedding_of inst node in
+    Alcotest.(check bool) "embedding valid" true (Sip.check_embedding inst emb)
+  | None -> Alcotest.fail "triangle must embed in K4"
+
+let triangle_not_in_cycle () =
+  let inst = Sip.instance ~pattern:(Gen.complete 3) ~target:(Gen.cycle 6) in
+  match Sequential.search (Sip.problem inst) with
+  | Some _ -> Alcotest.fail "C6 is triangle-free"
+  | None -> ()
+
+let path_in_cycle () =
+  (* A 3-path embeds in any long-enough cycle. *)
+  let pattern = Graph.create 3 in
+  Graph.add_edge pattern 0 1;
+  Graph.add_edge pattern 1 2;
+  let inst = Sip.instance ~pattern ~target:(Gen.cycle 5) in
+  match Sequential.search (Sip.problem inst) with
+  | Some node ->
+    Alcotest.(check bool) "valid" true
+      (Sip.check_embedding inst (Sip.embedding_of inst node))
+  | None -> Alcotest.fail "path must embed in cycle"
+
+let cycle_in_path_fails () =
+  (* C4 does not embed (non-induced) into a 4-path. *)
+  let path = Graph.create 4 in
+  Graph.add_edge path 0 1;
+  Graph.add_edge path 1 2;
+  Graph.add_edge path 2 3;
+  let inst = Sip.instance ~pattern:(Gen.cycle 4) ~target:path in
+  match Sequential.search (Sip.problem inst) with
+  | Some _ -> Alcotest.fail "C4 cannot embed in P4"
+  | None -> ()
+
+let self_embedding () =
+  let g = Gen.uniform ~seed:61 12 0.4 in
+  let inst = Sip.instance ~pattern:g ~target:g in
+  match Sequential.search (Sip.problem inst) with
+  | Some node ->
+    Alcotest.(check bool) "identity-like embedding valid" true
+      (Sip.check_embedding inst (Sip.embedding_of inst node))
+  | None -> Alcotest.fail "a graph embeds in itself"
+
+let guaranteed_sat_pairs () =
+  for seed = 0 to 7 do
+    let pattern, target =
+      Gen.pattern_in_target ~seed:(70 + seed) ~target_n:18 ~target_p:0.4 ~pattern_n:6
+        ~sat:true
+    in
+    let inst = Sip.instance ~pattern ~target in
+    match Sequential.search (Sip.problem inst) with
+    | Some node ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sat pair %d valid" seed)
+        true
+        (Sip.check_embedding inst (Sip.embedding_of inst node))
+    | None -> Alcotest.fail (Printf.sprintf "induced pattern %d must embed" seed)
+  done
+
+let matches_brute_force () =
+  for seed = 0 to 11 do
+    let pattern = Gen.uniform ~seed:(80 + seed) 5 0.5 in
+    let target = Gen.uniform ~seed:(90 + seed) 9 0.4 in
+    let inst = Sip.instance ~pattern ~target in
+    let expected = Sip.brute_force inst in
+    let got = Sequential.search (Sip.problem inst) <> None in
+    Alcotest.(check bool) (Printf.sprintf "seed %d agrees" seed) expected got
+  done
+
+let validation () =
+  Alcotest.check_raises "empty pattern" (Invalid_argument "Sip.instance: empty pattern")
+    (fun () -> ignore (Sip.instance ~pattern:(Graph.create 0) ~target:(Gen.complete 3)));
+  Alcotest.check_raises "oversized pattern"
+    (Invalid_argument "Sip.instance: pattern larger than target") (fun () ->
+      ignore (Sip.instance ~pattern:(Gen.complete 4) ~target:(Gen.complete 3)))
+
+let embedding_checker () =
+  let inst = Sip.instance ~pattern:(Gen.complete 3) ~target:(Gen.complete 4) in
+  Alcotest.(check bool) "valid embedding accepted" true
+    (Sip.check_embedding inst [ (0, 1); (1, 2); (2, 3) ]);
+  Alcotest.(check bool) "non-injective rejected" false
+    (Sip.check_embedding inst [ (0, 1); (1, 1); (2, 3) ]);
+  Alcotest.(check bool) "wrong arity rejected" false
+    (Sip.check_embedding inst [ (0, 1) ]);
+  let inst2 = Sip.instance ~pattern:(Gen.complete 3) ~target:(Gen.cycle 5) in
+  Alcotest.(check bool) "edge-breaking rejected" false
+    (Sip.check_embedding inst2 [ (0, 0); (1, 1); (2, 2) ])
+
+let () =
+  Alcotest.run "sip"
+    [
+      ( "sip",
+        [
+          Alcotest.test_case "triangle in K4" `Quick triangle_in_k4;
+          Alcotest.test_case "triangle-free" `Quick triangle_not_in_cycle;
+          Alcotest.test_case "path in cycle" `Quick path_in_cycle;
+          Alcotest.test_case "cycle in path" `Quick cycle_in_path_fails;
+          Alcotest.test_case "self embedding" `Quick self_embedding;
+          Alcotest.test_case "sat pairs" `Quick guaranteed_sat_pairs;
+          Alcotest.test_case "vs brute force" `Quick matches_brute_force;
+          Alcotest.test_case "validation" `Quick validation;
+          Alcotest.test_case "embedding checker" `Quick embedding_checker;
+        ] );
+    ]

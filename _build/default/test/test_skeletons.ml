@@ -1,0 +1,124 @@
+(* Integration matrix: the paper's 12 skeletons (4 coordinations × 3
+   search types) on both runtimes (simulated cluster and shared-memory
+   domains), across applications, all agreeing with the sequential
+   skeleton. *)
+
+module Sim = Yewpar_sim.Sim
+module Config = Yewpar_sim.Config
+module Shm = Yewpar_par.Shm
+module Sequential = Yewpar_core.Sequential
+module Coordination = Yewpar_core.Coordination
+module Mc = Yewpar_maxclique.Maxclique
+module K = Yewpar_knapsack.Knapsack
+module T = Yewpar_tsp.Tsp
+module Sip = Yewpar_sip.Sip
+module Uts = Yewpar_uts.Uts
+module Ns = Yewpar_numsemi.Numsemi
+module Gen = Yewpar_graph.Gen
+
+let coordinations =
+  [
+    Coordination.Sequential;
+    Coordination.Depth_bounded { dcutoff = 2 };
+    Coordination.Stack_stealing { chunked = false };
+    Coordination.Stack_stealing { chunked = true };
+    Coordination.Budget { budget = 30 };
+    Coordination.Best_first { dcutoff = 2 };
+    Coordination.Random_spawn { mean_interval = 16 };
+  ]
+
+let topology = Config.topology ~localities:2 ~workers:3
+
+(* Run a problem through every skeleton on both runtimes and check the
+   extracted result value against the sequential skeleton's. *)
+let check_all ~msg extract problem =
+  let expected = extract (Sequential.search problem) in
+  List.iter
+    (fun coordination ->
+      let via_sim, _ = Sim.run ~topology ~coordination problem in
+      Alcotest.(check int)
+        (Printf.sprintf "%s / sim / %s" msg (Coordination.to_string coordination))
+        expected (extract via_sim);
+      let via_shm = Shm.run ~workers:3 ~coordination problem in
+      Alcotest.(check int)
+        (Printf.sprintf "%s / shm / %s" msg (Coordination.to_string coordination))
+        expected (extract via_shm))
+    coordinations
+
+(* Enumeration skeletons. *)
+
+let uts_skeletons () =
+  let p = Uts.count_problem { Uts.b0 = 25; q = 0.21; m = 4; max_depth = 80; seed = 11 } in
+  check_all ~msg:"uts-count" Fun.id p
+
+let ns_skeletons () =
+  let sp = Ns.space ~gmax:9 in
+  check_all ~msg:"ns-tree" Fun.id (Ns.count_tree sp);
+  check_all ~msg:"ns-genus" Fun.id (Ns.count_at_genus sp ~g:9)
+
+(* Optimisation skeletons. *)
+
+let maxclique_skeletons () =
+  let g = Gen.two_level ~seed:55 32 0.3 0.9 in
+  check_all ~msg:"maxclique" (fun n -> n.Mc.size) (Mc.max_clique g)
+
+let knapsack_skeletons () =
+  let inst = K.Generate.strongly_correlated ~seed:56 ~n:15 ~max_value:80 in
+  check_all ~msg:"knapsack" (fun n -> n.K.profit) (K.problem inst)
+
+let tsp_skeletons () =
+  let inst = T.random_euclidean ~seed:57 ~n:9 ~size:60 in
+  check_all ~msg:"tsp" (T.closed_length inst) (T.problem inst)
+
+(* Decision skeletons: witnesses may differ, existence must not. *)
+
+let kclique_skeletons () =
+  let g = Gen.hidden_clique ~seed:58 30 0.35 7 in
+  let as_int = function
+    | Some node ->
+      if Yewpar_graph.Graph.is_clique g (Mc.vertices_of node) then node.Mc.size else -1
+    | None -> 0
+  in
+  check_all ~msg:"kclique-sat" as_int (Mc.k_clique g ~k:7);
+  check_all ~msg:"kclique-unsat" (function Some _ -> 1 | None -> 0)
+    (Mc.k_clique g ~k:18)
+
+let sip_skeletons () =
+  let pattern, target =
+    Gen.pattern_in_target ~seed:59 ~target_n:16 ~target_p:0.45 ~pattern_n:6 ~sat:true
+  in
+  let inst = Sip.instance ~pattern ~target in
+  let valid = function
+    | Some node -> if Sip.check_embedding inst (Sip.embedding_of inst node) then 1 else -1
+    | None -> 0
+  in
+  check_all ~msg:"sip-sat" valid (Sip.problem inst);
+  let pattern2, target2 =
+    Gen.pattern_in_target ~seed:60 ~target_n:14 ~target_p:0.25 ~pattern_n:8 ~sat:false
+  in
+  (match Sip.brute_force (Sip.instance ~pattern:pattern2 ~target:target2) with
+  | true -> () (* rare: the random pattern embeds anyway; skip the unsat check *)
+  | false ->
+    check_all ~msg:"sip-unsat" (function Some _ -> 1 | None -> 0)
+      (Sip.problem (Sip.instance ~pattern:pattern2 ~target:target2)))
+
+let () =
+  Alcotest.run "skeletons"
+    [
+      ( "enumeration",
+        [
+          Alcotest.test_case "uts" `Quick uts_skeletons;
+          Alcotest.test_case "numerical semigroups" `Quick ns_skeletons;
+        ] );
+      ( "optimisation",
+        [
+          Alcotest.test_case "maxclique" `Quick maxclique_skeletons;
+          Alcotest.test_case "knapsack" `Quick knapsack_skeletons;
+          Alcotest.test_case "tsp" `Quick tsp_skeletons;
+        ] );
+      ( "decision",
+        [
+          Alcotest.test_case "k-clique" `Quick kclique_skeletons;
+          Alcotest.test_case "sip" `Quick sip_skeletons;
+        ] );
+    ]

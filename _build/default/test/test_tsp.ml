@@ -1,0 +1,174 @@
+module T = Yewpar_tsp.Tsp
+module Tsplib = Yewpar_tsp.Tsplib
+module Sequential = Yewpar_core.Sequential
+module Problem = Yewpar_core.Problem
+
+let square =
+  (* Four corners of a unit square scaled by 10: optimal tour 40. *)
+  T.of_matrix
+    [|
+      [| 0; 10; 14; 10 |];
+      [| 10; 0; 10; 14 |];
+      [| 14; 10; 0; 10 |];
+      [| 10; 14; 10; 0 |];
+    |]
+
+let square_tour () =
+  let node = Sequential.search (T.problem square) in
+  Alcotest.(check bool) "complete" true (T.is_complete square node);
+  Alcotest.(check int) "optimal square tour" 40 (T.closed_length square node);
+  let tour = T.tour_of square node in
+  Alcotest.(check int) "visits all cities" 4 (List.length tour);
+  Alcotest.(check int) "starts at 0" 0 (List.hd tour);
+  Alcotest.(check (list int)) "is a permutation" [ 0; 1; 2; 3 ]
+    (List.sort compare tour)
+
+let matches_held_karp () =
+  for seed = 0 to 7 do
+    let inst = T.random_euclidean ~seed:(900 + seed) ~n:9 ~size:100 in
+    let expected = T.exact_held_karp inst in
+    let node = Sequential.search (T.problem inst) in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d optimal" seed)
+      expected
+      (T.closed_length inst node)
+  done
+
+let trivial_sizes () =
+  let one = T.of_matrix [| [| 0 |] |] in
+  let node = Sequential.search (T.problem one) in
+  Alcotest.(check int) "single city" 0 (T.closed_length one node);
+  Alcotest.(check int) "held-karp single" 0 (T.exact_held_karp one);
+  let two = T.of_matrix [| [| 0; 7 |]; [| 7; 0 |] |] in
+  let node = Sequential.search (T.problem two) in
+  Alcotest.(check int) "two cities" 14 (T.closed_length two node);
+  Alcotest.(check int) "held-karp two" 14 (T.exact_held_karp two)
+
+let matrix_validation () =
+  let expect msg m =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () -> ignore (T.of_matrix m))
+  in
+  expect "Tsp.of_matrix: empty matrix" [||];
+  expect "Tsp.of_matrix: not square" [| [| 0; 1 |] |];
+  expect "Tsp.of_matrix: negative distance" [| [| 0; -1 |]; [| -1; 0 |] |];
+  expect "Tsp.of_matrix: non-zero diagonal" [| [| 1; 2 |]; [| 2; 0 |] |];
+  expect "Tsp.of_matrix: not symmetric" [| [| 0; 1 |]; [| 2; 0 |] |]
+
+let children_nearest_first () =
+  let inst =
+    T.of_matrix
+      [|
+        [| 0; 5; 2; 9 |];
+        [| 5; 0; 4; 4 |];
+        [| 2; 4; 0; 3 |];
+        [| 9; 4; 3; 0 |];
+      |]
+  in
+  let root = T.root inst in
+  let firsts = List.of_seq (Seq.map (fun n -> n.T.last) (T.children inst root)) in
+  Alcotest.(check (list int)) "ordered by distance from 0" [ 2; 1; 3 ] firsts
+
+let bound_admissible () =
+  let inst = T.random_euclidean ~seed:77 ~n:8 ~size:50 in
+  let best_below node =
+    let sub =
+      Problem.maximise ~name:"sub" ~space:inst ~root:node ~children:T.children
+        ~objective:(T.objective inst) ()
+    in
+    T.objective inst (Sequential.search sub)
+  in
+  let rec walk node depth =
+    let bound = -(node.T.length + T.lower_bound_remaining inst node) in
+    (* Only compare when the subtree actually contains a complete tour. *)
+    let best = best_below node in
+    if best > bound then Alcotest.fail "tsp lower bound not admissible";
+    if depth < 2 then Seq.iter (fun c -> walk c (depth + 1)) (T.children inst node)
+  in
+  walk (T.root inst) 0
+
+let incomplete_tour_rejected () =
+  let root = T.root square in
+  Alcotest.check_raises "tour_of incomplete"
+    (Invalid_argument "Tsp.tour_of: incomplete tour") (fun () ->
+      ignore (T.tour_of square root))
+
+let pruning_reduces_work () =
+  let inst = T.random_euclidean ~seed:12 ~n:10 ~size:100 in
+  let with_bound = T.problem inst in
+  let without_bound =
+    Problem.maximise ~name:"tsp-nobound" ~space:inst ~root:(T.root inst)
+      ~children:T.children ~objective:(T.objective inst) ()
+  in
+  let _, s1 = Sequential.search_with_stats with_bound in
+  let _, s2 = Sequential.search_with_stats without_bound in
+  Alcotest.(check bool) "bound explores fewer nodes" true
+    (s1.Yewpar_core.Stats.nodes < s2.Yewpar_core.Stats.nodes)
+
+let decision_variant () =
+  let inst = T.random_euclidean ~seed:88 ~n:9 ~size:100 in
+  let optimum = T.exact_held_karp inst in
+  (match Sequential.search (T.decision inst ~max_length:optimum) with
+  | Some node ->
+    Alcotest.(check bool) "tour within limit" true
+      (T.closed_length inst node <= optimum)
+  | None -> Alcotest.fail "optimal length must be achievable");
+  match Sequential.search (T.decision inst ~max_length:(optimum - 1)) with
+  | Some _ -> Alcotest.fail "nothing shorter than the optimum"
+  | None -> ()
+
+let tsplib_roundtrip () =
+  let pts = [| (0., 0.); (30., 0.); (30., 40.); (0., 40.) |] in
+  let text = Tsplib.to_string ~name:"square" pts in
+  let inst = Tsplib.parse_string text in
+  Alcotest.(check int) "dimension" 4 (T.n_cities inst);
+  Alcotest.(check int) "distance 0-1" 30 (T.distance inst 0 1);
+  Alcotest.(check int) "diagonal distance" 50 (T.distance inst 0 2);
+  let node = Sequential.search (T.problem inst) in
+  Alcotest.(check int) "rectangle tour" 140 (T.closed_length inst node)
+
+let tsplib_real_format () =
+  let text =
+    "NAME : tiny5\nCOMMENT : hand written\nTYPE : TSP\nDIMENSION : 5\n\
+     EDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n\
+     1 0 0\n2 10 0\n3 10 10\n4 0 10\n5 5 5\nEOF\n"
+  in
+  let inst = Tsplib.parse_string text in
+  Alcotest.(check int) "five cities" 5 (T.n_cities inst);
+  let node = Sequential.search (T.problem inst) in
+  Alcotest.(check int) "optimal with centre city"
+    (T.exact_held_karp inst) (T.closed_length inst node)
+
+let tsplib_errors () =
+  let expect s =
+    match Tsplib.parse_string s with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail "expected parse failure"
+  in
+  expect "";
+  expect "DIMENSION : 2\nNODE_COORD_SECTION\n1 0 0\n2 1 1\n";
+  (* missing EDGE_WEIGHT_TYPE *)
+  expect "DIMENSION : 2\nEDGE_WEIGHT_TYPE : EXPLICIT\nNODE_COORD_SECTION\n";
+  expect "EDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n1 0 0\n";
+  (* missing DIMENSION *)
+  expect "DIMENSION : 2\nEDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n1 0 0\nEOF\n"
+  (* missing node 2 *)
+
+let () =
+  Alcotest.run "tsp"
+    [
+      ( "tsp",
+        [
+          Alcotest.test_case "square" `Quick square_tour;
+          Alcotest.test_case "vs held-karp" `Quick matches_held_karp;
+          Alcotest.test_case "trivial sizes" `Quick trivial_sizes;
+          Alcotest.test_case "validation" `Quick matrix_validation;
+          Alcotest.test_case "heuristic order" `Quick children_nearest_first;
+          Alcotest.test_case "bound admissible" `Quick bound_admissible;
+          Alcotest.test_case "incomplete tour" `Quick incomplete_tour_rejected;
+          Alcotest.test_case "pruning effective" `Quick pruning_reduces_work;
+          Alcotest.test_case "decision variant" `Quick decision_variant;
+          Alcotest.test_case "tsplib roundtrip" `Quick tsplib_roundtrip;
+          Alcotest.test_case "tsplib format" `Quick tsplib_real_format;
+          Alcotest.test_case "tsplib errors" `Quick tsplib_errors;
+        ] );
+    ]

@@ -1,0 +1,135 @@
+module Workpool = Yewpar_core.Workpool
+
+let depth_policy_order () =
+  let p = Workpool.create () in
+  Alcotest.(check bool) "fresh empty" true (Workpool.is_empty p);
+  Workpool.push p ~depth:1 "a1";
+  Workpool.push p ~depth:3 "c1";
+  Workpool.push p ~depth:3 "c2";
+  Workpool.push p ~depth:0 "r";
+  Workpool.push p ~depth:1 "a2";
+  Alcotest.(check int) "size" 5 (Workpool.size p);
+  (* Local pops: deepest first, FIFO within a depth. *)
+  Alcotest.(check (option string)) "deepest" (Some "c1") (Workpool.pop_local p);
+  Alcotest.(check (option string)) "fifo within depth" (Some "c2") (Workpool.pop_local p);
+  (* Steals: shallowest first. *)
+  Alcotest.(check (option string)) "shallowest" (Some "r") (Workpool.pop_steal p);
+  Alcotest.(check (option string)) "next shallowest" (Some "a1") (Workpool.pop_steal p);
+  Alcotest.(check (option string)) "last" (Some "a2") (Workpool.pop_local p);
+  Alcotest.(check (option string)) "empty local" None (Workpool.pop_local p);
+  Alcotest.(check (option string)) "empty steal" None (Workpool.pop_steal p)
+
+let fifo_policy_order () =
+  let p = Workpool.create ~policy:Workpool.Fifo () in
+  Workpool.push p ~depth:5 "x";
+  Workpool.push p ~depth:0 "y";
+  Workpool.push p ~depth:9 "z";
+  Alcotest.(check (option string)) "fifo ignores depth 1" (Some "x") (Workpool.pop_local p);
+  Alcotest.(check (option string)) "fifo ignores depth 2" (Some "y") (Workpool.pop_steal p);
+  Alcotest.(check (option string)) "fifo ignores depth 3" (Some "z") (Workpool.pop_local p)
+
+let priority_policy_order () =
+  let p = Workpool.create ~policy:Workpool.Priority () in
+  Workpool.push p ~depth:0 ~priority:5 "mid1";
+  Workpool.push p ~depth:3 ~priority:9 "hi";
+  Workpool.push p ~depth:1 ~priority:(-2) "lo";
+  Workpool.push p ~depth:2 ~priority:5 "mid2";
+  Alcotest.(check (option string)) "highest priority" (Some "hi") (Workpool.pop_local p);
+  Alcotest.(check (option string)) "fifo among equals" (Some "mid1") (Workpool.pop_local p);
+  Alcotest.(check (option string)) "steal uses priority too" (Some "mid2")
+    (Workpool.pop_steal p);
+  Alcotest.(check (option string)) "negative priorities fine" (Some "lo")
+    (Workpool.pop_local p)
+
+let interleaved_operations () =
+  let p = Workpool.create () in
+  Workpool.push p ~depth:2 1;
+  Alcotest.(check (option int)) "pop" (Some 1) (Workpool.pop_local p);
+  Workpool.push p ~depth:4 2;
+  Workpool.push p ~depth:1 3;
+  Alcotest.(check (option int)) "deep after refill" (Some 2) (Workpool.pop_local p);
+  Workpool.push p ~depth:6 4;
+  Alcotest.(check (option int)) "bounds recover upward" (Some 4) (Workpool.pop_local p);
+  Alcotest.(check (option int)) "steal last" (Some 3) (Workpool.pop_steal p);
+  Alcotest.(check bool) "empty again" true (Workpool.is_empty p)
+
+let negative_depth_rejected () =
+  let p = Workpool.create () in
+  Alcotest.check_raises "negative depth"
+    (Invalid_argument "Workpool.push: negative depth") (fun () ->
+      Workpool.push p ~depth:(-1) "bad")
+
+(* Property: the depth pool conserves elements and pop_local always
+   returns a maximal-depth element among those present. *)
+let prop_depth_pool_model =
+  QCheck.Test.make ~name:"depth pool pops maximal depths" ~count:300
+    QCheck.(list (pair (int_bound 20) bool))
+    (fun ops ->
+      let p = Workpool.create () in
+      let model = ref [] in
+      (* model: multiset of (depth, id) in insertion order *)
+      let id = ref 0 in
+      List.for_all
+        (fun (depth, is_push) ->
+          if is_push then begin
+            incr id;
+            Workpool.push p ~depth !id;
+            model := !model @ [ (depth, !id) ];
+            true
+          end
+          else
+            match Workpool.pop_local p with
+            | None -> !model = []
+            | Some got ->
+              let max_d = List.fold_left (fun a (d, _) -> max a d) (-1) !model in
+              (* first inserted element at the maximal depth *)
+              let expect =
+                List.find_map (fun (d, v) -> if d = max_d then Some v else None) !model
+              in
+              model := List.filter (fun (_, v) -> v <> got) !model;
+              Some got = expect)
+        ops
+      && Workpool.size p = List.length !model)
+
+let prop_priority_pool_model =
+  QCheck.Test.make ~name:"priority pool pops maximal priority" ~count:300
+    QCheck.(list (pair (int_range (-10) 10) bool))
+    (fun ops ->
+      let p = Workpool.create ~policy:Workpool.Priority () in
+      let model = ref [] in
+      let id = ref 0 in
+      List.for_all
+        (fun (prio, is_push) ->
+          if is_push then begin
+            incr id;
+            Workpool.push p ~depth:0 ~priority:prio !id;
+            model := !model @ [ (prio, !id) ];
+            true
+          end
+          else
+            match Workpool.pop_local p with
+            | None -> !model = []
+            | Some got ->
+              let max_p = List.fold_left (fun a (d, _) -> max a d) min_int !model in
+              let expect =
+                List.find_map (fun (d, v) -> if d = max_p then Some v else None) !model
+              in
+              model := List.filter (fun (_, v) -> v <> got) !model;
+              Some got = expect)
+        ops)
+
+let () =
+  Alcotest.run "workpool"
+    [
+      ( "policies",
+        [
+          Alcotest.test_case "depth" `Quick depth_policy_order;
+          Alcotest.test_case "fifo" `Quick fifo_policy_order;
+          Alcotest.test_case "priority" `Quick priority_policy_order;
+          Alcotest.test_case "interleaved" `Quick interleaved_operations;
+          Alcotest.test_case "negative depth" `Quick negative_depth_rejected;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_depth_pool_model; prop_priority_pool_model ] );
+    ]
