@@ -15,6 +15,7 @@ module Sim = Yewpar_sim.Sim
 module Sim_config = Yewpar_sim.Config
 module Metrics = Yewpar_sim.Metrics
 module Shm = Yewpar_par.Shm
+module Dist = Yewpar_dist.Dist
 module Mc = Yewpar_maxclique.Maxclique
 
 open Cmdliner
@@ -24,18 +25,20 @@ let wall f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-type runtime = Rt_seq | Rt_sim | Rt_shm
+type runtime = Rt_seq | Rt_sim | Rt_shm | Rt_dist
 
 let runtime_conv =
   let parse = function
     | "seq" -> Ok Rt_seq
     | "sim" -> Ok Rt_sim
     | "shm" -> Ok Rt_shm
-    | s -> Error (`Msg (Printf.sprintf "unknown runtime %S (seq|sim|shm)" s))
+    | "dist" -> Ok Rt_dist
+    | s -> Error (`Msg (Printf.sprintf "unknown runtime %S (seq|sim|shm|dist)" s))
   in
   Arg.conv (parse, fun ppf r ->
       Format.pp_print_string ppf
-        (match r with Rt_seq -> "seq" | Rt_sim -> "sim" | Rt_shm -> "shm"))
+        (match r with
+        | Rt_seq -> "seq" | Rt_sim -> "sim" | Rt_shm -> "shm" | Rt_dist -> "dist"))
 
 let coordination_conv =
   let parse s = Result.map_error (fun e -> `Msg e) (Coordination.of_string s) in
@@ -52,16 +55,17 @@ let runtime_arg =
   Arg.(value & opt runtime_conv Rt_sim
        & info [ "runtime"; "r" ] ~docv:"RT"
            ~doc:"Execution runtime: seq (sequential skeleton), sim (simulated \
-                 cluster), shm (OCaml domains).")
+                 cluster), shm (OCaml domains), dist (multi-process localities).")
 
 let localities_arg =
   Arg.(value & opt int 1
-       & info [ "localities"; "l" ] ~docv:"N" ~doc:"Simulated localities (sim only).")
+       & info [ "localities"; "l" ] ~docv:"N"
+           ~doc:"Localities: simulated (sim) or real worker processes (dist).")
 
 let workers_arg =
   Arg.(value & opt int 15
        & info [ "workers"; "w" ] ~docv:"N"
-           ~doc:"Workers per locality (sim) or total domains (shm).")
+           ~doc:"Workers per locality (sim, dist) or total domains (shm).")
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler seed (sim only).")
@@ -89,6 +93,23 @@ let execute ~runtime ~coordination ~localities ~workers ~seed ?trace_csv
     Printf.printf "result:   %s\n" (show result);
     Format.printf "stats:    %a@." Stats.pp stats;
     Printf.printf "walltime: %.3fs (%d domains)\n" elapsed workers
+  | Rt_dist ->
+    let stats = Stats.create () in
+    let broadcasts = ref 0 in
+    let result, elapsed =
+      match
+        wall (fun () ->
+            Dist.run ~stats ~broadcasts ~localities ~workers ~coordination p)
+      with
+      | r -> r
+      | exception Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    Printf.printf "result:   %s\n" (show result);
+    Format.printf "stats:    %a broadcasts=%d@." Stats.pp stats !broadcasts;
+    Printf.printf "walltime: %.3fs (%d localities x %d workers)\n" elapsed
+      localities workers
   | Rt_sim ->
     let topology = Sim_config.topology ~localities ~workers in
     let trace = Option.map (fun _ -> Yewpar_sim.Trace.create ()) trace_csv in

@@ -29,7 +29,7 @@ let () =
      Generator plus a search type. *)
   let count =
     Problem.count_nodes ~name:"cliques" ~space:graph ~root:(Mc.root graph)
-      ~children:Mc.children
+      ~children:Mc.children ()
   in
   Printf.printf "Enumeration: the tree has %d nodes (all cliques + root)\n"
     (Sequential.search count);

@@ -66,12 +66,16 @@ let fractional_bound inst node =
   in
   go node.next node.profit (inst.capacity - node.weight)
 
+(* Nodes are plain data (ints and an int list), so the default Marshal
+   codec ships them between localities as-is. *)
+let codec : node Yewpar_core.Codec.t = Yewpar_core.Codec.marshal ()
+
 let problem inst =
-  Problem.maximise ~name:"knapsack" ~space:inst ~root:(root inst) ~children
+  Problem.maximise ~codec ~name:"knapsack" ~space:inst ~root:(root inst) ~children
     ~bound:(fractional_bound inst) ~objective:(fun n -> n.profit) ()
 
 let decision inst ~target =
-  Problem.decide ~name:"knapsack-dec" ~space:inst ~root:(root inst) ~children
+  Problem.decide ~codec ~name:"knapsack-dec" ~space:inst ~root:(root inst) ~children
     ~bound:(fractional_bound inst) ~objective:(fun n -> n.profit) ~target ()
 
 let parse_string text =

@@ -77,15 +77,20 @@ let children g parent =
     gen (n - 1)
   end
 
+(* Nodes are plain data (an int list plus a bitset, itself an int
+   array), so the default Marshal codec ships them between
+   localities as-is. *)
+let codec : node Yewpar_core.Codec.t = Yewpar_core.Codec.marshal ()
+
 (* Children are emitted in non-increasing colour-bound order, so a
    failed bound check legitimately cuts all remaining siblings —
    exactly the early loop exit of the hand-coded solvers. *)
 let max_clique g =
-  Problem.maximise ~name:"maxclique" ~space:g ~root:(root g) ~children
+  Problem.maximise ~codec ~name:"maxclique" ~space:g ~root:(root g) ~children
     ~bound:upper_bound ~monotone_bound:true ~objective:(fun n -> n.size) ()
 
 let k_clique g ~k =
-  Problem.decide ~name:"kclique" ~space:g ~root:(root g) ~children
+  Problem.decide ~codec ~name:"kclique" ~space:g ~root:(root g) ~children
     ~bound:upper_bound ~monotone_bound:true ~objective:(fun n -> n.size)
     ~target:k ()
 

@@ -73,9 +73,10 @@ let count_at_genus sp ~g =
   Problem.enumerate ~name:"numsemi" ~space:sp ~root:(root sp) ~children ~empty:0
     ~combine:( + )
     ~view:(fun n -> if n.genus = g then 1 else 0)
+    ()
 
 let count_tree sp =
-  Problem.count_nodes ~name:"numsemi-tree" ~space:sp ~root:(root sp) ~children
+  Problem.count_nodes ~name:"numsemi-tree" ~space:sp ~root:(root sp) ~children ()
 
 let genus_histogram sp =
   (* The monoid: length-(gmax+1) count vectors under pointwise sum.
@@ -88,6 +89,7 @@ let genus_histogram sp =
       let h = Array.make (sp.gmax + 1) 0 in
       h.(n.genus) <- 1;
       h)
+    ()
 
 let known_counts =
   [| 1; 1; 2; 4; 7; 12; 23; 39; 67; 118; 204; 343; 592; 1001; 1693; 2857; 4806;

@@ -43,13 +43,18 @@ let children inst parent =
     gen 0
   end
 
+(* Nodes are plain data (ints and an int list), so the default Marshal
+   codec ships them between localities as-is. *)
+let codec : node Yewpar_core.Codec.t = Yewpar_core.Codec.marshal ()
+
 let count_solutions inst =
-  Problem.enumerate ~name:"queens" ~space:inst ~root:(root inst) ~children ~empty:0
-    ~combine:( + )
+  Problem.enumerate ~codec ~name:"queens" ~space:inst ~root:(root inst) ~children
+    ~empty:0 ~combine:( + )
     ~view:(fun node -> if node.level = inst.n then 1 else 0)
+    ()
 
 let find_placement inst =
-  Problem.decide ~name:"queens-dec" ~space:inst ~root:(root inst) ~children
+  Problem.decide ~codec ~name:"queens-dec" ~space:inst ~root:(root inst) ~children
     ~objective:(fun node -> node.level)
     ~target:inst.n ()
 

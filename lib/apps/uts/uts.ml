@@ -37,7 +37,7 @@ let children p parent =
   gen 0
 
 let count_problem p =
-  Problem.count_nodes ~name:"uts" ~space:p ~root:(root p) ~children
+  Problem.count_nodes ~name:"uts" ~space:p ~root:(root p) ~children ()
 
 let max_depth_problem p =
   Problem.maximise ~name:"uts-depth" ~space:p ~root:(root p) ~children
@@ -77,4 +77,4 @@ let geo_children p parent =
 
 let geo_count_problem p =
   Problem.count_nodes ~name:"uts-geo" ~space:p ~root:(geo_root p)
-    ~children:geo_children
+    ~children:geo_children ()

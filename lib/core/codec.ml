@@ -1,0 +1,12 @@
+type 'node t = {
+  encode : 'node -> string;
+  decode : string -> 'node;
+}
+
+let marshal () =
+  {
+    encode = (fun n -> Marshal.to_string n []);
+    decode = (fun s -> Marshal.from_string s 0);
+  }
+
+let string = { encode = Fun.id; decode = Fun.id }

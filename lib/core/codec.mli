@@ -1,0 +1,28 @@
+(** Task codecs: node (de)serialisation for distributed runtimes.
+
+    A search node crosses a process boundary whenever a distributed
+    runtime ships a task to another locality, so every distributable
+    problem registers a codec alongside its Lazy Node Generator
+    (see {!Problem.t}). A codec encodes one node — the complete
+    closure state of the subtree task rooted there — to a byte string
+    and back.
+
+    The default {!marshal} codec serialises the node with [Marshal]
+    (without closure support), which is exactly right for the
+    plain-data nodes the manual prescribes ("nodes must be immutable
+    and self-contained"): integers, lists, arrays, records, bitsets.
+    Problems whose nodes capture functions or abstract handles must
+    either restructure the node or provide a hand-written codec. *)
+
+type 'node t = {
+  encode : 'node -> string;  (** Serialise one node. *)
+  decode : string -> 'node;  (** Inverse of [encode]. *)
+}
+
+val marshal : unit -> 'node t
+(** [Marshal]-based codec for plain-data nodes (no closures, no custom
+    blocks). Raises at encode time if the node contains a function
+    value. *)
+
+val string : string t
+(** Identity codec on strings, handy for tests. *)

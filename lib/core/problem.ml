@@ -23,21 +23,24 @@ type ('space, 'node, 'result) t = {
   root : 'node;
   children : ('space, 'node) generator;
   kind : ('node, 'result) kind;
+  codec : 'node Codec.t option;
 }
 
-let enumerate ~name ~space ~root ~children ~empty ~combine ~view =
-  { name; space; root; children; kind = Enumerate { empty; combine; view } }
+let enumerate ?codec ~name ~space ~root ~children ~empty ~combine ~view () =
+  { name; space; root; children; kind = Enumerate { empty; combine; view }; codec }
 
-let count_nodes ~name ~space ~root ~children =
-  enumerate ~name ~space ~root ~children ~empty:0 ~combine:( + ) ~view:(fun _ -> 1)
+let count_nodes ?codec ~name ~space ~root ~children () =
+  enumerate ?codec ~name ~space ~root ~children ~empty:0 ~combine:( + )
+    ~view:(fun _ -> 1) ()
 
-let maximise ~name ~space ~root ~children ?bound ?(monotone_bound = false)
+let maximise ?codec ~name ~space ~root ~children ?bound ?(monotone_bound = false)
     ~objective () =
   { name; space; root; children;
-    kind = Optimise { value = objective; bound; monotone = monotone_bound } }
+    kind = Optimise { value = objective; bound; monotone = monotone_bound }; codec }
 
-let decide ~name ~space ~root ~children ?bound ?(monotone_bound = false)
+let decide ?codec ~name ~space ~root ~children ?bound ?(monotone_bound = false)
     ~objective ~target () =
   { name; space; root; children;
     kind = Decide { objective = { value = objective; bound; monotone = monotone_bound };
-                    target } }
+                    target };
+    codec }

@@ -58,22 +58,30 @@ type ('space, 'node, 'result) t = {
   root : 'node;  (** The root of the search tree. *)
   children : ('space, 'node) generator;  (** The Lazy Node Generator. *)
   kind : ('node, 'result) kind;  (** What to compute over the tree. *)
+  codec : 'node Codec.t option;
+      (** Task codec for distributed runtimes: how to ship a node (the
+          whole closure state of a subtree task) across a process
+          boundary. [None] restricts the problem to in-process
+          runtimes. *)
 }
 (** A complete search problem; pair it with a skeleton to run it. *)
 
 val enumerate :
+  ?codec:'node Codec.t ->
   name:string -> space:'space -> root:'node ->
   children:('space, 'node) generator ->
   empty:'acc -> combine:('acc -> 'acc -> 'acc) -> view:('node -> 'acc) ->
-  ('space, 'node, 'acc) t
+  unit -> ('space, 'node, 'acc) t
 (** Build an enumeration problem. *)
 
 val count_nodes :
+  ?codec:'node Codec.t ->
   name:string -> space:'space -> root:'node ->
-  children:('space, 'node) generator -> ('space, 'node, int) t
+  children:('space, 'node) generator -> unit -> ('space, 'node, int) t
 (** The canonical enumeration: count the nodes of the search tree. *)
 
 val maximise :
+  ?codec:'node Codec.t ->
   name:string -> space:'space -> root:'node ->
   children:('space, 'node) generator ->
   ?bound:('node -> int) -> ?monotone_bound:bool ->
@@ -84,6 +92,7 @@ val maximise :
     of {!field-monotone}. *)
 
 val decide :
+  ?codec:'node Codec.t ->
   name:string -> space:'space -> root:'node ->
   children:('space, 'node) generator ->
   ?bound:('node -> int) -> ?monotone_bound:bool ->

@@ -4,11 +4,13 @@ type t = {
   mutable backtracks : int;
   mutable max_depth : int;
   mutable tasks : int;
+  mutable steal_attempts : int;
   mutable steals : int;
 }
 
 let create () =
-  { nodes = 0; pruned = 0; backtracks = 0; max_depth = 0; tasks = 0; steals = 0 }
+  { nodes = 0; pruned = 0; backtracks = 0; max_depth = 0; tasks = 0;
+    steal_attempts = 0; steals = 0 }
 
 let add acc s =
   acc.nodes <- acc.nodes + s.nodes;
@@ -16,13 +18,15 @@ let add acc s =
   acc.backtracks <- acc.backtracks + s.backtracks;
   acc.max_depth <- max acc.max_depth s.max_depth;
   acc.tasks <- acc.tasks + s.tasks;
+  acc.steal_attempts <- acc.steal_attempts + s.steal_attempts;
   acc.steals <- acc.steals + s.steals
 
 let copy s =
   { nodes = s.nodes; pruned = s.pruned; backtracks = s.backtracks;
-    max_depth = s.max_depth; tasks = s.tasks; steals = s.steals }
+    max_depth = s.max_depth; tasks = s.tasks; steal_attempts = s.steal_attempts;
+    steals = s.steals }
 
 let pp ppf s =
   Format.fprintf ppf
-    "nodes=%d pruned=%d backtracks=%d max_depth=%d tasks=%d steals=%d"
-    s.nodes s.pruned s.backtracks s.max_depth s.tasks s.steals
+    "nodes=%d pruned=%d backtracks=%d max_depth=%d tasks=%d steals=%d/%d"
+    s.nodes s.pruned s.backtracks s.max_depth s.tasks s.steals s.steal_attempts

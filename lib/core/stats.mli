@@ -10,6 +10,9 @@ type t = {
   mutable backtracks : int;  (** Generator-stack pops. *)
   mutable max_depth : int;  (** Deepest node processed. *)
   mutable tasks : int;  (** Tasks spawned (parallel skeletons). *)
+  mutable steal_attempts : int;
+      (** Steal attempts: times a worker found its pool empty and went
+          looking for work (parallel skeletons). Dominates [steals]. *)
   mutable steals : int;  (** Successful steals (parallel skeletons). *)
 }
 

@@ -1,0 +1,160 @@
+module Stats = Yewpar_core.Stats
+
+type outcome = {
+  payloads : string list;
+  stats : Stats.t;
+  broadcasts : int;
+  failure : string option;
+}
+
+(* Grace period after a watchdog-triggered shutdown before collection is
+   abandoned and stragglers are left for the caller to kill. *)
+let watchdog_grace = 5.0
+
+let run ?watchdog ~conns ~(root : Pool.task) () =
+  let l = Array.length conns in
+  let pool = Pool.create () in
+  Pool.push pool root;
+  (* Tasks in the pool + handed to a locality but not yet acked. *)
+  let active = ref 1 in
+  let hungry = Array.make l false in
+  let shed_inflight = Array.make l false in
+  let alive = Array.make l true in
+  let results : string option array = Array.make l None in
+  let stats_got : Stats.t option array = Array.make l None in
+  let failure = ref None in
+  let global_best = ref min_int in
+  let broadcasts = ref 0 in
+  let shutdown_sent = ref false in
+  let shed_rr = ref 0 in
+  let started = Unix.gettimeofday () in
+
+  let fail msg = if !failure = None then failure := Some msg in
+  let send i m =
+    if alive.(i) then
+      try Transport.send conns.(i) m with Transport.Closed -> alive.(i) <- false
+  in
+  let broadcast_shutdown () =
+    if not !shutdown_sent then begin
+      shutdown_sent := true;
+      for i = 0 to l - 1 do
+        send i Wire.Shutdown
+      done
+    end
+  in
+  let serve i =
+    match Pool.pop pool with
+    | Some t ->
+      hungry.(i) <- false;
+      send i (Wire.Steal_reply { task = Some (t.Pool.depth, t.Pool.payload) })
+    | None -> hungry.(i) <- true
+  in
+  let serve_hungry () =
+    for i = 0 to l - 1 do
+      if hungry.(i) && alive.(i) && Pool.size pool > 0 then serve i
+    done
+  in
+  (* Someone is starving and the pool is dry: ask one busy locality (in
+     round-robin, one request in flight each) to shed queued work. *)
+  let request_shed () =
+    if
+      (not !shutdown_sent)
+      && Pool.size pool = 0
+      && Array.exists Fun.id hungry
+    then begin
+      let chosen = ref (-1) in
+      for k = 0 to l - 1 do
+        let i = (!shed_rr + k) mod l in
+        if !chosen < 0 && alive.(i) && (not hungry.(i)) && not shed_inflight.(i)
+        then chosen := i
+      done;
+      if !chosen >= 0 then begin
+        shed_inflight.(!chosen) <- true;
+        send !chosen Wire.Steal_request;
+        shed_rr := !chosen + 1
+      end
+    end
+  in
+  let handle i = function
+    | Wire.Task { depth; payload } ->
+      incr active;
+      shed_inflight.(i) <- false;
+      Pool.push pool { Pool.depth; payload }
+    | Wire.Steal_request -> serve i
+    | Wire.Idle { completed } ->
+      active := !active - completed;
+      shed_inflight.(i) <- false
+    | Wire.Bound_update { value } ->
+      if value > !global_best then begin
+        global_best := value;
+        for j = 0 to l - 1 do
+          if j <> i && alive.(j) then begin
+            send j (Wire.Bound_update { value });
+            incr broadcasts
+          end
+        done
+      end
+    | Wire.Witness _ -> broadcast_shutdown ()
+    | Wire.Failed { message } ->
+      fail message;
+      broadcast_shutdown ()
+    | Wire.Result { payload } -> results.(i) <- Some payload
+    | Wire.Stats st -> stats_got.(i) <- Some st
+    (* Locality-bound messages; never sent to the coordinator. *)
+    | Wire.Steal_reply _ | Wire.Shutdown -> ()
+  in
+  let locality_done i =
+    (not alive.(i)) || (results.(i) <> None && stats_got.(i) <> None)
+  in
+  let all_done () =
+    let d = ref true in
+    for i = 0 to l - 1 do
+      if not (locality_done i) then d := false
+    done;
+    !d
+  in
+  let watchdog_fired = ref false in
+  let overdue grace =
+    match watchdog with
+    | None -> false
+    | Some limit -> Unix.gettimeofday () -. started > limit +. grace
+  in
+
+  let abandoned = ref false in
+  while (not (all_done ())) && not !abandoned do
+    let live = ref [] in
+    for i = l - 1 downto 0 do
+      if alive.(i) then live := (i, conns.(i)) :: !live
+    done;
+    let readable = Transport.poll ~timeout:0.005 (List.map snd !live) in
+    List.iter
+      (fun (i, c) ->
+        if List.memq c readable then
+          match Transport.pump c with
+          | msgs -> List.iter (handle i) msgs
+          | exception Transport.Closed ->
+            alive.(i) <- false;
+            if results.(i) = None then begin
+              fail (Printf.sprintf "locality %d died before reporting" i);
+              broadcast_shutdown ()
+            end)
+      !live;
+    serve_hungry ();
+    request_shed ();
+    if (not !shutdown_sent) && !active <= 0 then broadcast_shutdown ();
+    if (not !watchdog_fired) && overdue 0. then begin
+      watchdog_fired := true;
+      fail "watchdog expired before the search completed";
+      broadcast_shutdown ()
+    end;
+    if !watchdog_fired && overdue watchdog_grace then abandoned := true
+  done;
+
+  let stats = Stats.create () in
+  Array.iter
+    (function Some st -> Stats.add stats st | None -> ())
+    stats_got;
+  let payloads =
+    Array.to_list results |> List.filter_map Fun.id
+  in
+  { payloads; stats; broadcasts = !broadcasts; failure = !failure }

@@ -1,0 +1,32 @@
+(** The coordinator: parent-process event loop of the distributed
+    runtime.
+
+    Owns the distributed workpool ({!Pool}), seeds it with the encoded
+    root, and serves/relays steals between localities; rebroadcasts
+    incumbent improvements to every other locality (counting the
+    fan-out as bound broadcasts); and detects distributed termination
+    with an active-task count — the pool's population plus every
+    handed-but-unacked task. Spills arrive (FIFO, per socket) before
+    the [Idle] that acks their parent task, so the count reaching zero
+    proves global quiescence; the coordinator then broadcasts
+    [Shutdown] and collects each locality's [Result] and [Stats].
+
+    A [Witness] (Decide short-circuit) or [Failed] (user exception)
+    triggers the shutdown broadcast early; a locality dying before it
+    reports is recorded as a failure. *)
+
+type outcome = {
+  payloads : string list;  (** Per-locality [Result] payloads. *)
+  stats : Yewpar_core.Stats.t;  (** Sum of every locality's counters. *)
+  broadcasts : int;  (** Bound-update messages fanned out. *)
+  failure : string option;
+      (** A locality's failure message, or a watchdog/death report. *)
+}
+
+val run :
+  ?watchdog:float -> conns:Transport.t array -> root:Pool.task -> unit -> outcome
+(** Drive the search to completion over the given locality
+    connections. [watchdog] (seconds) bounds the whole run: on expiry
+    the coordinator broadcasts [Shutdown], records a failure, and — if
+    localities still do not report — abandons collection shortly
+    after, letting the caller kill them. *)

@@ -1,0 +1,134 @@
+module Coordination = Yewpar_core.Coordination
+module Problem = Yewpar_core.Problem
+module Codec = Yewpar_core.Codec
+module Stats = Yewpar_core.Stats
+module Sequential = Yewpar_core.Sequential
+
+(* Combine the localities' marshalled partial results by search kind. *)
+let combine (type s n r) (p : (s, n, r) Problem.t) (codec : n Codec.t)
+    (payloads : string list) : r =
+  let best_of payloads =
+    List.fold_left
+      (fun best s ->
+        match ((Marshal.from_string s 0 : (int * string) option), best) with
+        | None, b -> b
+        | Some (v, e), None -> Some (v, e)
+        | Some (v, e), Some (bv, _) when v > bv -> Some (v, e)
+        | Some _, b -> b)
+      None payloads
+  in
+  match p.Problem.kind with
+  | Problem.Enumerate spec ->
+    List.fold_left
+      (fun acc s -> spec.Problem.combine acc (Marshal.from_string s 0))
+      spec.Problem.empty payloads
+  | Problem.Optimise _ -> (
+    match best_of payloads with
+    | Some (_, e) -> codec.Codec.decode e
+    | None -> failwith "Dist: optimisation finished without processing the root")
+  | Problem.Decide { target; _ } -> (
+    match best_of payloads with
+    | Some (v, e) when v >= target -> Some (codec.Codec.decode e)
+    | Some _ | None -> None)
+
+let distributed_run (type s n r) ?stats ?broadcasts ?watchdog ~localities
+    ~workers ~coordination (p : (s, n, r) Problem.t) : r =
+  if localities < 1 then invalid_arg "Dist.run: localities must be >= 1";
+  if workers < 1 then invalid_arg "Dist.run: workers must be >= 1";
+  let codec =
+    match p.Problem.codec with
+    | Some c -> c
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Dist.run: problem %S has no task codec and cannot be distributed"
+           p.Problem.name)
+  in
+  (* A locality death must surface as Transport.Closed, not kill us. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* Children inherit the channel buffers and flush them when their
+     domains exit; empty the buffers now so output is printed once. *)
+  flush stdout;
+  flush stderr;
+  let pairs =
+    Array.init localities (fun _ ->
+        Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0)
+  in
+  let pids =
+    Array.init localities (fun i ->
+        match Unix.fork () with
+        | 0 ->
+          (* Locality process: keep only our own socket end. Exit with
+             _exit so the parent's buffered output is not re-flushed,
+             and nonzero whenever the coordinator vanished first. *)
+          let code =
+            try
+              Array.iteri
+                (fun j (coord_fd, loc_fd) ->
+                  if j <> i then begin
+                    Unix.close coord_fd;
+                    Unix.close loc_fd
+                  end
+                  else Unix.close coord_fd)
+                pairs;
+              let conn = Transport.create (snd pairs.(i)) in
+              Locality.run ~conn ~workers ~coordination p;
+              Transport.close conn;
+              0
+            with _ -> 1
+          in
+          Unix._exit code
+        | pid -> pid)
+  in
+  Array.iter (fun (_, loc_fd) -> Unix.close loc_fd) pairs;
+  let conns = Array.map (fun (coord_fd, _) -> Transport.create coord_fd) pairs in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun c -> try Transport.close c with _ -> ()) conns;
+      (* Reap every locality; kill stragglers so no orphan outlives the
+         coordinator. *)
+      Array.iter
+        (fun pid ->
+          let deadline = Unix.gettimeofday () +. 2.0 in
+          let rec reap () =
+            match Unix.waitpid [ Unix.WNOHANG ] pid with
+            | 0, _ ->
+              if Unix.gettimeofday () > deadline then begin
+                (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+                ignore (Unix.waitpid [] pid)
+              end
+              else begin
+                ignore (Unix.select [] [] [] 0.01);
+                reap ()
+              end
+            | _, _ -> ()
+            | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap ()
+          in
+          reap ())
+        pids)
+    (fun () ->
+      let outcome =
+        Coordinator.run ?watchdog ~conns
+          ~root:{ Pool.depth = 0; payload = codec.Codec.encode p.Problem.root }
+          ()
+      in
+      (match outcome.Coordinator.failure with
+      | Some msg -> failwith ("Dist: " ^ msg)
+      | None -> ());
+      (match stats with
+      | Some st -> Stats.add st outcome.Coordinator.stats
+      | None -> ());
+      (match broadcasts with
+      | Some r -> r := outcome.Coordinator.broadcasts
+      | None -> ());
+      combine p codec outcome.Coordinator.payloads)
+
+let run ?stats ?broadcasts ?watchdog ~localities ~workers ~coordination p =
+  match coordination with
+  | Coordination.Sequential -> Sequential.search ?stats p
+  | Coordination.Depth_bounded _ | Coordination.Stack_stealing _
+  | Coordination.Budget _ | Coordination.Best_first _
+  | Coordination.Random_spawn _ ->
+    distributed_run ?stats ?broadcasts ?watchdog ~localities ~workers
+      ~coordination p

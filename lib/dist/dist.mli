@@ -1,0 +1,47 @@
+(** The distributed runtime: real multi-process search.
+
+    Forks [localities] worker processes, each running [workers] search
+    domains over a locality-local pool and incumbent ({!Locality}),
+    and drives them from a coordinator event loop in the calling
+    process ({!Coordinator}) over Unix-domain socket pairs speaking
+    the {!Wire} protocol. Task nodes cross process boundaries through
+    the problem's task codec ({!Yewpar_core.Codec}), so only problems
+    built with [~codec] are distributable.
+
+    Compared to the shared-memory runtime this is the paper's actual
+    deployment shape: knowledge is {e not} shared — each locality
+    prunes against its own incumbent plus a floor rebroadcast by the
+    coordinator, and work moves by explicit steal messages through a
+    depth-ordered distributed pool.
+
+    Forking happens before any domain is spawned, so the children
+    inherit the problem closure safely; on return (normal or
+    exceptional) every child has been reaped — stragglers are
+    killed. *)
+
+val run :
+  ?stats:Yewpar_core.Stats.t ->
+  ?broadcasts:int ref ->
+  ?watchdog:float ->
+  localities:int ->
+  workers:int ->
+  coordination:Yewpar_core.Coordination.t ->
+  ('s, 'n, 'r) Yewpar_core.Problem.t ->
+  'r
+(** Run the search to completion and combine the localities' partial
+    results by search kind (enumerations fold with [combine];
+    optimisation/decision take the best reported incumbent).
+
+    [stats] accumulates the aggregate of every locality's counters
+    ([steal_attempts]/[steals] count wire-level steal traffic);
+    [broadcasts] receives the number of bound-update fan-out messages;
+    [watchdog] bounds the whole run in seconds (a deadlock safety net
+    — on expiry the run raises instead of hanging).
+
+    [Sequential] coordination runs in-process via
+    {!Yewpar_core.Sequential.search}.
+
+    @raise Invalid_argument if the problem has no task codec or the
+    topology is not at least 1x1.
+    @raise Failure if a locality fails (user exception, early death)
+    or the watchdog expires. *)

@@ -1,0 +1,441 @@
+module Engine = Yewpar_core.Engine
+module Workpool = Yewpar_core.Workpool
+module Knowledge = Yewpar_core.Knowledge
+module Ops = Yewpar_core.Ops
+module Coordination = Yewpar_core.Coordination
+module Problem = Yewpar_core.Problem
+module Codec = Yewpar_core.Codec
+module Stats = Yewpar_core.Stats
+
+type 'n task = { node : 'n; depth : int }
+
+(* Same mutex/condition pool as the shared-memory runtime: deepest-first
+   local pops, atomic size mirror for lock-free emptiness polls. *)
+type 'n pool = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  tasks : 'n task Workpool.t;
+  size : int Atomic.t;
+}
+
+(* Communicator granularity: how long the main thread sleeps in select
+   when nothing is happening. *)
+let tick = 0.002
+
+let run (type s n r) ~conn ~workers ~coordination
+    (p : (s, n, r) Problem.t) : unit =
+  let codec =
+    match p.Problem.codec with
+    | Some c -> c
+    | None -> invalid_arg "Locality.run: problem has no task codec"
+  in
+  (* Cross-domain counters, folded into the Stats message at the end. *)
+  let c_nodes = Atomic.make 0 in
+  let c_pruned = Atomic.make 0 in
+  let c_tasks = Atomic.make 0 in
+  let c_backtracks = Atomic.make 0 in
+  let c_max_depth = Atomic.make 0 in
+  let rec bump_max cell v =
+    let cur = Atomic.get cell in
+    if v > cur && not (Atomic.compare_and_set cell cur v) then bump_max cell v
+  in
+  let pool_policy =
+    match coordination with
+    | Coordination.Best_first _ -> Workpool.Priority
+    | _ -> Workpool.Depth
+  in
+  let pool =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      tasks = Workpool.create ~policy:pool_policy ();
+      size = Atomic.make 0;
+    }
+  in
+  (* Tasks queued or executing here; 0 means the locality is drained
+     (workers may only block, never spawn, at 0). *)
+  let local_outstanding = Atomic.make 0 in
+  let waiting = Atomic.make 0 in
+  let stop = Atomic.make false in
+  (* Armed by a coordinator steal request that caught our pool dry: the
+     next locally-spawned task is spilled instead of queued. *)
+  let global_hungry = Atomic.make false in
+
+  (* Worker -> communicator outbox; only the communicator writes to the
+     socket, so workers queue wire messages here. *)
+  let out_mutex = Mutex.create () in
+  let outbox : Wire.msg Queue.t = Queue.create () in
+  let outbox_add m =
+    Mutex.lock out_mutex;
+    Queue.add m outbox;
+    Mutex.unlock out_mutex
+  in
+  let outbox_take_all () =
+    Mutex.lock out_mutex;
+    let ms = List.of_seq (Queue.to_seq outbox) in
+    Queue.clear outbox;
+    Mutex.unlock out_mutex;
+    ms
+  in
+  let outbox_is_empty () =
+    Mutex.lock out_mutex;
+    let e = Queue.is_empty outbox in
+    Mutex.unlock out_mutex;
+    e
+  in
+
+  (* Knowledge: a locality-local incumbent plus a floor fed by
+     coordinator bound broadcasts. Pruning sees the max of both; only
+     locally-submitted incumbents have a witness node here. *)
+  let local = Knowledge.make_atomic () in
+  let floor = Atomic.make min_int in
+  let knowledge =
+    {
+      Knowledge.best_obj =
+        (fun () -> max (local.Knowledge.best_obj ()) (Atomic.get floor));
+      best_node = local.Knowledge.best_node;
+      submit = local.Knowledge.submit;
+    }
+  in
+  let harness = Ops.harness p.Problem.kind in
+  let views = Array.init workers (fun _ -> harness.Ops.view knowledge) in
+  let task_priority =
+    match coordination with
+    | Coordination.Best_first _ -> (views.(0)).Ops.priority
+    | _ -> fun _ -> 0
+  in
+  (* Keep roughly a task per worker queued locally; beyond that, new
+     spawns ship to the coordinator's distributed pool. *)
+  let spill_threshold = max 4 (2 * workers) in
+
+  let wake_all () =
+    Mutex.lock pool.mutex;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.mutex
+  in
+  let request_stop () =
+    Atomic.set stop true;
+    wake_all ()
+  in
+  let enqueue_local task =
+    Atomic.incr local_outstanding;
+    Mutex.lock pool.mutex;
+    Workpool.push pool.tasks ~depth:task.depth
+      ~priority:(task_priority task.node) task;
+    Atomic.incr pool.size;
+    Condition.signal pool.nonempty;
+    Mutex.unlock pool.mutex
+  in
+  let spill task =
+    outbox_add
+      (Wire.Task { depth = task.depth; payload = codec.Codec.encode task.node })
+  in
+  let push task =
+    Atomic.incr c_tasks;
+    if Atomic.compare_and_set global_hungry true false then spill task
+    else if Atomic.get pool.size >= spill_threshold then spill task
+    else enqueue_local task
+  in
+  (* Blocking task acquisition; unlike the shared-memory runtime a dry
+     pool does not end the search — more work may arrive over the wire,
+     so workers sleep until the coordinator says otherwise. *)
+  let take () =
+    Mutex.lock pool.mutex;
+    let rec wait () =
+      if Atomic.get stop then None
+      else
+        match Workpool.pop_local pool.tasks with
+        | Some t ->
+          Atomic.decr pool.size;
+          Some t
+        | None ->
+          Atomic.incr waiting;
+          Condition.wait pool.nonempty pool.mutex;
+          Atomic.decr waiting;
+          wait ()
+    in
+    let r = wait () in
+    Mutex.unlock pool.mutex;
+    r
+  in
+  let finish_task () = Atomic.decr local_outstanding in
+
+  let filter_chunk (view : n Ops.view) cs =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | c :: rest ->
+        if view.Ops.keep c then go (c :: acc) rest
+        else if view.Ops.prune_siblings then List.rev acc
+        else go acc rest
+    in
+    go [] cs
+  in
+  (* Stack-Stealing work pushing, extended with the distributed hunger
+     signal: shed when local thieves wait on a dry pool, or when the
+     coordinator relayed another locality's starvation. *)
+  let maybe_split_for_thieves view ~chunked e =
+    let local_thieves = Atomic.get waiting > 0 && Atomic.get pool.size = 0 in
+    if local_thieves || Atomic.get global_hungry then
+      if chunked then begin
+        let cs, depth = Engine.split_lowest e in
+        List.iter (fun node -> push { node; depth }) (filter_chunk view cs)
+      end
+      else
+        match Engine.split_one e with
+        | Some (node, depth) -> if view.Ops.keep node then push { node; depth }
+        | None -> ()
+  in
+  let exec_task (view : n Ops.view) task =
+    if not (view.Ops.keep task.node) then Atomic.incr c_pruned
+    else if not (view.Ops.process task.node) then begin
+      Atomic.incr c_nodes;
+      request_stop ()
+    end
+    else begin
+      Atomic.incr c_nodes;
+      match coordination with
+      | (Coordination.Depth_bounded { dcutoff } | Coordination.Best_first { dcutoff })
+        when task.depth < dcutoff ->
+        let rec spawn_children seq =
+          match Seq.uncons seq with
+          | None -> ()
+          | Some (c, rest) ->
+            if view.Ops.keep c then begin
+              push { node = c; depth = task.depth + 1 };
+              spawn_children rest
+            end
+            else if not view.Ops.prune_siblings then spawn_children rest
+        in
+        spawn_children (p.Problem.children p.Problem.space task.node)
+      | Coordination.Sequential | Coordination.Depth_bounded _
+      | Coordination.Stack_stealing _ | Coordination.Budget _
+      | Coordination.Best_first _ | Coordination.Random_spawn _ ->
+        let e =
+          Engine.make ~space:p.Problem.space ~children:p.Problem.children
+            ~root_depth:task.depth task.node
+        in
+        let last_bt = ref 0 in
+        let rng =
+          Yewpar_util.Splitmix.of_seed (Hashtbl.hash task.depth lxor 0x5e1f)
+        in
+        let rec go () =
+          if Atomic.get stop then ()
+          else
+            match
+              Engine.step ~prune_rest:view.Ops.prune_siblings ~keep:view.Ops.keep
+                e
+            with
+            | Engine.Enter n ->
+              if view.Ops.process n then begin
+                (match coordination with
+                | Coordination.Stack_stealing { chunked } ->
+                  maybe_split_for_thieves view ~chunked e
+                | _ -> ());
+                go ()
+              end
+              else request_stop ()
+            | Engine.Pruned _ -> go ()
+            | Engine.Leave ->
+              (match coordination with
+              | Coordination.Budget { budget }
+                when Engine.backtracks e - !last_bt >= budget ->
+                let cs, depth = Engine.split_lowest e in
+                List.iter
+                  (fun node -> push { node; depth })
+                  (filter_chunk view cs);
+                last_bt := Engine.backtracks e
+              | Coordination.Random_spawn { mean_interval }
+                when Yewpar_util.Splitmix.int rng mean_interval = 0 -> (
+                match Engine.split_one e with
+                | Some (node, depth) when view.Ops.keep node ->
+                  push { node; depth }
+                | Some _ | None -> ())
+              | _ -> ());
+              go ()
+            | Engine.Exhausted -> ()
+        in
+        go ();
+        ignore (Atomic.fetch_and_add c_nodes (Engine.nodes_entered e));
+        ignore (Atomic.fetch_and_add c_pruned (Engine.nodes_pruned e));
+        ignore (Atomic.fetch_and_add c_backtracks (Engine.backtracks e));
+        bump_max c_max_depth (Engine.max_depth e)
+    end
+  in
+
+  let failure : exn option Atomic.t = Atomic.make None in
+  let worker i () =
+    let view = views.(i) in
+    let rec loop () =
+      match take () with
+      | None -> ()
+      | Some t ->
+        (try exec_task view t
+         with e ->
+           ignore (Atomic.compare_and_set failure None (Some e));
+           request_stop ());
+        finish_task ();
+        loop ()
+    in
+    loop ()
+  in
+  let domains = Array.init workers (fun i -> Domain.spawn (worker i)) in
+
+  (* ------------- communicator (this thread) ------------- *)
+  let taken = ref 0 in
+  let steal_inflight = ref false in
+  let steal_attempts = ref 0 in
+  let steals = ref 0 in
+  let last_bound_sent = ref min_int in
+  let witness_sent = ref false in
+  let failed_sent = ref false in
+  let shutdown = ref false in
+  let is_optimise =
+    match p.Problem.kind with Problem.Optimise _ -> true | _ -> false
+  in
+  let decide_target =
+    match p.Problem.kind with
+    | Problem.Decide { target; _ } -> Some target
+    | _ -> None
+  in
+
+  let receive_task depth payload =
+    steal_inflight := false;
+    incr steals;
+    incr taken;
+    enqueue_local { node = codec.Codec.decode payload; depth }
+  in
+  (* The coordinator asked for work on behalf of a starving locality:
+     give back half of our queue, shallowest-first (the biggest
+     subtrees), or arm the spill flag if we have nothing queued. *)
+  let shed_from_pool () =
+    Mutex.lock pool.mutex;
+    let n = Workpool.size pool.tasks in
+    let to_shed = (n + 1) / 2 in
+    let shed = ref [] in
+    for _ = 1 to to_shed do
+      match Workpool.pop_steal pool.tasks with
+      | Some t ->
+        Atomic.decr pool.size;
+        shed := t :: !shed
+      | None -> ()
+    done;
+    Mutex.unlock pool.mutex;
+    if !shed = [] then Atomic.set global_hungry true
+    else
+      List.iter
+        (fun t ->
+          Atomic.decr local_outstanding;
+          spill t)
+        (List.rev !shed)
+  in
+  let handle = function
+    | Wire.Task { depth; payload } -> receive_task depth payload
+    | Wire.Steal_reply { task = Some (depth, payload) } ->
+      receive_task depth payload
+    | Wire.Steal_reply { task = None } -> steal_inflight := false
+    | Wire.Steal_request -> shed_from_pool ()
+    | Wire.Bound_update { value } ->
+      if value > Atomic.get floor then Atomic.set floor value
+    | Wire.Shutdown ->
+      shutdown := true;
+      request_stop ()
+    (* Coordinator-bound messages; never sent to a locality. *)
+    | Wire.Witness _ | Wire.Idle _ | Wire.Result _ | Wire.Stats _
+    | Wire.Failed _ ->
+      ()
+  in
+  let communicator_tick () =
+    (match Transport.poll ~timeout:tick [ conn ] with
+    | [] -> ()
+    | _ -> List.iter handle (Transport.pump conn));
+    List.iter (Transport.send conn) (outbox_take_all ());
+    (match Atomic.get failure with
+    | Some e when not !failed_sent ->
+      failed_sent := true;
+      Transport.send conn (Wire.Failed { message = Printexc.to_string e })
+    | _ -> ());
+    if is_optimise then begin
+      let b = local.Knowledge.best_obj () in
+      if b > !last_bound_sent && b > Atomic.get floor then begin
+        last_bound_sent := b;
+        Transport.send conn (Wire.Bound_update { value = b })
+      end
+    end;
+    (match decide_target with
+    | Some target
+      when (not !witness_sent) && local.Knowledge.best_obj () >= target -> (
+      match local.Knowledge.best_node () with
+      | Some node ->
+        witness_sent := true;
+        Transport.send conn
+          (Wire.Witness
+             {
+               value = local.Knowledge.best_obj ();
+               payload = codec.Codec.encode node;
+             })
+      | None -> ())
+    | _ -> ());
+    if
+      (not !steal_inflight)
+      && (not (Atomic.get stop))
+      && Atomic.get waiting > 0
+      && Atomic.get pool.size = 0
+    then begin
+      steal_inflight := true;
+      incr steal_attempts;
+      Transport.send conn Wire.Steal_request
+    end;
+    (* Quiescence ack: ordering matters — outstanding is read before the
+       outbox, so a last-instant spill is either seen queued (we skip
+       this tick) or was already flushed above. *)
+    if !taken > 0 && Atomic.get local_outstanding = 0 && outbox_is_empty ()
+    then begin
+      Transport.send conn (Wire.Idle { completed = !taken });
+      taken := 0
+    end
+  in
+  let rec loop () =
+    if not !shutdown then begin
+      communicator_tick ();
+      loop ()
+    end
+  in
+  (try loop ()
+   with e ->
+     (* Coordinator death (Transport.Closed) or a transport error: stop
+        the domains and let the process exit nonzero. *)
+     request_stop ();
+     Array.iter Domain.join domains;
+     raise e);
+  Array.iter Domain.join domains;
+
+  (* Report: partial result + counters. On Optimise/Decide only locally
+     witnessed incumbents are reported (the floor has no node here). *)
+  let payload =
+    match p.Problem.kind with
+    | Problem.Enumerate _ -> Marshal.to_string (harness.Ops.result knowledge) []
+    | Problem.Optimise _ ->
+      let v =
+        match local.Knowledge.best_node () with
+        | None -> None
+        | Some node -> Some (local.Knowledge.best_obj (), codec.Codec.encode node)
+      in
+      Marshal.to_string (v : (int * string) option) []
+    | Problem.Decide _ ->
+      let v =
+        match local.Knowledge.best_node () with
+        | None -> None
+        | Some node -> Some (local.Knowledge.best_obj (), codec.Codec.encode node)
+      in
+      Marshal.to_string (v : (int * string) option) []
+  in
+  let st = Stats.create () in
+  st.Stats.nodes <- Atomic.get c_nodes;
+  st.Stats.pruned <- Atomic.get c_pruned;
+  st.Stats.backtracks <- Atomic.get c_backtracks;
+  st.Stats.max_depth <- Atomic.get c_max_depth;
+  st.Stats.tasks <- Atomic.get c_tasks;
+  st.Stats.steal_attempts <- !steal_attempts;
+  st.Stats.steals <- !steals;
+  Transport.send conn (Wire.Result { payload });
+  Transport.send conn (Wire.Stats st)

@@ -1,0 +1,36 @@
+(** A locality: one worker process of the distributed runtime.
+
+    Runs [workers] domains over a locality-local depth-ordered pool
+    and a locality-local incumbent, mirroring the shared-memory
+    runtime ({!Yewpar_par.Shm}); the process's main thread acts as the
+    communicator, speaking {!Wire} to the coordinator on a short tick:
+
+    - drains inbound tasks / bound updates / steal requests / shutdown;
+    - flushes spilled tasks (spawned work the locality sheds when the
+      cluster is hungry or its own pool is saturated);
+    - publishes local incumbent improvements (and, for Decide
+      searches, the witness) upward for rebroadcast;
+    - requests a steal when its workers starve, and acks completed
+      coordinator-issued tasks with [Idle] once fully quiescent —
+      always after the matching spills, so the coordinator's active
+      count never drops early.
+
+    Pruning reads [max local_incumbent global_floor], the PGAS
+    bound-register reading of the paper: a stale floor only costs
+    pruning opportunities, never correctness.
+
+    If the coordinator dies, the socket EOF surfaces as
+    {!Transport.Closed}, which {!run} re-raises after stopping its
+    domains — the process self-reaps instead of spinning as an
+    orphan. *)
+
+val run :
+  conn:Transport.t ->
+  workers:int ->
+  coordination:Yewpar_core.Coordination.t ->
+  ('s, 'n, 'r) Yewpar_core.Problem.t ->
+  unit
+(** Serve tasks until the coordinator broadcasts [Shutdown], then send
+    [Result] and [Stats] and return. The problem must carry a task
+    codec.
+    @raise Transport.Closed if the coordinator disappears mid-run. *)

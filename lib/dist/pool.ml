@@ -1,0 +1,10 @@
+module Workpool = Yewpar_core.Workpool
+
+type task = { depth : int; payload : string }
+
+type t = task Workpool.t
+
+let create () = Workpool.create ~policy:Workpool.Depth ()
+let push t task = Workpool.push t ~depth:task.depth task
+let pop t = Workpool.pop_steal t
+let size t = Workpool.size t

@@ -1,0 +1,22 @@
+(** The coordinator's distributed workpool.
+
+    Holds codec-encoded tasks spilled by localities, in the same
+    depth-ordered discipline as the in-process
+    {!Yewpar_core.Workpool}: tasks are bucketed by spawn depth, FIFO
+    within a bucket, and handed out shallowest-first — the biggest
+    remaining subtrees ship across process boundaries, amortising the
+    encode/frame/decode cost, exactly as the in-process pool serves
+    thieves. Single-threaded: only the coordinator's event loop
+    touches it. *)
+
+type task = { depth : int; payload : string }
+
+type t
+
+val create : unit -> t
+val push : t -> task -> unit
+
+val pop : t -> task option
+(** Shallowest-first, FIFO within a depth. *)
+
+val size : t -> int

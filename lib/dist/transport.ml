@@ -1,0 +1,94 @@
+exception Closed
+
+type t = {
+  fd : Unix.file_descr;
+  dec : Wire.decoder;
+  scratch : bytes;
+  mutable eof : bool;
+  mutable closed : bool;
+}
+
+let create fd =
+  { fd; dec = Wire.decoder (); scratch = Bytes.create 65536;
+    eof = false; closed = false }
+
+let fd t = t.fd
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd b off len with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+        raise Closed
+    in
+    write_all fd b (off + n) (len - n)
+  end
+
+let send t m =
+  if t.closed || t.eof then raise Closed;
+  let b = Wire.to_bytes m in
+  write_all t.fd b 0 (Bytes.length b)
+
+let poll ~timeout conns =
+  let eofs, live = List.partition (fun t -> t.eof) conns in
+  let fds = List.map (fun t -> t.fd) live in
+  let readable =
+    if fds = [] then []
+    else
+      match Unix.select fds [] [] timeout with
+      | rs, _, _ -> List.filter (fun t -> List.memq t.fd rs) live
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+  in
+  eofs @ readable
+
+(* One read(2); false at end of stream. *)
+let read_once t =
+  match Unix.read t.fd t.scratch 0 (Bytes.length t.scratch) with
+  | 0 -> false
+  | n -> Wire.feed t.dec t.scratch 0 n; true
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+    -> true
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> false
+
+let drain t =
+  let rec go acc =
+    match Wire.next t.dec with Some m -> go (m :: acc) | None -> List.rev acc
+  in
+  go []
+
+let pump t =
+  if not t.eof then if not (read_once t) then t.eof <- true;
+  let msgs = drain t in
+  if msgs = [] && t.eof then raise Closed;
+  msgs
+
+let recv ?timeout t =
+  let deadline =
+    match timeout with None -> None | Some s -> Some (Unix.gettimeofday () +. s)
+  in
+  let rec go () =
+    match Wire.next t.dec with
+    | Some m -> m
+    | None ->
+      if t.eof then raise Closed;
+      let wait =
+        match deadline with
+        | None -> 1.0
+        | Some d ->
+          let left = d -. Unix.gettimeofday () in
+          if left <= 0. then failwith "Transport.recv: timeout";
+          min left 1.0
+      in
+      (match poll ~timeout:wait [ t ] with
+      | [] -> ()
+      | _ -> if not (read_once t) then t.eof <- true);
+      go ()
+  in
+  go ()
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

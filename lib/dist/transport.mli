@@ -1,0 +1,46 @@
+(** Message transport over a connected socket (or pipe-like fd).
+
+    One {!t} wraps one end of a Unix-domain socket pair and owns a
+    {!Wire.decoder} for reassembling the inbound byte stream. Sends
+    are blocking write-alls; receives are event-loop friendly: callers
+    {!poll} a set of connections and {!pump} the readable ones.
+
+    A peer's disappearance — EOF on read, or [EPIPE]/[ECONNRESET] on
+    write — surfaces as {!Closed}. This is how localities detect a
+    dead coordinator (and self-reap) and how the coordinator detects a
+    crashed locality. *)
+
+exception Closed
+(** The peer closed its end or died. *)
+
+type t
+
+val create : Unix.file_descr -> t
+(** Wrap a connected descriptor. The transport takes ownership:
+    release it with {!close}. *)
+
+val fd : t -> Unix.file_descr
+
+val send : t -> Wire.msg -> unit
+(** Frame and write the whole message, retrying short writes.
+    @raise Closed if the peer is gone. *)
+
+val poll : timeout:float -> t list -> t list
+(** Wait up to [timeout] seconds for inbound data; returns the
+    connections worth {!pump}ing (possibly none). A connection at EOF
+    is always returned (its pump will raise {!Closed}). *)
+
+val pump : t -> Wire.msg list
+(** Perform at most one [read] (never blocking beyond it: call after
+    {!poll} says readable) and return every completed message, in
+    order. Returns [[]] when a frame is still partial.
+    @raise Closed at end of stream once all buffered messages have
+    been drained. *)
+
+val recv : ?timeout:float -> t -> Wire.msg
+(** Block until one message arrives (mainly for tests).
+    @raise Failure on [timeout] (default: wait forever).
+    @raise Closed at end of stream. *)
+
+val close : t -> unit
+(** Close the descriptor; idempotent. *)

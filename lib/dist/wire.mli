@@ -1,0 +1,75 @@
+(** The distributed runtime's wire protocol.
+
+    Localities and the coordinator exchange length-prefixed binary
+    frames over Unix-domain sockets: a 4-byte big-endian payload
+    length, then the [Marshal]-encoded {!msg}. All process-crossing
+    search state (task nodes, results, witnesses) is pre-encoded to
+    [string] by the problem's task codec ({!Yewpar_core.Codec}), so a
+    frame itself never contains closures and decodes in any process of
+    the same binary.
+
+    Framing and parsing are pure byte-level operations, separated from
+    file descriptors (see {!Transport}) so partial-read reassembly is
+    testable without sockets: {!feed} the decoder arbitrary chunks —
+    even single bytes — and {!next} yields each completed message. *)
+
+type msg =
+  | Task of { depth : int; payload : string }
+      (** A spawned task spilled to the coordinator's distributed
+          workpool (locality → coordinator), or dispatched to a
+          locality (coordinator → locality). [payload] is the
+          codec-encoded node. *)
+  | Steal_request
+      (** Locality → coordinator: a worker is starving, send work.
+          Coordinator → locality: another locality is starving, shed
+          queued work back (the steal channel). *)
+  | Steal_reply of { task : (int * string) option }
+      (** Coordinator → locality: a stolen [(depth, payload)] task.
+          The coordinator defers the reply until work exists, so
+          [None] never occurs on the live protocol path; it is kept
+          for protocol completeness. *)
+  | Bound_update of { value : int }
+      (** An incumbent improvement. Locality → coordinator on local
+          improvement; coordinator → every other locality on global
+          improvement (the PGAS bound-register broadcast). *)
+  | Witness of { value : int; payload : string }
+      (** Locality → coordinator: a Decide search found its witness;
+          triggers a global shutdown broadcast. *)
+  | Idle of { completed : int }
+      (** Locality → coordinator: the locality went fully idle, acking
+          [completed] coordinator-issued tasks (its spills for their
+          unfinished subtrees were sent earlier on this same ordered
+          socket). Drives distributed termination detection. *)
+  | Result of { payload : string }
+      (** Locality → coordinator after shutdown: the locality's
+          contribution to the final result (kind-dependent encoding,
+          see {!Locality}). *)
+  | Stats of Yewpar_core.Stats.t
+      (** Locality → coordinator after shutdown: the locality's search
+          counters, aggregated by the coordinator. *)
+  | Failed of { message : string }
+      (** Locality → coordinator: user code (a generator, bound or
+          objective) raised; aborts the whole search. *)
+  | Shutdown  (** Coordinator → locality: stop, report and exit. *)
+
+val to_bytes : msg -> bytes
+(** Frame one message: 4-byte big-endian length + marshalled payload. *)
+
+type decoder
+(** Incremental frame reassembler: buffers arbitrary byte chunks and
+    yields completed messages. *)
+
+val decoder : unit -> decoder
+(** A fresh decoder with an empty buffer. *)
+
+val feed : decoder -> bytes -> int -> int -> unit
+(** [feed d buf off len] appends [len] bytes of [buf] starting at
+    [off] — any split of the byte stream is fine, including mid-frame
+    and mid-length-prefix. *)
+
+val next : decoder -> msg option
+(** The next completed message, if a whole frame has arrived.
+    @raise Failure on a corrupt frame length. *)
+
+val pending : decoder -> int
+(** Bytes buffered but not yet consumed by {!next}. *)

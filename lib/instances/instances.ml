@@ -6,6 +6,7 @@ module Tsp = Yewpar_tsp.Tsp
 module Sip = Yewpar_sip.Sip
 module Uts = Yewpar_uts.Uts
 module Numsemi = Yewpar_numsemi.Numsemi
+module Queens = Yewpar_queens.Queens
 
 type packed =
   | Packed : ('s, 'n, 'r) Yewpar_core.Problem.t * ('r -> string) -> packed
@@ -172,6 +173,19 @@ let uts_suite =
               { Uts.g_b0 = 70.; decay = 0.43; g_max_depth = 200; g_seed = 808 },
             show_count )) ]
 
+(* Queens: not a paper application, but the canonical smoke-test family
+   — and (with MaxClique and Knapsack) one of the three applications
+   whose nodes carry a task codec, so these instances also run under
+   the distributed runtime. *)
+let queens_suite =
+  List.map
+    (fun n ->
+      mk (Printf.sprintf "queens-%d" n) "queens" (fun () ->
+          Packed
+            ( Queens.count_solutions (Queens.instance ~n),
+              Printf.sprintf "%d solutions" )))
+    [ 8; 10; 12 ]
+
 let ns_suite =
   List.map
     (fun g ->
@@ -191,7 +205,9 @@ let table2_suite =
 
 let all () =
   let fig4, _, _ = figure4 in
-  let everything = table1 @ [ fig4 ] @ List.concat_map snd table2_suite in
+  let everything =
+    table1 @ [ fig4 ] @ List.concat_map snd table2_suite @ queens_suite
+  in
   (* The Table 2 MaxClique suite reuses Table 1 instances; keep the
      first registration of each name. *)
   let seen = Hashtbl.create 64 in

@@ -36,6 +36,8 @@ let parallel_run (type s n r) ~n_workers ?stats ~coordination
   let c_tasks = Atomic.make 0 in
   let c_backtracks = Atomic.make 0 in
   let c_max_depth = Atomic.make 0 in
+  let c_steal_attempts = Atomic.make 0 in
+  let c_steals = Atomic.make 0 in
   let rec bump_max cell v =
     let cur = Atomic.get cell in
     if v > cur && not (Atomic.compare_and_set cell cur v) then bump_max cell v
@@ -83,17 +85,25 @@ let parallel_run (type s n r) ~n_workers ?stats ~coordination
     wake_all ()
   in
 
-  (* Blocking task acquisition; [None] means the search is over. *)
+  (* Blocking task acquisition; [None] means the search is over. A
+     worker that finds the pool dry has attempted a steal; obtaining a
+     task after having waited is the successful case. *)
   let take () =
     Mutex.lock pool.mutex;
+    let attempted = ref false in
     let rec wait () =
       if Atomic.get stop then None
       else
         match Workpool.pop_local pool.tasks with
         | Some t ->
           Atomic.decr pool.size;
+          if !attempted then Atomic.incr c_steals;
           Some t
         | None ->
+          if not !attempted then begin
+            attempted := true;
+            Atomic.incr c_steal_attempts
+          end;
           if Atomic.get outstanding = 0 then None
           else begin
             Atomic.incr waiting;
@@ -238,7 +248,11 @@ let parallel_run (type s n r) ~n_workers ?stats ~coordination
       st.Yewpar_core.Stats.backtracks + Atomic.get c_backtracks;
     st.Yewpar_core.Stats.max_depth <-
       max st.Yewpar_core.Stats.max_depth (Atomic.get c_max_depth);
-    st.Yewpar_core.Stats.tasks <- st.Yewpar_core.Stats.tasks + Atomic.get c_tasks);
+    st.Yewpar_core.Stats.tasks <- st.Yewpar_core.Stats.tasks + Atomic.get c_tasks;
+    st.Yewpar_core.Stats.steal_attempts <-
+      st.Yewpar_core.Stats.steal_attempts + Atomic.get c_steal_attempts;
+    st.Yewpar_core.Stats.steals <-
+      st.Yewpar_core.Stats.steals + Atomic.get c_steals);
   harness.Ops.result knowledge
 
 let run ?workers ?stats ~coordination p =

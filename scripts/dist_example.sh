@@ -1,0 +1,10 @@
+#!/bin/sh
+# The distributed runtime: coordinator + forked locality processes
+# talking over Unix-domain sockets. Only codec-carrying applications
+# (queens, maxclique, knapsack) can cross process boundaries.
+set -e
+Y="dune exec bin/yewpar.exe --"
+$Y solve -i queens-10      --skeleton depthbounded:2 --runtime dist -l 2 -w 2
+$Y solve -i queens-12      --skeleton stacksteal     --runtime dist -l 4 -w 2
+$Y solve -i sanr200_0.9-s  --skeleton depthbounded:2 --runtime dist -l 2 -w 2
+$Y solve -i knap-ss-20     --skeleton budget:500     --runtime dist -l 2 -w 2

@@ -24,7 +24,7 @@ let sample =
   T (1, [ T (2, [ T (7, []); T (4, []) ]); T (5, []); T (3, [ T (9, []) ]) ])
 
 let count_problem root =
-  Problem.count_nodes ~name:"count" ~space:() ~root ~children:children_of
+  Problem.count_nodes ~name:"count" ~space:() ~root ~children:children_of ()
 
 let max_problem root =
   Problem.maximise ~name:"max" ~space:() ~root ~children:children_of
@@ -196,7 +196,7 @@ let enumeration_monoid () =
   (* Sum of values, a different monoid from counting. *)
   let p =
     Problem.enumerate ~name:"sum" ~space:() ~root:sample ~children:children_of
-      ~empty:0 ~combine:( + ) ~view:value
+      ~empty:0 ~combine:( + ) ~view:value ()
   in
   Alcotest.(check int) "sum over tree" (1 + 2 + 7 + 4 + 5 + 3 + 9) (Sequential.search p)
 
@@ -282,6 +282,41 @@ let coordination_strings () =
   match Coordination.of_string "budget:-2" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "should reject negative budget"
+
+let stats_accounting () =
+  let a = Stats.create () in
+  a.Stats.nodes <- 10;
+  a.Stats.max_depth <- 3;
+  a.Stats.tasks <- 2;
+  a.Stats.steal_attempts <- 5;
+  a.Stats.steals <- 1;
+  let b = Stats.copy a in
+  b.Stats.nodes <- 7;
+  b.Stats.max_depth <- 9;
+  Alcotest.(check int) "copy is independent" 10 a.Stats.nodes;
+  Alcotest.(check int) "copy carried steal attempts" 5 b.Stats.steal_attempts;
+  Stats.add a b;
+  Alcotest.(check int) "nodes summed" 17 a.Stats.nodes;
+  Alcotest.(check int) "max depth maxed" 9 a.Stats.max_depth;
+  Alcotest.(check int) "tasks summed" 4 a.Stats.tasks;
+  Alcotest.(check int) "steal attempts summed" 10 a.Stats.steal_attempts;
+  Alcotest.(check int) "steals summed" 2 a.Stats.steals;
+  let rendered = Format.asprintf "%a" Stats.pp a in
+  Alcotest.(check bool) "pp shows steals/attempts"
+    true
+    (let re = Str.regexp_string "steals=2/10" in
+     match Str.search_forward re rendered 0 with
+     | _ -> true
+     | exception Not_found -> false)
+
+let codec_roundtrip () =
+  let codec = Yewpar_core.Codec.marshal () in
+  let node = T (3, [ T (1, []); T (4, [ T (1, []) ]) ]) in
+  Alcotest.(check bool) "marshal codec roundtrips" true
+    (codec.Yewpar_core.Codec.decode (codec.Yewpar_core.Codec.encode node) = node);
+  let s = Yewpar_core.Codec.string in
+  Alcotest.(check string) "string codec is identity" "payload"
+    (s.Yewpar_core.Codec.decode (s.Yewpar_core.Codec.encode "payload"))
 
 let dot_export () =
   let dot =
@@ -472,6 +507,11 @@ let () =
           Alcotest.test_case "decide keep/process" `Quick ops_decide_keep;
         ] );
       ("coordination", [ Alcotest.test_case "parsing" `Quick coordination_strings ]);
+      ( "stats",
+        [
+          Alcotest.test_case "add/copy/pp" `Quick stats_accounting;
+          Alcotest.test_case "codec roundtrip" `Quick codec_roundtrip;
+        ] );
       ( "ordered-core",
         [
           Alcotest.test_case "paths and selection" `Quick ordered_core_paths;

@@ -1,0 +1,326 @@
+(* Distributed runtime tests: wire protocol framing (including partial
+   reads), transport over socketpairs, and end-to-end multi-process
+   searches checked against the sequential skeleton. *)
+
+module Wire = Yewpar_dist.Wire
+module Transport = Yewpar_dist.Transport
+module Locality = Yewpar_dist.Locality
+module Dist = Yewpar_dist.Dist
+module Problem = Yewpar_core.Problem
+module Codec = Yewpar_core.Codec
+module Sequential = Yewpar_core.Sequential
+module Coordination = Yewpar_core.Coordination
+module Stats = Yewpar_core.Stats
+module Queens = Yewpar_queens.Queens
+module Mc = Yewpar_maxclique.Maxclique
+module Gen = Yewpar_graph.Gen
+module Knapsack = Yewpar_knapsack.Knapsack
+
+(* ------------------------- wire protocol ------------------------- *)
+
+let msg_t : Wire.msg Alcotest.testable =
+  Alcotest.testable (fun ppf _ -> Format.pp_print_string ppf "<msg>") ( = )
+
+let sample_stats () =
+  let st = Stats.create () in
+  st.Stats.nodes <- 7;
+  st.Stats.pruned <- 2;
+  st.Stats.backtracks <- 5;
+  st.Stats.max_depth <- 3;
+  st.Stats.tasks <- 4;
+  st.Stats.steal_attempts <- 6;
+  st.Stats.steals <- 1;
+  st
+
+let all_msgs () =
+  [
+    Wire.Task { depth = 3; payload = "abc" };
+    Wire.Steal_request;
+    Wire.Steal_reply { task = Some (1, "x") };
+    Wire.Steal_reply { task = None };
+    Wire.Bound_update { value = 42 };
+    Wire.Witness { value = 9; payload = "w" };
+    Wire.Idle { completed = 17 };
+    Wire.Result { payload = "r" };
+    Wire.Stats (sample_stats ());
+    Wire.Failed { message = "boom" };
+    Wire.Shutdown;
+  ]
+
+let roundtrip_bytewise () =
+  (* Feeding one byte at a time must never yield an early or mangled
+     message; the frame completes exactly on its last byte. *)
+  let dec = Wire.decoder () in
+  List.iter
+    (fun m ->
+      let b = Wire.to_bytes m in
+      for i = 0 to Bytes.length b - 2 do
+        Wire.feed dec b i 1;
+        Alcotest.(check (option msg_t)) "no early message" None (Wire.next dec)
+      done;
+      Wire.feed dec b (Bytes.length b - 1) 1;
+      Alcotest.(check (option msg_t)) "frame completes" (Some m) (Wire.next dec);
+      Alcotest.(check int) "no residue" 0 (Wire.pending dec))
+    (all_msgs ())
+
+let concatenated_stream () =
+  (* Many frames in arbitrary chunkings decode in order with nothing
+     left over. *)
+  let msgs = all_msgs () in
+  let buf = Buffer.create 256 in
+  List.iter (fun m -> Buffer.add_bytes buf (Wire.to_bytes m)) msgs;
+  let stream = Buffer.to_bytes buf in
+  let n = Bytes.length stream in
+  List.iter
+    (fun chunk ->
+      let dec = Wire.decoder () in
+      let off = ref 0 in
+      while !off < n do
+        let len = min chunk (n - !off) in
+        Wire.feed dec stream !off len;
+        off := !off + len
+      done;
+      List.iter
+        (fun m ->
+          Alcotest.(check (option msg_t))
+            (Printf.sprintf "in order (chunk %d)" chunk)
+            (Some m) (Wire.next dec))
+        msgs;
+      Alcotest.(check (option msg_t)) "stream exhausted" None (Wire.next dec);
+      Alcotest.(check int) "no residue" 0 (Wire.pending dec))
+    [ 1; 2; 3; 5; 7; 13; 64; n ]
+
+let corrupt_length_rejected () =
+  let dec = Wire.decoder () in
+  Wire.feed dec (Bytes.make 4 '\xff') 0 4;
+  match Wire.next dec with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "corrupt frame length accepted"
+
+(* --------------------------- transport --------------------------- *)
+
+let transport_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let ca = Transport.create a in
+  let cb = Transport.create b in
+  let msgs = all_msgs () in
+  List.iter (Transport.send ca) msgs;
+  List.iter
+    (fun m -> Alcotest.check msg_t "received" m (Transport.recv ~timeout:10. cb))
+    msgs;
+  Transport.close ca;
+  (match Transport.recv ~timeout:10. cb with
+  | exception Transport.Closed -> ()
+  | _ -> Alcotest.fail "expected Closed after peer close");
+  Transport.close cb
+
+(* ------------------------- end-to-end runs ------------------------ *)
+
+let dist ?stats ?broadcasts ?(localities = 2) ?(workers = 2) ~coordination p =
+  Dist.run ?stats ?broadcasts ~watchdog:120. ~localities ~workers ~coordination p
+
+let coords =
+  [
+    ("depth2", Coordination.Depth_bounded { dcutoff = 2 });
+    ("stack", Coordination.Stack_stealing { chunked = false });
+    ("stack-chunked", Coordination.Stack_stealing { chunked = true });
+    ("budget50", Coordination.Budget { budget = 50 });
+  ]
+
+let queens_n n = Queens.count_solutions (Queens.instance ~n)
+
+let queens_matches () =
+  let p = queens_n 8 in
+  let expected, seq_stats = Sequential.search_with_stats p in
+  List.iter
+    (fun (name, coordination) ->
+      let stats = Stats.create () in
+      let r = dist ~stats ~coordination p in
+      Alcotest.(check int) (Printf.sprintf "queens-8 (%s)" name) expected r;
+      (* Enumeration never prunes, so the distributed node total must
+         equal the sequential one: nothing lost, nothing done twice. *)
+      Alcotest.(check int)
+        (Printf.sprintf "total nodes (%s)" name)
+        seq_stats.Stats.nodes stats.Stats.nodes;
+      Alcotest.(check bool)
+        (Printf.sprintf "attempts >= steals (%s)" name)
+        true
+        (stats.Stats.steal_attempts >= stats.Stats.steals);
+      Alcotest.(check bool)
+        (Printf.sprintf "stealing happened (%s)" name)
+        true (stats.Stats.steal_attempts >= 1))
+    coords;
+  (* Depth-bounded spawns dozens of coordinator-mediated tasks, so the
+     second locality must actually receive some. *)
+  let stats = Stats.create () in
+  ignore (dist ~stats ~coordination:(Coordination.Depth_bounded { dcutoff = 2 }) p);
+  Alcotest.(check bool) "successful steals" true (stats.Stats.steals >= 1)
+
+let maxclique_matches () =
+  let g = Gen.uniform ~seed:41 32 0.6 in
+  let p = Mc.max_clique g in
+  let expected = (Sequential.search p).Mc.size in
+  List.iter
+    (fun (name, coordination) ->
+      let broadcasts = ref 0 in
+      let node = dist ~broadcasts ~coordination p in
+      Alcotest.(check int) (Printf.sprintf "maxclique (%s)" name) expected
+        node.Mc.size;
+      Alcotest.(check bool)
+        (Printf.sprintf "broadcast count sane (%s)" name)
+        true (!broadcasts >= 0))
+    coords
+
+let knapsack_matches () =
+  let inst = Knapsack.Generate.weakly_correlated ~seed:43 ~n:16 ~max_value:100 in
+  let p = Knapsack.problem inst in
+  let expected = Knapsack.exact_dp inst in
+  List.iter
+    (fun (name, coordination) ->
+      let node = dist ~coordination p in
+      Alcotest.(check int) (Printf.sprintf "knapsack (%s)" name) expected
+        node.Knapsack.profit)
+    coords
+
+let decision_matches () =
+  let g = Gen.hidden_clique ~seed:42 30 0.3 7 in
+  List.iter
+    (fun (name, coordination) ->
+      (match dist ~coordination (Mc.k_clique g ~k:7) with
+      | Some node ->
+        Alcotest.(check bool)
+          (Printf.sprintf "witness valid (%s)" name)
+          true
+          (Yewpar_graph.Graph.is_clique g (Mc.vertices_of node))
+      | None -> Alcotest.fail (Printf.sprintf "7-clique not found (%s)" name));
+      match dist ~coordination (Mc.k_clique g ~k:25) with
+      | Some _ -> Alcotest.fail (Printf.sprintf "no 25-clique exists (%s)" name)
+      | None -> ())
+    coords
+
+let single_locality_single_worker () =
+  let p = queens_n 7 in
+  let expected = Sequential.search p in
+  Alcotest.(check int) "1x1 topology" expected
+    (dist ~localities:1 ~workers:1
+       ~coordination:(Coordination.Budget { budget = 50 })
+       p)
+
+let sequential_delegates () =
+  let p = queens_n 6 in
+  Alcotest.(check int) "sequential passthrough" (Sequential.search p)
+    (Dist.run ~localities:2 ~workers:2 ~coordination:Coordination.Sequential p)
+
+let invalid_arguments () =
+  let p = queens_n 6 in
+  Alcotest.check_raises "zero localities rejected"
+    (Invalid_argument "Dist.run: localities must be >= 1") (fun () ->
+      ignore
+        (Dist.run ~localities:0 ~workers:2
+           ~coordination:(Coordination.Budget { budget = 1 })
+           p));
+  (* A problem without a task codec cannot cross process boundaries. *)
+  let no_codec =
+    Problem.count_nodes ~name:"local-only" ~space:() ~root:0
+      ~children:(fun () _ -> Seq.empty)
+      ()
+  in
+  Alcotest.check_raises "codec-less problem rejected"
+    (Invalid_argument
+       "Dist.run: problem \"local-only\" has no task codec and cannot be \
+        distributed") (fun () ->
+      ignore
+        (Dist.run ~localities:2 ~workers:2
+           ~coordination:(Coordination.Budget { budget = 1 })
+           no_codec))
+
+type tree = T of int * tree list
+
+exception Generator_failure
+
+let generator_exceptions_propagate () =
+  (* A generator raising inside a locality must abort the whole search
+     with a Failure, not deadlock the cluster. *)
+  let visits = Atomic.make 0 in
+  let exploding =
+    Problem.count_nodes ~codec:(Codec.marshal ()) ~name:"exploding" ~space:()
+      ~root:(T (1, []))
+      ~children:(fun () _ ->
+        if Atomic.fetch_and_add visits 1 > 40 then raise Generator_failure
+        else Seq.init 3 (fun i -> T (i, [])))
+      ()
+  in
+  match dist ~coordination:(Coordination.Budget { budget = 5 }) exploding with
+  | exception Failure msg ->
+    Alcotest.(check bool) "failure names the exception" true
+      (let re = Str.regexp_string "Generator_failure" in
+       match Str.search_forward re msg 0 with
+       | _ -> true
+       | exception Not_found -> false)
+  | exception e ->
+    Alcotest.fail ("unexpected exception: " ^ Printexc.to_string e)
+  | _ -> Alcotest.fail "expected the locality failure to surface"
+
+let children_reaped () =
+  ignore
+    (dist ~coordination:(Coordination.Depth_bounded { dcutoff = 2 }) (queens_n 6));
+  match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  | pid, _ -> Alcotest.fail (Printf.sprintf "child %d left unreaped" pid)
+
+let orphan_self_reaps () =
+  (* A locality whose coordinator dies must notice the EOF and exit
+     nonzero by itself instead of spinning forever. *)
+  let coord_fd, loc_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    let code =
+      try
+        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+        Unix.close coord_fd;
+        let conn = Transport.create loc_fd in
+        Locality.run ~conn ~workers:2
+          ~coordination:(Coordination.Depth_bounded { dcutoff = 2 })
+          (queens_n 8);
+        0
+      with _ -> 1
+    in
+    Unix._exit code
+  | pid ->
+    Unix.close loc_fd;
+    (* Kill the coordinator side immediately: the locality is now an
+       orphan. *)
+    Unix.close coord_fd;
+    let _, status = Unix.waitpid [] pid in
+    Alcotest.(check bool) "orphan exited reporting failure" true
+      (status = Unix.WEXITED 1)
+
+let () =
+  Alcotest.run "dist"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "bytewise roundtrip" `Quick roundtrip_bytewise;
+          Alcotest.test_case "chunked stream" `Quick concatenated_stream;
+          Alcotest.test_case "corrupt length" `Quick corrupt_length_rejected;
+        ] );
+      ("transport", [ Alcotest.test_case "roundtrip + EOF" `Quick transport_roundtrip ]);
+      ( "agreement",
+        [
+          Alcotest.test_case "queens" `Quick queens_matches;
+          Alcotest.test_case "maxclique" `Quick maxclique_matches;
+          Alcotest.test_case "knapsack" `Quick knapsack_matches;
+          Alcotest.test_case "decision" `Quick decision_matches;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "1x1 topology" `Quick single_locality_single_worker;
+          Alcotest.test_case "sequential delegates" `Quick sequential_delegates;
+          Alcotest.test_case "invalid arguments" `Quick invalid_arguments;
+          Alcotest.test_case "exception safety" `Quick generator_exceptions_propagate;
+          Alcotest.test_case "children reaped" `Quick children_reaped;
+          Alcotest.test_case "orphan self-reaps" `Quick orphan_self_reaps;
+        ] );
+    ]

@@ -12,7 +12,8 @@ let registry_integrity () =
       if
         not
           (List.mem i.Instances.app
-             [ "maxclique"; "kclique"; "knapsack"; "tsp"; "sip"; "uts"; "ns" ])
+             [ "maxclique"; "kclique"; "knapsack"; "tsp"; "sip"; "uts"; "ns";
+               "queens" ])
       then Alcotest.fail ("unknown app tag " ^ i.Instances.app))
     all
 

@@ -81,7 +81,7 @@ let shm_witness_replicable () =
 let shm_rejects_non_optimisation () =
   let count =
     Problem.count_nodes ~name:"c" ~space:() ~root:0
-      ~children:(fun () _ -> Seq.empty)
+      ~children:(fun () _ -> Seq.empty) ()
   in
   Alcotest.check_raises "enumerate rejected"
     (Invalid_argument "Ordered_shm.search: optimisation problems only") (fun () ->
@@ -90,7 +90,7 @@ let shm_rejects_non_optimisation () =
 let rejects_non_optimisation () =
   let count =
     Problem.count_nodes ~name:"c" ~space:() ~root:0
-      ~children:(fun () _ -> Seq.empty)
+      ~children:(fun () _ -> Seq.empty) ()
   in
   Alcotest.check_raises "enumerate rejected"
     (Invalid_argument "Ordered.search: optimisation problems only") (fun () ->

@@ -18,6 +18,7 @@ let rec mk_tree depth breadth v =
 let count_problem t =
   Problem.count_nodes ~name:"count" ~space:() ~root:t
     ~children:(fun () (T (_, cs)) -> List.to_seq cs)
+    ()
 
 let rec tree_size (T (_, cs)) = 1 + List.fold_left (fun a c -> a + tree_size c) 0 cs
 
@@ -275,6 +276,7 @@ let generator_exceptions_propagate () =
         incr visits;
         if !visits > 40 then raise Generator_failure
         else Seq.init 3 (fun i -> T (i, [])))
+      ()
   in
   List.iter
     (fun (cname, coordination) ->
