@@ -38,6 +38,63 @@ let mean_wall ~reps f =
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
 
+(* ------------------------------------------------------------------ *)
+(* --json FILE: machine-readable per-run results.                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Each measured run appends one record of pre-rendered JSON (key,
+   value) pairs; the file is written once at exit. *)
+let json_records : (string * string) list list ref = ref []
+
+let jstr s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let jint = string_of_int
+let jfloat = Printf.sprintf "%.9g"
+let json_record fields = json_records := fields :: !json_records
+
+let json_sim_run ~experiment ~name ~coordination ~topology (m : Metrics.t)
+    ~speedup =
+  json_record
+    [ ("experiment", jstr experiment); ("problem", jstr name);
+      ("skeleton", jstr (Coordination.to_string coordination));
+      ("runtime", jstr "sim");
+      ("localities", jint topology.Sim_config.localities);
+      ("workers", jint topology.Sim_config.workers_per_locality);
+      ("elapsed", jfloat m.Metrics.makespan);
+      ("total_work", jfloat m.Metrics.total_work);
+      ("nodes", jint m.Metrics.nodes); ("pruned", jint m.Metrics.pruned);
+      ("tasks", jint m.Metrics.tasks);
+      ("steal_attempts", jint m.Metrics.steal_attempts);
+      ("steals", jint m.Metrics.steal_successes);
+      ("bound_broadcasts", jint m.Metrics.bound_broadcasts);
+      ("speedup", jfloat speedup) ]
+
+let write_json file =
+  let render fields =
+    "  {"
+    ^ String.concat ", " (List.map (fun (k, v) -> jstr k ^ ": " ^ v) fields)
+    ^ "}"
+  in
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc "[\n";
+      Out_channel.output_string oc
+        (String.concat ",\n" (List.rev_map render !json_records));
+      Out_channel.output_string oc "\n]\n")
+
 (* Virtual sequential baselines are expensive (a full search); cache by
    instance name. *)
 let seq_time_cache : (string, float) Hashtbl.t = Hashtbl.create 64
@@ -50,11 +107,13 @@ let virtual_seq_time name (Instances.Packed (p, _)) =
     Hashtbl.add seq_time_cache name t;
     t
 
-let sim_speedup ?costs ?seed ~topology ~coordination name
+let sim_speedup ?(experiment = "sim") ?costs ?seed ~topology ~coordination name
     (Instances.Packed (p, _) as packed) =
   let seq = virtual_seq_time name packed in
   let _, m = Sim.run ?costs ?seed ~topology ~coordination p in
-  Metrics.speedup ~sequential_time:seq m
+  let speedup = Metrics.speedup ~sequential_time:seq m in
+  json_sim_run ~experiment ~name ~coordination ~topology m ~speedup;
+  speedup
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: YewPar overheads on MaxClique.                             *)
@@ -80,9 +139,17 @@ let table1 ~reps () =
       (* Sequential: hand-coded vs Sequential skeleton (real time). *)
       let (spec_size, _), _ = (Mc.Specialised.max_clique_size g, ()) in
       let spec_t = mean_wall ~reps (fun () -> ignore (Mc.Specialised.max_clique_size g)) in
-      let yew_node = Sequential.search problem in
+      let (yew_node, yew_stats), _ = wall (fun () -> Sequential.search_with_stats problem) in
       let yew_t = mean_wall ~reps (fun () -> ignore (Sequential.search problem)) in
       assert (spec_size = yew_node.Mc.size);
+      json_record
+        [ ("experiment", jstr "table1"); ("problem", jstr name);
+          ("skeleton", jstr "seq"); ("runtime", jstr "seq");
+          ("localities", jint 1); ("workers", jint 1);
+          ("elapsed", jfloat yew_t);
+          ("elapsed_specialised", jfloat spec_t);
+          ("nodes", jint yew_stats.Yewpar_core.Stats.nodes);
+          ("pruned", jint yew_stats.Yewpar_core.Stats.pruned) ];
       let seq_slow = Summary.percent_change ~baseline:spec_t yew_t in
       (* Parallel: simulated OpenMP-style vs simulated YewPar. *)
       let topology = Sim_config.topology ~localities:1 ~workers:15 in
@@ -95,6 +162,13 @@ let table1 ~reps () =
           (Sim_config.default.Sim_config.node_cost *. (1. +. (seq_slow /. 100.)))
       in
       let _, m_yew = Sim.run ~costs:yew_costs ~topology ~coordination problem in
+      let seq_virtual = virtual_seq_time name (Instances.Packed (problem, fun _ -> "")) in
+      List.iter
+        (fun (variant, m) ->
+          json_sim_run ~experiment:("table1-" ^ variant) ~name ~coordination
+            ~topology m
+            ~speedup:(Metrics.speedup ~sequential_time:seq_virtual m))
+        [ ("openmp", m_omp); ("yewpar", m_yew) ];
       let par_slow =
         Summary.percent_change ~baseline:m_omp.Metrics.makespan m_yew.Metrics.makespan
       in
@@ -153,6 +227,9 @@ let figure4 () =
               let topology = Sim_config.topology ~localities:l ~workers:15 in
               let (Instances.Packed (p, _)) = packed in
               let _, m = Sim.run ~topology ~coordination p in
+              json_sim_run ~experiment:"figure4" ~name:inst.Instances.name
+                ~coordination ~topology m
+                ~speedup:(Metrics.speedup ~sequential_time:seq m);
               Printf.eprintf "  [figure4] %s x%d done\n%!" sname l;
               m.Metrics.makespan)
             localities
@@ -204,7 +281,8 @@ let table2 ~dcutoffs ~budgets () =
           List.map
             (fun i ->
               let packed = Lazy.force i.Instances.problem in
-              sim_speedup ~topology ~coordination i.Instances.name packed)
+              sim_speedup ~experiment:"table2" ~topology ~coordination
+                i.Instances.name packed)
             instances
         in
         Summary.geometric_mean per_instance)
@@ -275,7 +353,8 @@ let ablation_budget () =
                  (fun b ->
                    let coordination = Coordination.Budget { budget = b } in
                    Table.fspeedup
-                     (sim_speedup ~topology ~coordination i.Instances.name packed))
+                     (sim_speedup ~experiment:"ablation-budget" ~topology
+                        ~coordination i.Instances.name packed))
                  budgets))
       Instances.table2_suite
   in
@@ -297,7 +376,10 @@ let ablation_pool () =
   let rows =
     List.map
       (fun (cname, coordination) ->
-        let run costs = sim_speedup ~costs ~topology ~coordination inst.Instances.name packed in
+        let run costs =
+          sim_speedup ~experiment:"ablation-pool" ~costs ~topology ~coordination
+            inst.Instances.name packed
+        in
         let depth_pool = run Sim_config.default in
         let fifo = run { Sim_config.default with Sim_config.fifo_pool = true } in
         [ cname; Table.fspeedup depth_pool; Table.fspeedup fifo;
@@ -332,7 +414,8 @@ let ablation_bestfirst () =
         | Some (app, i) ->
           let packed = Lazy.force i.Instances.problem in
           let speed coordination =
-            sim_speedup ~topology ~coordination i.Instances.name packed
+            sim_speedup ~experiment:"ablation-bestfirst" ~topology ~coordination
+              i.Instances.name packed
           in
           let db = speed (Coordination.Depth_bounded { dcutoff = 2 }) in
           let bf = speed (Coordination.Best_first { dcutoff = 2 }) in
@@ -397,7 +480,8 @@ let ablation_anomaly () =
   let coordination = Coordination.Stack_stealing { chunked = true } in
   let speedups =
     List.init 20 (fun seed ->
-        sim_speedup ~seed:(seed + 1) ~topology ~coordination "figure4-sat" packed)
+        sim_speedup ~experiment:"ablation-anomaly" ~seed:(seed + 1) ~topology
+          ~coordination "figure4-sat" packed)
   in
   let lo, hi = Summary.min_max speedups in
   Printf.printf "min %.2fx  median %.2fx  max %.2fx  (15 workers)\n" lo
@@ -479,6 +563,18 @@ let micro () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* Pull `--json FILE` out of the section list. *)
+  let json_file, args =
+    let rec extract acc = function
+      | [] -> (None, List.rev acc)
+      | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
+      | [ "--json" ] ->
+        prerr_endline "bench: --json requires a FILE argument";
+        exit 2
+      | a :: rest -> extract (a :: acc) rest
+    in
+    extract [] args
+  in
   let quick = not (List.mem "full" args) in
   let reps = if quick then 2 else 5 in
   let dcutoffs = if quick then [ 1; 2; 3; 4; 6 ] else [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ] in
@@ -499,4 +595,10 @@ let () =
   if want "ablations" || want "ablation-ordered" then ablation_ordered ();
   if want "ablations" || want "ablation-anomaly" then ablation_anomaly ();
   if want "micro" then micro ();
+  (match json_file with
+  | Some file ->
+    write_json file;
+    Printf.printf "\n[bench] wrote %d records to %s\n"
+      (List.length !json_records) file
+  | None -> ());
   Printf.printf "\n[bench] total wall time %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -17,6 +17,8 @@ module Metrics = Yewpar_sim.Metrics
 module Shm = Yewpar_par.Shm
 module Dist = Yewpar_dist.Dist
 module Mc = Yewpar_maxclique.Maxclique
+module Telemetry = Yewpar_telemetry.Telemetry
+module Recorder = Yewpar_telemetry.Recorder
 
 open Cmdliner
 
@@ -70,36 +72,122 @@ let workers_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler seed (sim only).")
 
-let trace_arg =
-  Arg.(value & opt (some string) None
-       & info [ "trace-csv" ] ~docv:"FILE"
-           ~doc:"Write a per-worker busy-interval trace to $(docv) (sim only), \
-                 one CSV row per interval — plots directly as a Gantt chart.")
+(* Observability flags, shared by every solving subcommand. *)
+
+type trace_format = Chrome | Csv
+
+type obs = {
+  obs_trace : string option;
+  obs_format : trace_format;
+  obs_metrics : string option;
+}
+
+let obs_term =
+  let format_conv =
+    let parse = function
+      | "chrome" -> Ok Chrome
+      | "csv" -> Ok Csv
+      | s -> Error (`Msg (Printf.sprintf "unknown trace format %S (chrome|csv)" s))
+    in
+    Arg.conv (parse, fun ppf f ->
+        Format.pp_print_string ppf (match f with Chrome -> "chrome" | Csv -> "csv"))
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a per-worker execution trace to $(docv) (any runtime): \
+                   task/steal/idle/bound-update spans for seq, shm and dist, \
+                   busy intervals for sim. See $(b,--trace-format).")
+  in
+  let format =
+    Arg.(value & opt format_conv Chrome
+         & info [ "trace-format" ] ~docv:"FMT"
+             ~doc:"Trace file format: $(b,chrome) (trace-event JSON, open at \
+                   ui.perfetto.dev) or $(b,csv) (worker,start,duration,label \
+                   rows, the simulator's Gantt format).")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Write run metrics (counters and duration histograms) to \
+                   $(docv) in Prometheus text exposition format.")
+  in
+  let trace_csv =
+    Arg.(value & opt (some string) None
+         & info [ "trace-csv" ] ~docv:"FILE"
+             ~doc:"Deprecated alias for $(b,--trace) $(docv) \
+                   $(b,--trace-format) csv.")
+  in
+  let combine obs_trace obs_format obs_metrics trace_csv =
+    match (obs_trace, trace_csv) with
+    | None, Some f ->
+      prerr_endline
+        "yewpar: --trace-csv is deprecated; use --trace FILE --trace-format csv";
+      { obs_trace = Some f; obs_format = Csv; obs_metrics }
+    | _ -> { obs_trace; obs_format; obs_metrics }
+  in
+  Term.(const combine $ trace $ format $ metrics $ trace_csv)
+
+let write_file file data =
+  Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc data)
+
+(* Export the sink to the requested files and report what was written. *)
+let export_observability obs = function
+  | None -> ()
+  | Some tl ->
+    (match obs.obs_trace with
+    | Some file ->
+      write_file file
+        (match obs.obs_format with
+        | Chrome -> Telemetry.to_chrome tl
+        | Csv -> Telemetry.to_csv tl);
+      Printf.printf "trace:    %s (%d spans, %d dropped)\n" file
+        (List.length (Telemetry.spans tl))
+        (Telemetry.dropped tl)
+    | None -> ());
+    (match obs.obs_metrics with
+    | Some file ->
+      write_file file (Telemetry.to_prometheus tl);
+      Printf.printf "metrics:  %s (prometheus)\n" file
+    | None -> ())
 
 (* Run a packed problem on the chosen runtime and print everything. *)
-let execute ~runtime ~coordination ~localities ~workers ~seed ?trace_csv
+let execute ~runtime ~coordination ~localities ~workers ~seed ~obs
     (Instances.Packed (p, show)) =
+  let telemetry =
+    if obs.obs_trace <> None || obs.obs_metrics <> None then
+      Some (Telemetry.create ())
+    else None
+  in
   match runtime with
   | Rt_seq ->
+    let t0 = Unix.gettimeofday () in
     let (result, stats), elapsed = wall (fun () -> Sequential.search_with_stats p) in
+    Option.iter
+      (fun tl ->
+        Telemetry.add_span tl
+          { Telemetry.locality = 0; worker = 0; kind = Recorder.Task;
+            start = t0; dur = elapsed; arg = stats.Stats.nodes; label = "" })
+      telemetry;
     Printf.printf "result:   %s\n" (show result);
     Format.printf "stats:    %a@." Stats.pp stats;
-    Printf.printf "walltime: %.3fs\n" elapsed
+    Printf.printf "walltime: %.3fs\n" elapsed;
+    export_observability obs telemetry
   | Rt_shm ->
     let stats = Stats.create () in
     let result, elapsed =
-      wall (fun () -> Shm.run ~workers ~stats ~coordination p)
+      wall (fun () -> Shm.run ~workers ~stats ?telemetry ~coordination p)
     in
     Printf.printf "result:   %s\n" (show result);
     Format.printf "stats:    %a@." Stats.pp stats;
-    Printf.printf "walltime: %.3fs (%d domains)\n" elapsed workers
+    Printf.printf "walltime: %.3fs (%d domains)\n" elapsed workers;
+    export_observability obs telemetry
   | Rt_dist ->
     let stats = Stats.create () in
-    let broadcasts = ref 0 in
     let result, elapsed =
       match
         wall (fun () ->
-            Dist.run ~stats ~broadcasts ~localities ~workers ~coordination p)
+            Dist.run ~stats ?telemetry ~localities ~workers ~coordination p)
       with
       | r -> r
       | exception Invalid_argument msg ->
@@ -107,12 +195,13 @@ let execute ~runtime ~coordination ~localities ~workers ~seed ?trace_csv
         exit 1
     in
     Printf.printf "result:   %s\n" (show result);
-    Format.printf "stats:    %a broadcasts=%d@." Stats.pp stats !broadcasts;
+    Format.printf "stats:    %a@." Stats.pp stats;
     Printf.printf "walltime: %.3fs (%d localities x %d workers)\n" elapsed
-      localities workers
+      localities workers;
+    export_observability obs telemetry
   | Rt_sim ->
     let topology = Sim_config.topology ~localities ~workers in
-    let trace = Option.map (fun _ -> Yewpar_sim.Trace.create ()) trace_csv in
+    let trace = Option.map (fun _ -> Yewpar_sim.Trace.create ()) telemetry in
     let (result, metrics), elapsed =
       wall (fun () -> Sim.run ~seed ?trace ~topology ~coordination p)
     in
@@ -123,13 +212,24 @@ let execute ~runtime ~coordination ~localities ~workers ~seed ?trace_csv
       (Metrics.speedup ~sequential_time:seq_time metrics)
       seq_time;
     Printf.printf "walltime: %.3fs (host)\n" elapsed;
-    (match (trace_csv, trace) with
-    | Some file, Some t ->
-      Out_channel.with_open_text file (fun oc ->
-          Out_channel.output_string oc (Yewpar_sim.Trace.to_csv t));
-      Printf.printf "trace:    %s (%d spans)\n" file
-        (List.length (Yewpar_sim.Trace.spans t))
-    | _ -> ())
+    (match (telemetry, trace) with
+    | Some tl, Some t ->
+      (* Simulator spans carry rich labels and virtual timestamps;
+         convert them so both exporters and the metric derivation
+         apply uniformly. *)
+      List.iter
+        (fun s ->
+          Telemetry.add_span tl
+            { Telemetry.locality = s.Yewpar_sim.Trace.worker / workers;
+              worker = s.Yewpar_sim.Trace.worker mod workers;
+              kind = Recorder.Task;
+              start = s.Yewpar_sim.Trace.start;
+              dur = s.Yewpar_sim.Trace.duration;
+              arg = 0;
+              label = s.Yewpar_sim.Trace.label })
+        (Yewpar_sim.Trace.spans t)
+    | _ -> ());
+    export_observability obs telemetry
 
 let list_cmd =
   let run () =
@@ -145,7 +245,7 @@ let solve_cmd =
     Arg.(required & opt (some string) None
          & info [ "instance"; "i" ] ~docv:"NAME" ~doc:"Instance name (see $(b,list)).")
   in
-  let run name coordination runtime localities workers seed trace_csv =
+  let run name coordination runtime localities workers seed obs =
     match Instances.find name with
     | exception Not_found ->
       Printf.eprintf "unknown instance %S; try `yewpar list'\n" name;
@@ -153,12 +253,12 @@ let solve_cmd =
     | inst ->
       Printf.printf "instance: %s (%s)\n" inst.Instances.name inst.Instances.app;
       Printf.printf "skeleton: %s\n" (Coordination.to_string coordination);
-      execute ~runtime ~coordination ~localities ~workers ~seed ?trace_csv
+      execute ~runtime ~coordination ~localities ~workers ~seed ~obs
         (Lazy.force inst.Instances.problem)
   in
   Cmd.v (Cmd.info "solve" ~doc:"Run a registered instance under a chosen skeleton.")
     Term.(const run $ instance_arg $ skeleton_arg $ runtime_arg $ localities_arg
-          $ workers_arg $ seed_arg $ trace_arg)
+          $ workers_arg $ seed_arg $ obs_term)
 
 let dimacs_cmd =
   let file_arg =
@@ -171,7 +271,7 @@ let dimacs_cmd =
              ~doc:"Search for a clique of size $(docv) (decision) instead of a \
                    maximum clique (optimisation).")
   in
-  let run file k coordination runtime localities workers seed =
+  let run file k coordination runtime localities workers seed obs =
     let graph = Yewpar_graph.Dimacs.parse_file file in
     Printf.printf "graph:    %s (%d vertices, %d edges)\n" file
       (Yewpar_graph.Graph.n_vertices graph)
@@ -194,13 +294,13 @@ let dimacs_cmd =
                 (String.concat ", " (List.map string_of_int (Mc.vertices_of n)))
             | None -> Printf.sprintf "no clique of size %d" k )
     in
-    execute ~runtime ~coordination ~localities ~workers ~seed packed
+    execute ~runtime ~coordination ~localities ~workers ~seed ~obs packed
   in
   Cmd.v
     (Cmd.info "dimacs"
        ~doc:"Solve Maximum Clique or k-Clique on a DIMACS graph file.")
     Term.(const run $ file_arg $ kclique_arg $ skeleton_arg $ runtime_arg
-          $ localities_arg $ workers_arg $ seed_arg)
+          $ localities_arg $ workers_arg $ seed_arg $ obs_term)
 
 let tsplib_cmd =
   let file_arg =
@@ -213,7 +313,7 @@ let tsplib_cmd =
              ~doc:"Find a tour of length at most $(docv) (decision) instead of a \
                    shortest tour (optimisation).")
   in
-  let run file max_length coordination runtime localities workers seed =
+  let run file max_length coordination runtime localities workers seed obs =
     let inst = Yewpar_tsp.Tsplib.parse_file file in
     Printf.printf "instance: %s (%d cities)\n" file (Yewpar_tsp.Tsp.n_cities inst);
     Printf.printf "skeleton: %s\n" (Coordination.to_string coordination);
@@ -233,11 +333,11 @@ let tsplib_cmd =
             | Some n -> "found a " ^ show_tour n
             | None -> Printf.sprintf "no tour of length <= %d" l )
     in
-    execute ~runtime ~coordination ~localities ~workers ~seed packed
+    execute ~runtime ~coordination ~localities ~workers ~seed ~obs packed
   in
   Cmd.v (Cmd.info "tsplib" ~doc:"Solve a TSPLIB travelling-salesperson instance.")
     Term.(const run $ file_arg $ max_length_arg $ skeleton_arg $ runtime_arg
-          $ localities_arg $ workers_arg $ seed_arg)
+          $ localities_arg $ workers_arg $ seed_arg $ obs_term)
 
 let knapsack_cmd =
   let file_arg =
@@ -251,7 +351,7 @@ let knapsack_cmd =
              ~doc:"Find a selection of profit at least $(docv) (decision) instead \
                    of the maximum profit (optimisation).")
   in
-  let run file target coordination runtime localities workers seed =
+  let run file target coordination runtime localities workers seed obs =
     let ic = open_in file in
     let inst =
       Fun.protect
@@ -277,11 +377,11 @@ let knapsack_cmd =
             | Some n -> "found " ^ show n
             | None -> Printf.sprintf "no selection reaches profit %d" t )
     in
-    execute ~runtime ~coordination ~localities ~workers ~seed packed
+    execute ~runtime ~coordination ~localities ~workers ~seed ~obs packed
   in
   Cmd.v (Cmd.info "knapsack" ~doc:"Solve a 0/1 knapsack instance from a file.")
     Term.(const run $ file_arg $ target_arg $ skeleton_arg $ runtime_arg
-          $ localities_arg $ workers_arg $ seed_arg)
+          $ localities_arg $ workers_arg $ seed_arg $ obs_term)
 
 let () =
   let doc = "YewPar-style parallel search skeletons (OCaml reproduction)" in

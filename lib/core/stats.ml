@@ -6,11 +6,12 @@ type t = {
   mutable tasks : int;
   mutable steal_attempts : int;
   mutable steals : int;
+  mutable bound_updates : int;
 }
 
 let create () =
   { nodes = 0; pruned = 0; backtracks = 0; max_depth = 0; tasks = 0;
-    steal_attempts = 0; steals = 0 }
+    steal_attempts = 0; steals = 0; bound_updates = 0 }
 
 let add acc s =
   acc.nodes <- acc.nodes + s.nodes;
@@ -19,14 +20,17 @@ let add acc s =
   acc.max_depth <- max acc.max_depth s.max_depth;
   acc.tasks <- acc.tasks + s.tasks;
   acc.steal_attempts <- acc.steal_attempts + s.steal_attempts;
-  acc.steals <- acc.steals + s.steals
+  acc.steals <- acc.steals + s.steals;
+  acc.bound_updates <- acc.bound_updates + s.bound_updates
 
 let copy s =
   { nodes = s.nodes; pruned = s.pruned; backtracks = s.backtracks;
     max_depth = s.max_depth; tasks = s.tasks; steal_attempts = s.steal_attempts;
-    steals = s.steals }
+    steals = s.steals; bound_updates = s.bound_updates }
 
 let pp ppf s =
   Format.fprintf ppf
-    "nodes=%d pruned=%d backtracks=%d max_depth=%d tasks=%d steals=%d/%d"
+    "nodes=%d pruned=%d backtracks=%d max_depth=%d tasks=%d steals=%d/%d \
+     bound_updates=%d"
     s.nodes s.pruned s.backtracks s.max_depth s.tasks s.steals s.steal_attempts
+    s.bound_updates

@@ -14,6 +14,10 @@ type t = {
       (** Steal attempts: times a worker found its pool empty and went
           looking for work (parallel skeletons). Dominates [steals]. *)
   mutable steals : int;  (** Successful steals (parallel skeletons). *)
+  mutable bound_updates : int;
+      (** Incumbent improvements applied: successful local submissions
+          plus, in the distributed runtime, broadcast floor raises a
+          locality adopted. *)
 }
 
 val create : unit -> t

@@ -1,9 +1,11 @@
 module Stats = Yewpar_core.Stats
+module Recorder = Yewpar_telemetry.Recorder
 
 type outcome = {
   payloads : string list;
   stats : Stats.t;
   broadcasts : int;
+  telemetry : (float * Recorder.packed list) option array;
   failure : string option;
 }
 
@@ -22,6 +24,9 @@ let run ?watchdog ~conns ~(root : Pool.task) () =
   let alive = Array.make l true in
   let results : string option array = Array.make l None in
   let stats_got : Stats.t option array = Array.make l None in
+  let telemetry_got : (float * Recorder.packed list) option array =
+    Array.make l None
+  in
   let failure = ref None in
   let global_best = ref min_int in
   let broadcasts = ref 0 in
@@ -100,6 +105,12 @@ let run ?watchdog ~conns ~(root : Pool.task) () =
       broadcast_shutdown ()
     | Wire.Result { payload } -> results.(i) <- Some payload
     | Wire.Stats st -> stats_got.(i) <- Some st
+    | Wire.Telemetry { clock; buffers } ->
+      (* Clock-offset estimate: our clock at receipt minus the clock
+         sampled when the frame was built — an upper bound off by the
+         frame's transit time. Adding it to every span start aligns the
+         locality's timeline with ours. *)
+      telemetry_got.(i) <- Some (Unix.gettimeofday () -. clock, buffers)
     (* Locality-bound messages; never sent to the coordinator. *)
     | Wire.Steal_reply _ | Wire.Shutdown -> ()
   in
@@ -157,4 +168,5 @@ let run ?watchdog ~conns ~(root : Pool.task) () =
   let payloads =
     Array.to_list results |> List.filter_map Fun.id
   in
-  { payloads; stats; broadcasts = !broadcasts; failure = !failure }
+  { payloads; stats; broadcasts = !broadcasts; telemetry = telemetry_got;
+    failure = !failure }

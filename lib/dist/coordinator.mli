@@ -19,6 +19,13 @@ type outcome = {
   payloads : string list;  (** Per-locality [Result] payloads. *)
   stats : Yewpar_core.Stats.t;  (** Sum of every locality's counters. *)
   broadcasts : int;  (** Bound-update messages fanned out. *)
+  telemetry :
+    (float * Yewpar_telemetry.Recorder.packed list) option array;
+      (** Per-locality [(clock_offset, packed span buffers)] from the
+          [Wire.Telemetry] frame, when the run was traced. The offset
+          (coordinator clock at receipt minus the locality's clock
+          sample) shifts that locality's span timestamps onto the
+          coordinator's timeline. *)
   failure : string option;
       (** A locality's failure message, or a watchdog/death report. *)
 }

@@ -3,6 +3,7 @@ module Problem = Yewpar_core.Problem
 module Codec = Yewpar_core.Codec
 module Stats = Yewpar_core.Stats
 module Sequential = Yewpar_core.Sequential
+module Telemetry = Yewpar_telemetry.Telemetry
 
 (* Combine the localities' marshalled partial results by search kind. *)
 let combine (type s n r) (p : (s, n, r) Problem.t) (codec : n Codec.t)
@@ -31,8 +32,8 @@ let combine (type s n r) (p : (s, n, r) Problem.t) (codec : n Codec.t)
     | Some (v, e) when v >= target -> Some (codec.Codec.decode e)
     | Some _ | None -> None)
 
-let distributed_run (type s n r) ?stats ?broadcasts ?watchdog ~localities
-    ~workers ~coordination (p : (s, n, r) Problem.t) : r =
+let distributed_run (type s n r) ?stats ?broadcasts ?telemetry ?watchdog
+    ~localities ~workers ~coordination (p : (s, n, r) Problem.t) : r =
   if localities < 1 then invalid_arg "Dist.run: localities must be >= 1";
   if workers < 1 then invalid_arg "Dist.run: workers must be >= 1";
   let codec =
@@ -72,7 +73,8 @@ let distributed_run (type s n r) ?stats ?broadcasts ?watchdog ~localities
                   else Unix.close coord_fd)
                 pairs;
               let conn = Transport.create (snd pairs.(i)) in
-              Locality.run ~conn ~workers ~coordination p;
+              Locality.run ~trace:(Option.is_some telemetry) ~conn ~workers
+                ~coordination p;
               Transport.close conn;
               0
             with _ -> 1
@@ -122,13 +124,23 @@ let distributed_run (type s n r) ?stats ?broadcasts ?watchdog ~localities
       (match broadcasts with
       | Some r -> r := outcome.Coordinator.broadcasts
       | None -> ());
+      (match telemetry with
+      | None -> ()
+      | Some tl ->
+        Array.iteri
+          (fun i -> function
+            | None -> ()
+            | Some (offset, buffers) ->
+              Telemetry.ingest tl ~locality:i ~offset buffers)
+          outcome.Coordinator.telemetry);
       combine p codec outcome.Coordinator.payloads)
 
-let run ?stats ?broadcasts ?watchdog ~localities ~workers ~coordination p =
+let run ?stats ?broadcasts ?telemetry ?watchdog ~localities ~workers
+    ~coordination p =
   match coordination with
   | Coordination.Sequential -> Sequential.search ?stats p
   | Coordination.Depth_bounded _ | Coordination.Stack_stealing _
   | Coordination.Budget _ | Coordination.Best_first _
   | Coordination.Random_spawn _ ->
-    distributed_run ?stats ?broadcasts ?watchdog ~localities ~workers
+    distributed_run ?stats ?broadcasts ?telemetry ?watchdog ~localities ~workers
       ~coordination p

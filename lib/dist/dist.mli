@@ -22,6 +22,7 @@
 val run :
   ?stats:Yewpar_core.Stats.t ->
   ?broadcasts:int ref ->
+  ?telemetry:Yewpar_telemetry.Telemetry.t ->
   ?watchdog:float ->
   localities:int ->
   workers:int ->
@@ -33,8 +34,16 @@ val run :
     optimisation/decision take the best reported incumbent).
 
     [stats] accumulates the aggregate of every locality's counters
-    ([steal_attempts]/[steals] count wire-level steal traffic);
+    ([steal_attempts]/[steals] count wire-level steal traffic;
+    [bound_updates] counts incumbent improvements applied, local
+    submissions plus adopted floor broadcasts);
     [broadcasts] receives the number of bound-update fan-out messages;
+    [telemetry] turns on per-worker span recording inside every
+    locality (preallocated ring buffers, one per worker domain plus
+    one for each communicator thread); at shutdown the localities ship
+    their buffers in a [Wire.Telemetry] frame and the coordinator
+    ingests them into the sink with per-locality clock offsets
+    aligned, so the merged trace has one process group per locality;
     [watchdog] bounds the whole run in seconds (a deadlock safety net
     — on expiry the run raises instead of hanging).
 

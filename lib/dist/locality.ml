@@ -1,4 +1,5 @@
 module Engine = Yewpar_core.Engine
+module Recorder = Yewpar_telemetry.Recorder
 module Workpool = Yewpar_core.Workpool
 module Knowledge = Yewpar_core.Knowledge
 module Ops = Yewpar_core.Ops
@@ -22,7 +23,7 @@ type 'n pool = {
    when nothing is happening. *)
 let tick = 0.002
 
-let run (type s n r) ~conn ~workers ~coordination
+let run (type s n r) ?(trace = false) ~conn ~workers ~coordination
     (p : (s, n, r) Problem.t) : unit =
   let codec =
     match p.Problem.codec with
@@ -35,6 +36,15 @@ let run (type s n r) ~conn ~workers ~coordination
   let c_tasks = Atomic.make 0 in
   let c_backtracks = Atomic.make 0 in
   let c_max_depth = Atomic.make 0 in
+  let c_bound_updates = Atomic.make 0 in
+  (* One span recorder per worker domain plus one for the communicator
+     thread (worker id [workers]); shipped to the coordinator in a
+     [Wire.Telemetry] frame at shutdown. *)
+  let recorders =
+    if trace then Array.init (workers + 1) (fun i -> Recorder.create ~worker:i ())
+    else Array.make (workers + 1) Recorder.null
+  in
+  let comms_r = recorders.(workers) in
   let rec bump_max cell v =
     let cur = Atomic.get cell in
     if v > cur && not (Atomic.compare_and_set cell cur v) then bump_max cell v
@@ -98,7 +108,22 @@ let run (type s n r) ~conn ~workers ~coordination
     }
   in
   let harness = Ops.harness p.Problem.kind in
-  let views = Array.init workers (fun _ -> harness.Ops.view knowledge) in
+  (* Each worker's view submits through a wrapper accounting applied
+     incumbent improvements (floor raises are accounted by the
+     communicator when it adopts a broadcast). *)
+  let views =
+    Array.init workers (fun i ->
+        let r = recorders.(i) in
+        let submit n v =
+          let improved = knowledge.Knowledge.submit n v in
+          if improved then begin
+            Atomic.incr c_bound_updates;
+            Recorder.instant r Recorder.Bound_update ~arg:v
+          end;
+          improved
+        in
+        harness.Ops.view { knowledge with Knowledge.submit })
+  in
   let task_priority =
     match coordination with
     | Coordination.Best_first _ -> (views.(0)).Ops.priority
@@ -117,29 +142,31 @@ let run (type s n r) ~conn ~workers ~coordination
     Atomic.set stop true;
     wake_all ()
   in
-  let enqueue_local task =
+  let enqueue_local r task =
     Atomic.incr local_outstanding;
     Mutex.lock pool.mutex;
     Workpool.push pool.tasks ~depth:task.depth
       ~priority:(task_priority task.node) task;
     Atomic.incr pool.size;
     Condition.signal pool.nonempty;
-    Mutex.unlock pool.mutex
+    Mutex.unlock pool.mutex;
+    Recorder.instant r Recorder.Pool ~arg:(Atomic.get pool.size)
   in
-  let spill task =
+  let spill r task =
+    Recorder.instant r Recorder.Spill ~arg:(Atomic.get pool.size);
     outbox_add
       (Wire.Task { depth = task.depth; payload = codec.Codec.encode task.node })
   in
-  let push task =
+  let push r task =
     Atomic.incr c_tasks;
-    if Atomic.compare_and_set global_hungry true false then spill task
-    else if Atomic.get pool.size >= spill_threshold then spill task
-    else enqueue_local task
+    if Atomic.compare_and_set global_hungry true false then spill r task
+    else if Atomic.get pool.size >= spill_threshold then spill r task
+    else enqueue_local r task
   in
   (* Blocking task acquisition; unlike the shared-memory runtime a dry
      pool does not end the search — more work may arrive over the wire,
      so workers sleep until the coordinator says otherwise. *)
-  let take () =
+  let take r =
     Mutex.lock pool.mutex;
     let rec wait () =
       if Atomic.get stop then None
@@ -150,13 +177,15 @@ let run (type s n r) ~conn ~workers ~coordination
           Some t
         | None ->
           Atomic.incr waiting;
+          let idle_from = Recorder.now r in
           Condition.wait pool.nonempty pool.mutex;
           Atomic.decr waiting;
+          Recorder.span r Recorder.Idle ~start:idle_from ~arg:0;
           wait ()
     in
-    let r = wait () in
+    let t = wait () in
     Mutex.unlock pool.mutex;
-    r
+    t
   in
   let finish_task () = Atomic.decr local_outstanding in
 
@@ -173,103 +202,106 @@ let run (type s n r) ~conn ~workers ~coordination
   (* Stack-Stealing work pushing, extended with the distributed hunger
      signal: shed when local thieves wait on a dry pool, or when the
      coordinator relayed another locality's starvation. *)
-  let maybe_split_for_thieves view ~chunked e =
+  let maybe_split_for_thieves r view ~chunked e =
     let local_thieves = Atomic.get waiting > 0 && Atomic.get pool.size = 0 in
     if local_thieves || Atomic.get global_hungry then
       if chunked then begin
         let cs, depth = Engine.split_lowest e in
-        List.iter (fun node -> push { node; depth }) (filter_chunk view cs)
+        List.iter (fun node -> push r { node; depth }) (filter_chunk view cs)
       end
       else
         match Engine.split_one e with
-        | Some (node, depth) -> if view.Ops.keep node then push { node; depth }
+        | Some (node, depth) -> if view.Ops.keep node then push r { node; depth }
         | None -> ()
   in
-  let exec_task (view : n Ops.view) task =
-    if not (view.Ops.keep task.node) then Atomic.incr c_pruned
-    else if not (view.Ops.process task.node) then begin
-      Atomic.incr c_nodes;
-      request_stop ()
-    end
-    else begin
-      Atomic.incr c_nodes;
-      match coordination with
-      | (Coordination.Depth_bounded { dcutoff } | Coordination.Best_first { dcutoff })
-        when task.depth < dcutoff ->
-        let rec spawn_children seq =
-          match Seq.uncons seq with
-          | None -> ()
-          | Some (c, rest) ->
-            if view.Ops.keep c then begin
-              push { node = c; depth = task.depth + 1 };
-              spawn_children rest
-            end
-            else if not view.Ops.prune_siblings then spawn_children rest
-        in
-        spawn_children (p.Problem.children p.Problem.space task.node)
-      | Coordination.Sequential | Coordination.Depth_bounded _
-      | Coordination.Stack_stealing _ | Coordination.Budget _
-      | Coordination.Best_first _ | Coordination.Random_spawn _ ->
-        let e =
-          Engine.make ~space:p.Problem.space ~children:p.Problem.children
-            ~root_depth:task.depth task.node
-        in
-        let last_bt = ref 0 in
-        let rng =
-          Yewpar_util.Splitmix.of_seed (Hashtbl.hash task.depth lxor 0x5e1f)
-        in
-        let rec go () =
-          if Atomic.get stop then ()
-          else
-            match
-              Engine.step ~prune_rest:view.Ops.prune_siblings ~keep:view.Ops.keep
-                e
-            with
-            | Engine.Enter n ->
-              if view.Ops.process n then begin
-                (match coordination with
-                | Coordination.Stack_stealing { chunked } ->
-                  maybe_split_for_thieves view ~chunked e
-                | _ -> ());
-                go ()
-              end
-              else request_stop ()
-            | Engine.Pruned _ -> go ()
-            | Engine.Leave ->
-              (match coordination with
-              | Coordination.Budget { budget }
-                when Engine.backtracks e - !last_bt >= budget ->
-                let cs, depth = Engine.split_lowest e in
-                List.iter
-                  (fun node -> push { node; depth })
-                  (filter_chunk view cs);
-                last_bt := Engine.backtracks e
-              | Coordination.Random_spawn { mean_interval }
-                when Yewpar_util.Splitmix.int rng mean_interval = 0 -> (
-                match Engine.split_one e with
-                | Some (node, depth) when view.Ops.keep node ->
-                  push { node; depth }
-                | Some _ | None -> ())
-              | _ -> ());
-              go ()
-            | Engine.Exhausted -> ()
-        in
-        go ();
-        ignore (Atomic.fetch_and_add c_nodes (Engine.nodes_entered e));
-        ignore (Atomic.fetch_and_add c_pruned (Engine.nodes_pruned e));
-        ignore (Atomic.fetch_and_add c_backtracks (Engine.backtracks e));
-        bump_max c_max_depth (Engine.max_depth e)
-    end
+  let exec_task r (view : n Ops.view) task =
+    let started = Recorder.now r in
+    (if not (view.Ops.keep task.node) then Atomic.incr c_pruned
+     else if not (view.Ops.process task.node) then begin
+       Atomic.incr c_nodes;
+       request_stop ()
+     end
+     else begin
+       Atomic.incr c_nodes;
+       match coordination with
+       | (Coordination.Depth_bounded { dcutoff } | Coordination.Best_first { dcutoff })
+         when task.depth < dcutoff ->
+         let rec spawn_children seq =
+           match Seq.uncons seq with
+           | None -> ()
+           | Some (c, rest) ->
+             if view.Ops.keep c then begin
+               push r { node = c; depth = task.depth + 1 };
+               spawn_children rest
+             end
+             else if not view.Ops.prune_siblings then spawn_children rest
+         in
+         spawn_children (p.Problem.children p.Problem.space task.node)
+       | Coordination.Sequential | Coordination.Depth_bounded _
+       | Coordination.Stack_stealing _ | Coordination.Budget _
+       | Coordination.Best_first _ | Coordination.Random_spawn _ ->
+         let e =
+           Engine.make ~space:p.Problem.space ~children:p.Problem.children
+             ~root_depth:task.depth task.node
+         in
+         let last_bt = ref 0 in
+         let rng =
+           Yewpar_util.Splitmix.of_seed (Hashtbl.hash task.depth lxor 0x5e1f)
+         in
+         let rec go () =
+           if Atomic.get stop then ()
+           else
+             match
+               Engine.step ~prune_rest:view.Ops.prune_siblings ~keep:view.Ops.keep
+                 e
+             with
+             | Engine.Enter n ->
+               if view.Ops.process n then begin
+                 (match coordination with
+                 | Coordination.Stack_stealing { chunked } ->
+                   maybe_split_for_thieves r view ~chunked e
+                 | _ -> ());
+                 go ()
+               end
+               else request_stop ()
+             | Engine.Pruned _ -> go ()
+             | Engine.Leave ->
+               (match coordination with
+               | Coordination.Budget { budget }
+                 when Engine.backtracks e - !last_bt >= budget ->
+                 let cs, depth = Engine.split_lowest e in
+                 List.iter
+                   (fun node -> push r { node; depth })
+                   (filter_chunk view cs);
+                 last_bt := Engine.backtracks e
+               | Coordination.Random_spawn { mean_interval }
+                 when Yewpar_util.Splitmix.int rng mean_interval = 0 -> (
+                 match Engine.split_one e with
+                 | Some (node, depth) when view.Ops.keep node ->
+                   push r { node; depth }
+                 | Some _ | None -> ())
+               | _ -> ());
+               go ()
+             | Engine.Exhausted -> ()
+         in
+         go ();
+         ignore (Atomic.fetch_and_add c_nodes (Engine.nodes_entered e));
+         ignore (Atomic.fetch_and_add c_pruned (Engine.nodes_pruned e));
+         ignore (Atomic.fetch_and_add c_backtracks (Engine.backtracks e));
+         bump_max c_max_depth (Engine.max_depth e)
+     end);
+    Recorder.span r Recorder.Task ~start:started ~arg:task.depth
   in
 
   let failure : exn option Atomic.t = Atomic.make None in
   let worker i () =
     let view = views.(i) in
+    let r = recorders.(i) in
     let rec loop () =
-      match take () with
+      match take r with
       | None -> ()
       | Some t ->
-        (try exec_task view t
+        (try exec_task r view t
          with e ->
            ignore (Atomic.compare_and_set failure None (Some e));
            request_stop ());
@@ -283,6 +315,7 @@ let run (type s n r) ~conn ~workers ~coordination
   (* ------------- communicator (this thread) ------------- *)
   let taken = ref 0 in
   let steal_inflight = ref false in
+  let steal_sent_at = ref 0. in
   let steal_attempts = ref 0 in
   let steals = ref 0 in
   let last_bound_sent = ref min_int in
@@ -299,10 +332,15 @@ let run (type s n r) ~conn ~workers ~coordination
   in
 
   let receive_task depth payload =
-    steal_inflight := false;
+    if !steal_inflight then begin
+      steal_inflight := false;
+      (* Wire-level steal latency: request sent to task in hand. *)
+      Recorder.span comms_r Recorder.Steal_success ~start:!steal_sent_at
+        ~arg:depth
+    end;
     incr steals;
     incr taken;
-    enqueue_local { node = codec.Codec.decode payload; depth }
+    enqueue_local comms_r { node = codec.Codec.decode payload; depth }
   in
   (* The coordinator asked for work on behalf of a starving locality:
      give back half of our queue, shallowest-first (the biggest
@@ -325,7 +363,7 @@ let run (type s n r) ~conn ~workers ~coordination
       List.iter
         (fun t ->
           Atomic.decr local_outstanding;
-          spill t)
+          spill comms_r t)
         (List.rev !shed)
   in
   let handle = function
@@ -335,13 +373,19 @@ let run (type s n r) ~conn ~workers ~coordination
     | Wire.Steal_reply { task = None } -> steal_inflight := false
     | Wire.Steal_request -> shed_from_pool ()
     | Wire.Bound_update { value } ->
-      if value > Atomic.get floor then Atomic.set floor value
+      if value > Atomic.get floor then begin
+        Atomic.set floor value;
+        (* Adopting a broadcast floor is an applied incumbent
+           improvement here, even though it was found elsewhere. *)
+        Atomic.incr c_bound_updates;
+        Recorder.instant comms_r Recorder.Bound_update ~arg:value
+      end
     | Wire.Shutdown ->
       shutdown := true;
       request_stop ()
     (* Coordinator-bound messages; never sent to a locality. *)
     | Wire.Witness _ | Wire.Idle _ | Wire.Result _ | Wire.Stats _
-    | Wire.Failed _ ->
+    | Wire.Telemetry _ | Wire.Failed _ ->
       ()
   in
   let communicator_tick () =
@@ -382,7 +426,9 @@ let run (type s n r) ~conn ~workers ~coordination
       && Atomic.get pool.size = 0
     then begin
       steal_inflight := true;
+      steal_sent_at := Recorder.now comms_r;
       incr steal_attempts;
+      Recorder.instant comms_r Recorder.Steal_attempt ~arg:0;
       Transport.send conn Wire.Steal_request
     end;
     (* Quiescence ack: ordering matters — outstanding is read before the
@@ -437,5 +483,16 @@ let run (type s n r) ~conn ~workers ~coordination
   st.Stats.tasks <- Atomic.get c_tasks;
   st.Stats.steal_attempts <- !steal_attempts;
   st.Stats.steals <- !steals;
+  st.Stats.bound_updates <- Atomic.get c_bound_updates;
   Transport.send conn (Wire.Result { payload });
+  (* Telemetry travels before Stats on the same FIFO socket, so the
+     coordinator always has the buffers by the time the locality counts
+     as done. *)
+  if trace then
+    Transport.send conn
+      (Wire.Telemetry
+         {
+           clock = Recorder.clock ();
+           buffers = Array.to_list (Array.map Recorder.export recorders);
+         });
   Transport.send conn (Wire.Stats st)

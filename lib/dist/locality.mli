@@ -25,12 +25,17 @@
     orphan. *)
 
 val run :
+  ?trace:bool ->
   conn:Transport.t ->
   workers:int ->
   coordination:Yewpar_core.Coordination.t ->
   ('s, 'n, 'r) Yewpar_core.Problem.t ->
   unit
 (** Serve tasks until the coordinator broadcasts [Shutdown], then send
-    [Result] and [Stats] and return. The problem must carry a task
+    [Result] (then, when [trace] is set, [Telemetry]) and [Stats] and
+    return. With [trace] (default [false]) every worker domain and the
+    communicator thread (worker id = [workers]) record into
+    preallocated {!Yewpar_telemetry.Recorder} ring buffers, shipped
+    upward in the [Telemetry] frame. The problem must carry a task
     codec.
     @raise Transport.Closed if the coordinator disappears mid-run. *)

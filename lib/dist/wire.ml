@@ -7,6 +7,10 @@ type msg =
   | Idle of { completed : int }
   | Result of { payload : string }
   | Stats of Yewpar_core.Stats.t
+  | Telemetry of {
+      clock : float;
+      buffers : Yewpar_telemetry.Recorder.packed list;
+    }
   | Failed of { message : string }
   | Shutdown
 

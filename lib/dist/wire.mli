@@ -47,6 +47,18 @@ type msg =
   | Stats of Yewpar_core.Stats.t
       (** Locality → coordinator after shutdown: the locality's search
           counters, aggregated by the coordinator. *)
+  | Telemetry of {
+      clock : float;
+      buffers : Yewpar_telemetry.Recorder.packed list;
+    }
+      (** Locality → coordinator after shutdown (only when the run is
+          traced), sent {e before} [Stats] so it always precedes the
+          locality's completion: the packed per-worker span ring
+          buffers, plus a sample of the locality's clock taken when
+          the frame was built. The coordinator estimates the
+          per-locality clock offset as [its own clock at receipt -
+          clock] (an upper bound off by the frame's transit time) and
+          shifts the spans onto its own timeline before merging. *)
   | Failed of { message : string }
       (** Locality → coordinator: user code (a generator, bound or
           objective) raised; aborts the whole search. *)

@@ -1,4 +1,6 @@
 module Deque = Yewpar_util.Deque
+module Recorder = Yewpar_telemetry.Recorder
+module Telemetry = Yewpar_telemetry.Telemetry
 module Engine = Yewpar_core.Engine
 module Workpool = Yewpar_core.Workpool
 module Knowledge = Yewpar_core.Knowledge
@@ -28,7 +30,7 @@ let pool_create ~policy () =
     size = Atomic.make 0;
   }
 
-let parallel_run (type s n r) ~n_workers ?stats ~coordination
+let parallel_run (type s n r) ~n_workers ?stats ?telemetry ~coordination
     (p : (s, n, r) Problem.t) : r =
   (* Cross-domain counters; folded into [stats] after the join. *)
   let c_nodes = Atomic.make 0 in
@@ -38,6 +40,16 @@ let parallel_run (type s n r) ~n_workers ?stats ~coordination
   let c_max_depth = Atomic.make 0 in
   let c_steal_attempts = Atomic.make 0 in
   let c_steals = Atomic.make 0 in
+  let c_bound_updates = Atomic.make 0 in
+  (* One span recorder per worker domain (all ring buffers preallocated
+     here, before any domain spawns); [Recorder.null] turns every
+     recording site into a single branch when telemetry is off. *)
+  let recorders =
+    match telemetry with
+    | None -> Array.make n_workers Recorder.null
+    | Some tl ->
+      Array.init n_workers (fun i -> Telemetry.recorder tl ~locality:0 ~worker:i)
+  in
   let rec bump_max cell v =
     let cur = Atomic.get cell in
     if v > cur && not (Atomic.compare_and_set cell cur v) then bump_max cell v
@@ -54,15 +66,29 @@ let parallel_run (type s n r) ~n_workers ?stats ~coordination
   let knowledge = Knowledge.make_atomic () in
   let harness = Ops.harness p.Problem.kind in
   (* Views are created in the main domain (the enumeration harness is
-     not thread-safe at view-creation time), one per worker. *)
-  let views = Array.init n_workers (fun _ -> harness.Ops.view knowledge) in
+     not thread-safe at view-creation time), one per worker. Each view
+     submits through a wrapper that accounts applied incumbent
+     improvements; reads go straight to the shared store. *)
+  let views =
+    Array.init n_workers (fun i ->
+        let r = recorders.(i) in
+        let submit n v =
+          let improved = knowledge.Knowledge.submit n v in
+          if improved then begin
+            Atomic.incr c_bound_updates;
+            Recorder.instant r Recorder.Bound_update ~arg:v
+          end;
+          improved
+        in
+        harness.Ops.view { knowledge with Knowledge.submit })
+  in
 
   let task_priority =
     match coordination with
     | Coordination.Best_first _ -> (views.(0)).Ops.priority
     | _ -> fun _ -> 0
   in
-  let push task =
+  let push r task =
     Atomic.incr c_tasks;
     Atomic.incr outstanding;
     Mutex.lock pool.mutex;
@@ -70,7 +96,8 @@ let parallel_run (type s n r) ~n_workers ?stats ~coordination
       task;
     Atomic.incr pool.size;
     Condition.signal pool.nonempty;
-    Mutex.unlock pool.mutex
+    Mutex.unlock pool.mutex;
+    Recorder.instant r Recorder.Pool ~arg:(Atomic.get pool.size)
   in
   let wake_all () =
     Mutex.lock pool.mutex;
@@ -87,34 +114,43 @@ let parallel_run (type s n r) ~n_workers ?stats ~coordination
 
   (* Blocking task acquisition; [None] means the search is over. A
      worker that finds the pool dry has attempted a steal; obtaining a
-     task after having waited is the successful case. *)
-  let take () =
+     task after having waited is the successful case (its recorded
+     duration is the steal latency: first dry poll to task in hand). *)
+  let take r =
     Mutex.lock pool.mutex;
     let attempted = ref false in
+    let dry_since = ref 0. in
     let rec wait () =
       if Atomic.get stop then None
       else
         match Workpool.pop_local pool.tasks with
         | Some t ->
           Atomic.decr pool.size;
-          if !attempted then Atomic.incr c_steals;
+          if !attempted then begin
+            Atomic.incr c_steals;
+            Recorder.span r Recorder.Steal_success ~start:!dry_since ~arg:0
+          end;
           Some t
         | None ->
           if not !attempted then begin
             attempted := true;
-            Atomic.incr c_steal_attempts
+            dry_since := Recorder.now r;
+            Atomic.incr c_steal_attempts;
+            Recorder.instant r Recorder.Steal_attempt ~arg:0
           end;
           if Atomic.get outstanding = 0 then None
           else begin
             Atomic.incr waiting;
+            let idle_from = Recorder.now r in
             Condition.wait pool.nonempty pool.mutex;
             Atomic.decr waiting;
+            Recorder.span r Recorder.Idle ~start:idle_from ~arg:0;
             wait ()
           end
     in
-    let r = wait () in
+    let t = wait () in
     Mutex.unlock pool.mutex;
-    r
+    t
   in
 
   (* Bound-filter a split chunk with the engine's sibling-cut semantics
@@ -132,87 +168,89 @@ let parallel_run (type s n r) ~n_workers ?stats ~coordination
 
   (* Stack-Stealing work pushing: a running worker sheds work when the
      pool is dry and someone is waiting for it. *)
-  let maybe_split_for_thieves view ~chunked e =
+  let maybe_split_for_thieves r view ~chunked e =
     if Atomic.get waiting > 0 && Atomic.get pool.size = 0 then
       if chunked then begin
         let cs, depth = Engine.split_lowest e in
-        List.iter (fun node -> push { node; depth }) (filter_chunk view cs)
+        List.iter (fun node -> push r { node; depth }) (filter_chunk view cs)
       end
       else
         match Engine.split_one e with
-        | Some (node, depth) -> if view.Ops.keep node then push { node; depth }
+        | Some (node, depth) -> if view.Ops.keep node then push r { node; depth }
         | None -> ()
   in
 
-  let exec_task (view : n Ops.view) task =
-    if not (view.Ops.keep task.node) then Atomic.incr c_pruned
-    else if not (view.Ops.process task.node) then begin
-      Atomic.incr c_nodes;
-      request_stop ()
-    end
-    else begin
-      Atomic.incr c_nodes;
-      match coordination with
-      | (Coordination.Depth_bounded { dcutoff } | Coordination.Best_first { dcutoff })
-        when task.depth < dcutoff ->
-        let rec spawn_children seq =
-          match Seq.uncons seq with
-          | None -> ()
-          | Some (c, rest) ->
-            if view.Ops.keep c then begin
-              push { node = c; depth = task.depth + 1 };
-              spawn_children rest
-            end
-            else if not view.Ops.prune_siblings then spawn_children rest
-        in
-        spawn_children (p.Problem.children p.Problem.space task.node)
-      | Coordination.Sequential | Coordination.Depth_bounded _
-      | Coordination.Stack_stealing _ | Coordination.Budget _
-      | Coordination.Best_first _ | Coordination.Random_spawn _ ->
-        let e =
-          Engine.make ~space:p.Problem.space ~children:p.Problem.children
-            ~root_depth:task.depth task.node
-        in
-        let last_bt = ref 0 in
-        let rng = Yewpar_util.Splitmix.of_seed (Hashtbl.hash task.depth lxor 0x5e1f) in
-        let rec go () =
-          if Atomic.get stop then ()
-          else
-            match
-              Engine.step ~prune_rest:view.Ops.prune_siblings ~keep:view.Ops.keep e
-            with
-            | Engine.Enter n ->
-              if view.Ops.process n then begin
-                (match coordination with
-                | Coordination.Stack_stealing { chunked } ->
-                  maybe_split_for_thieves view ~chunked e
-                | _ -> ());
-                go ()
-              end
-              else request_stop ()
-            | Engine.Pruned _ -> go ()
-            | Engine.Leave ->
-              (match coordination with
-              | Coordination.Budget { budget }
-                when Engine.backtracks e - !last_bt >= budget ->
-                let cs, depth = Engine.split_lowest e in
-                List.iter (fun node -> push { node; depth }) (filter_chunk view cs);
-                last_bt := Engine.backtracks e
-              | Coordination.Random_spawn { mean_interval }
-                when Yewpar_util.Splitmix.int rng mean_interval = 0 -> (
-                match Engine.split_one e with
-                | Some (node, depth) when view.Ops.keep node -> push { node; depth }
-                | Some _ | None -> ())
-              | _ -> ());
-              go ()
-            | Engine.Exhausted -> ()
-        in
-        go ();
-        ignore (Atomic.fetch_and_add c_nodes (Engine.nodes_entered e));
-        ignore (Atomic.fetch_and_add c_pruned (Engine.nodes_pruned e));
-        ignore (Atomic.fetch_and_add c_backtracks (Engine.backtracks e));
-        bump_max c_max_depth (Engine.max_depth e)
-    end
+  let exec_task r (view : n Ops.view) task =
+    let started = Recorder.now r in
+    (if not (view.Ops.keep task.node) then Atomic.incr c_pruned
+     else if not (view.Ops.process task.node) then begin
+       Atomic.incr c_nodes;
+       request_stop ()
+     end
+     else begin
+       Atomic.incr c_nodes;
+       match coordination with
+       | (Coordination.Depth_bounded { dcutoff } | Coordination.Best_first { dcutoff })
+         when task.depth < dcutoff ->
+         let rec spawn_children seq =
+           match Seq.uncons seq with
+           | None -> ()
+           | Some (c, rest) ->
+             if view.Ops.keep c then begin
+               push r { node = c; depth = task.depth + 1 };
+               spawn_children rest
+             end
+             else if not view.Ops.prune_siblings then spawn_children rest
+         in
+         spawn_children (p.Problem.children p.Problem.space task.node)
+       | Coordination.Sequential | Coordination.Depth_bounded _
+       | Coordination.Stack_stealing _ | Coordination.Budget _
+       | Coordination.Best_first _ | Coordination.Random_spawn _ ->
+         let e =
+           Engine.make ~space:p.Problem.space ~children:p.Problem.children
+             ~root_depth:task.depth task.node
+         in
+         let last_bt = ref 0 in
+         let rng = Yewpar_util.Splitmix.of_seed (Hashtbl.hash task.depth lxor 0x5e1f) in
+         let rec go () =
+           if Atomic.get stop then ()
+           else
+             match
+               Engine.step ~prune_rest:view.Ops.prune_siblings ~keep:view.Ops.keep e
+             with
+             | Engine.Enter n ->
+               if view.Ops.process n then begin
+                 (match coordination with
+                 | Coordination.Stack_stealing { chunked } ->
+                   maybe_split_for_thieves r view ~chunked e
+                 | _ -> ());
+                 go ()
+               end
+               else request_stop ()
+             | Engine.Pruned _ -> go ()
+             | Engine.Leave ->
+               (match coordination with
+               | Coordination.Budget { budget }
+                 when Engine.backtracks e - !last_bt >= budget ->
+                 let cs, depth = Engine.split_lowest e in
+                 List.iter (fun node -> push r { node; depth }) (filter_chunk view cs);
+                 last_bt := Engine.backtracks e
+               | Coordination.Random_spawn { mean_interval }
+                 when Yewpar_util.Splitmix.int rng mean_interval = 0 -> (
+                 match Engine.split_one e with
+                 | Some (node, depth) when view.Ops.keep node -> push r { node; depth }
+                 | Some _ | None -> ())
+               | _ -> ());
+               go ()
+             | Engine.Exhausted -> ()
+         in
+         go ();
+         ignore (Atomic.fetch_and_add c_nodes (Engine.nodes_entered e));
+         ignore (Atomic.fetch_and_add c_pruned (Engine.nodes_pruned e));
+         ignore (Atomic.fetch_and_add c_backtracks (Engine.backtracks e));
+         bump_max c_max_depth (Engine.max_depth e)
+     end);
+    Recorder.span r Recorder.Task ~start:started ~arg:task.depth
   in
 
   (* A user exception (e.g. a raising generator) must not deadlock the
@@ -221,11 +259,12 @@ let parallel_run (type s n r) ~n_workers ?stats ~coordination
   let failure : exn option Atomic.t = Atomic.make None in
   let worker i () =
     let view = views.(i) in
+    let r = recorders.(i) in
     let rec loop () =
-      match take () with
+      match take r with
       | None -> ()
       | Some t ->
-        (try exec_task view t
+        (try exec_task r view t
          with e ->
            ignore (Atomic.compare_and_set failure None (Some e));
            request_stop ());
@@ -235,7 +274,7 @@ let parallel_run (type s n r) ~n_workers ?stats ~coordination
     loop ()
   in
 
-  push { node = p.Problem.root; depth = 0 };
+  push recorders.(0) { node = p.Problem.root; depth = 0 };
   let domains = Array.init n_workers (fun i -> Domain.spawn (worker i)) in
   Array.iter Domain.join domains;
   (match Atomic.get failure with Some e -> raise e | None -> ());
@@ -252,12 +291,23 @@ let parallel_run (type s n r) ~n_workers ?stats ~coordination
     st.Yewpar_core.Stats.steal_attempts <-
       st.Yewpar_core.Stats.steal_attempts + Atomic.get c_steal_attempts;
     st.Yewpar_core.Stats.steals <-
-      st.Yewpar_core.Stats.steals + Atomic.get c_steals);
+      st.Yewpar_core.Stats.steals + Atomic.get c_steals;
+    st.Yewpar_core.Stats.bound_updates <-
+      st.Yewpar_core.Stats.bound_updates + Atomic.get c_bound_updates);
   harness.Ops.result knowledge
 
-let run ?workers ?stats ~coordination p =
+let run ?workers ?stats ?telemetry ~coordination p =
   match coordination with
-  | Coordination.Sequential -> Sequential.search ?stats p
+  | Coordination.Sequential -> (
+    match telemetry with
+    | None -> Sequential.search ?stats p
+    | Some tl ->
+      (* One worker, one span covering the whole in-process search. *)
+      let r = Telemetry.recorder tl ~locality:0 ~worker:0 in
+      let started = Recorder.now r in
+      let result = Sequential.search ?stats p in
+      Recorder.span r Recorder.Task ~start:started ~arg:0;
+      result)
   | Coordination.Depth_bounded _ | Coordination.Stack_stealing _
   | Coordination.Budget _ | Coordination.Best_first _ | Coordination.Random_spawn _ ->
     let n_workers =
@@ -266,4 +316,4 @@ let run ?workers ?stats ~coordination p =
       | Some _ -> invalid_arg "Shm.run: workers must be >= 1"
       | None -> Domain.recommended_domain_count ()
     in
-    parallel_run ~n_workers ?stats ~coordination p
+    parallel_run ~n_workers ?stats ?telemetry ~coordination p

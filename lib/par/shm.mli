@@ -22,10 +22,19 @@
 
 val run :
   ?workers:int -> ?stats:Yewpar_core.Stats.t ->
+  ?telemetry:Yewpar_telemetry.Telemetry.t ->
   coordination:Yewpar_core.Coordination.t ->
   ('space, 'node, 'result) Yewpar_core.Problem.t -> 'result
 (** [run ~coordination p] executes [p] on [workers] domains (default:
     [Domain.recommended_domain_count ()]). [Sequential] coordination
     delegates to {!Yewpar_core.Sequential.search}. When [stats] is
-    supplied, node/prune/task/steal counters aggregated across all
-    domains are accumulated into it after the join. *)
+    supplied, node/prune/task/steal/bound-update counters aggregated
+    across all domains are accumulated into it after the join.
+
+    When [telemetry] is supplied, every worker domain gets a
+    preallocated {!Yewpar_telemetry.Recorder} (locality 0, worker =
+    domain index) capturing task-execution, steal, idle-wait,
+    bound-update and pool-depth spans; they are registered in the sink
+    before the domains spawn, so after [run] returns the sink merges
+    and exports them. Tracing never changes the search: the traced and
+    untraced runs process the same nodes. *)

@@ -1,0 +1,121 @@
+type kind =
+  | Task
+  | Steal_attempt
+  | Steal_success
+  | Idle
+  | Bound_update
+  | Spill
+  | Pool
+
+let kind_name = function
+  | Task -> "task"
+  | Steal_attempt -> "steal_attempt"
+  | Steal_success -> "steal_success"
+  | Idle -> "idle"
+  | Bound_update -> "bound_update"
+  | Spill -> "spill"
+  | Pool -> "pool"
+
+let kind_tag = function
+  | Task -> 0
+  | Steal_attempt -> 1
+  | Steal_success -> 2
+  | Idle -> 3
+  | Bound_update -> 4
+  | Spill -> 5
+  | Pool -> 6
+
+let kind_of_tag = function
+  | 0 -> Task
+  | 1 -> Steal_attempt
+  | 2 -> Steal_success
+  | 3 -> Idle
+  | 4 -> Bound_update
+  | 5 -> Spill
+  | 6 -> Pool
+  | n -> invalid_arg (Printf.sprintf "Recorder.kind_of_tag: %d" n)
+
+(* Flat parallel arrays, slot = total mod cap: a span is four stores,
+   never an allocation. [last] enforces per-recorder monotonicity. *)
+type t = {
+  w : int;
+  cap : int;
+  tags : int array;
+  starts : float array;
+  durs : float array;
+  args : int array;
+  mutable total : int;
+  mutable last : float;
+}
+
+let create ?(capacity = 65536) ~worker () =
+  if capacity < 1 then invalid_arg "Recorder.create: capacity must be >= 1";
+  {
+    w = worker;
+    cap = capacity;
+    tags = Array.make capacity 0;
+    starts = Array.make capacity 0.;
+    durs = Array.make capacity 0.;
+    args = Array.make capacity 0;
+    total = 0;
+    last = 0.;
+  }
+
+let null =
+  { w = -1; cap = 0; tags = [||]; starts = [||]; durs = [||]; args = [||];
+    total = 0; last = 0. }
+
+let enabled t = t.cap > 0
+let worker t = t.w
+
+let clock = Unix.gettimeofday
+
+let now t =
+  if t.cap = 0 then 0.
+  else begin
+    let c = clock () in
+    if c > t.last then t.last <- c;
+    t.last
+  end
+
+let span_dur t k ~start ~dur ~arg =
+  if t.cap > 0 then begin
+    let i = t.total mod t.cap in
+    t.tags.(i) <- kind_tag k;
+    t.starts.(i) <- start;
+    t.durs.(i) <- (if dur < 0. then 0. else dur);
+    t.args.(i) <- arg;
+    t.total <- t.total + 1
+  end
+
+let span t k ~start ~arg =
+  if t.cap > 0 then span_dur t k ~start ~dur:(now t -. start) ~arg
+
+let instant t k ~arg =
+  if t.cap > 0 then span_dur t k ~start:(now t) ~dur:0. ~arg
+
+let recorded t = t.total
+let dropped t = if t.total > t.cap then t.total - t.cap else 0
+
+type packed = {
+  p_worker : int;
+  p_tags : int array;
+  p_starts : float array;
+  p_durs : float array;
+  p_args : int array;
+  p_dropped : int;
+}
+
+let export t =
+  let n = min t.total t.cap in
+  (* Oldest surviving span lives at [total mod cap] once wrapped. *)
+  let first = if t.total > t.cap then t.total mod t.cap else 0 in
+  let idx j = (first + j) mod t.cap in
+  {
+    p_worker = t.w;
+    p_tags = Array.init n (fun j -> t.tags.(idx j));
+    p_starts = Array.init n (fun j -> t.starts.(idx j));
+    p_durs = Array.init n (fun j -> t.durs.(idx j));
+    p_args = Array.init n (fun j -> t.args.(idx j));
+    p_dropped = dropped t;
+  }

@@ -1,0 +1,86 @@
+(** Per-worker span recorder for the real runtimes.
+
+    Each worker domain owns one recorder: a {e preallocated} ring
+    buffer of fixed capacity holding one span per slot in flat
+    [int]/[float] arrays, so the hot path neither allocates nor takes
+    a lock — recording a span is a clock read plus four array stores.
+    On overflow the oldest span is overwritten and counted in
+    {!dropped}; the newest spans always survive.
+
+    Timestamps come from {!clock} (wall-clock seconds with a
+    per-recorder monotonic guard: time never goes backwards within one
+    recorder, so spans are always well-formed even across NTP steps).
+    A disabled recorder ({!null}) short-circuits every operation —
+    [now] returns [0.] without reading the clock — so instrumented
+    runtimes pay one branch per event when telemetry is off. *)
+
+type kind =
+  | Task  (** Executing one task (a spawned subtree). [arg] = task depth. *)
+  | Steal_attempt  (** A worker (shm) or locality (dist) went looking for work. *)
+  | Steal_success
+      (** Work obtained after a dry spell; the duration is the steal
+          latency (dry pool to task in hand). *)
+  | Idle  (** Blocked waiting for work. [arg] = 0. *)
+  | Bound_update  (** An incumbent improvement was applied. [arg] = new bound. *)
+  | Spill  (** dist: a task was shed to the coordinator. [arg] = local pool size. *)
+  | Pool  (** Pool-depth sample after a push. [arg] = pool size. *)
+
+val kind_name : kind -> string
+(** Stable lowercase name ([task], [steal_attempt], ...). *)
+
+val kind_of_tag : int -> kind
+(** Inverse of the storage tag; @raise Invalid_argument on junk. *)
+
+val kind_tag : kind -> int
+(** Dense integer tag used in ring slots and packed buffers. *)
+
+type t
+
+val create : ?capacity:int -> worker:int -> unit -> t
+(** A recorder for worker [worker] with all storage preallocated
+    (default capacity 65536 spans). @raise Invalid_argument if
+    [capacity < 1]. *)
+
+val null : t
+(** The disabled recorder: capacity 0, never records, [now] is [0.]. *)
+
+val enabled : t -> bool
+val worker : t -> int
+
+val clock : unit -> float
+(** The raw clock (seconds). Use for cross-process epoch samples. *)
+
+val now : t -> float
+(** Current time for this recorder, or [0.] when disabled (skips the
+    clock read so disabled call sites cost one branch). *)
+
+val span : t -> kind -> start:float -> arg:int -> unit
+(** Record a span from [start] to the current time. No-op when
+    disabled. *)
+
+val span_dur : t -> kind -> start:float -> dur:float -> arg:int -> unit
+(** Record a span with an explicit duration (e.g. a steal latency
+    measured by another clock read). *)
+
+val instant : t -> kind -> arg:int -> unit
+(** Record a zero-duration event at the current time. *)
+
+val recorded : t -> int
+(** Total spans ever recorded (including those since dropped). *)
+
+val dropped : t -> int
+(** Spans overwritten by ring overflow. *)
+
+(** Marshal-safe snapshot of a recorder: plain arrays, oldest-first,
+    suitable for a wire frame ({!Yewpar_dist.Wire}, if built). *)
+type packed = {
+  p_worker : int;
+  p_tags : int array;  (** {!kind_tag} per span. *)
+  p_starts : float array;  (** Absolute start times, recorder clock. *)
+  p_durs : float array;
+  p_args : int array;
+  p_dropped : int;
+}
+
+val export : t -> packed
+(** Snapshot the live contents (oldest surviving span first). *)

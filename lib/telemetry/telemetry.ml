@@ -1,0 +1,223 @@
+type span = {
+  locality : int;
+  worker : int;
+  kind : Recorder.kind;
+  start : float;
+  dur : float;
+  arg : int;
+  label : string;  (* "" means: use the kind name *)
+}
+
+let span_name s = if s.label = "" then Recorder.kind_name s.kind else s.label
+
+type t = {
+  capacity : int;
+  mutable recorders : (int * Recorder.t) list;  (* (locality, recorder) *)
+  mutable ingested : (int * float * Recorder.packed) list;
+  mutable extra : span list;  (* newest first *)
+}
+
+let create ?(capacity = 65536) () =
+  { capacity; recorders = []; ingested = []; extra = [] }
+
+let recorder t ~locality ~worker =
+  let r = Recorder.create ~capacity:t.capacity ~worker () in
+  t.recorders <- (locality, r) :: t.recorders;
+  r
+
+let ingest t ~locality ~offset packs =
+  List.iter (fun p -> t.ingested <- (locality, offset, p) :: t.ingested) packs
+
+let add_span t s = t.extra <- s :: t.extra
+
+let packed_spans ~locality ~offset (p : Recorder.packed) =
+  List.init (Array.length p.Recorder.p_tags) (fun i ->
+      {
+        locality;
+        worker = p.Recorder.p_worker;
+        kind = Recorder.kind_of_tag p.Recorder.p_tags.(i);
+        start = p.Recorder.p_starts.(i) +. offset;
+        dur = p.Recorder.p_durs.(i);
+        arg = p.Recorder.p_args.(i);
+        label = "";
+      })
+
+let spans t =
+  let live =
+    List.concat_map
+      (fun (locality, r) ->
+        packed_spans ~locality ~offset:0. (Recorder.export r))
+      t.recorders
+  in
+  let shipped =
+    List.concat_map
+      (fun (locality, offset, p) -> packed_spans ~locality ~offset p)
+      t.ingested
+  in
+  List.stable_sort
+    (fun a b -> compare a.start b.start)
+    (live @ shipped @ List.rev t.extra)
+
+let dropped t =
+  List.fold_left (fun acc (_, r) -> acc + Recorder.dropped r) 0 t.recorders
+  + List.fold_left
+      (fun acc (_, _, p) -> acc + p.Recorder.p_dropped)
+      0 t.ingested
+
+(* ------------------------- Chrome export ------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fus v = Printf.sprintf "%.3f" v  (* microseconds, ns precision *)
+
+let to_chrome t =
+  let ss = spans t in
+  let t0 = match ss with [] -> 0. | s :: _ -> s.start in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let emit ev =
+    if not !first then Buffer.add_char buf ',';
+    first := false;
+    Buffer.add_string buf ev
+  in
+  (* Metadata: name each locality (process) and worker (thread). *)
+  let procs = Hashtbl.create 8 and threads = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem procs s.locality) then begin
+        Hashtbl.add procs s.locality ();
+        emit
+          (Printf.sprintf
+             "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":\"locality %d\"}}"
+             s.locality s.locality)
+      end;
+      if s.kind <> Recorder.Pool && not (Hashtbl.mem threads (s.locality, s.worker))
+      then begin
+        Hashtbl.add threads (s.locality, s.worker) ();
+        emit
+          (Printf.sprintf
+             "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"worker %d\"}}"
+             s.locality s.worker s.worker)
+      end)
+    ss;
+  List.iter
+    (fun s ->
+      let ts = (s.start -. t0) *. 1e6 in
+      match s.kind with
+      | Recorder.Pool ->
+        emit
+          (Printf.sprintf
+             "{\"name\":\"pool depth\",\"ph\":\"C\",\"ts\":%s,\"pid\":%d,\"args\":{\"depth\":%d}}"
+             (fus ts) s.locality s.arg)
+      | _ when s.dur > 0. ->
+        emit
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"yewpar\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"arg\":%d}}"
+             (json_escape (span_name s))
+             (fus ts)
+             (fus (s.dur *. 1e6))
+             s.locality s.worker s.arg)
+      | _ ->
+        emit
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"yewpar\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"arg\":%d}}"
+             (json_escape (span_name s))
+             (fus ts) s.locality s.worker s.arg))
+    ss;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* -------------------------- CSV export --------------------------- *)
+
+let to_csv t =
+  let ss = spans t in
+  let t0 = match ss with [] -> 0. | s :: _ -> s.start in
+  (* Dense global worker ids, ordered by (locality, worker). *)
+  let ids = Hashtbl.create 32 in
+  List.iter (fun s -> Hashtbl.replace ids (s.locality, s.worker) 0) ss;
+  Hashtbl.fold (fun k _ acc -> k :: acc) ids []
+  |> List.sort compare
+  |> List.iteri (fun i k -> Hashtbl.replace ids k i);
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "worker,start,duration,label\n";
+  List.iter
+    (fun s ->
+      if s.kind <> Recorder.Pool then
+        Buffer.add_string buf
+          (Printf.sprintf "%d,%.9f,%.9f,%s\n"
+             (Hashtbl.find ids (s.locality, s.worker))
+             (s.start -. t0) s.dur (span_name s)))
+    ss;
+  Buffer.contents buf
+
+(* ------------------------ derived metrics ------------------------ *)
+
+let metrics t =
+  let ss = spans t in
+  let m = Metrics.create () in
+  let c name help = Metrics.counter m ~help name in
+  let tasks = c "yewpar_tasks_total" "Tasks executed." in
+  let attempts = c "yewpar_steal_attempts_total" "Workers that went looking for work." in
+  let steals = c "yewpar_steals_total" "Successful steals (work obtained after a dry spell)." in
+  let bounds = c "yewpar_bound_updates_total" "Incumbent improvements applied." in
+  let spills = c "yewpar_spills_total" "Tasks shed to the coordinator (dist)." in
+  let drops =
+    c "yewpar_trace_dropped_spans_total" "Spans lost to ring-buffer overflow."
+  in
+  let localities = Metrics.gauge m ~help:"Localities traced." "yewpar_localities" in
+  let workers = Metrics.gauge m ~help:"Worker tracks traced." "yewpar_workers" in
+  let task_d =
+    Metrics.histogram m ~help:"Task execution time (seconds)."
+      "yewpar_task_duration_seconds"
+  in
+  let steal_d =
+    Metrics.histogram m ~help:"Steal latency, dry pool to task in hand (seconds)."
+      "yewpar_steal_latency_seconds"
+  in
+  let idle_d =
+    Metrics.histogram m ~help:"Time blocked waiting for work (seconds)."
+      "yewpar_idle_wait_seconds"
+  in
+  let depth =
+    Metrics.histogram m ~help:"Pool depth observed after each push."
+      ~buckets:(Metrics.buckets_pow2 ~hi:4096) "yewpar_pool_depth"
+  in
+  let locs = Hashtbl.create 8 and tracks = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace locs s.locality ();
+      (match s.kind with
+      | Recorder.Pool -> ()
+      | _ -> Hashtbl.replace tracks (s.locality, s.worker) ());
+      match s.kind with
+      | Recorder.Task ->
+        Metrics.inc tasks;
+        Metrics.observe task_d s.dur
+      | Recorder.Steal_attempt -> Metrics.inc attempts
+      | Recorder.Steal_success ->
+        Metrics.inc steals;
+        Metrics.observe steal_d s.dur
+      | Recorder.Idle -> Metrics.observe idle_d s.dur
+      | Recorder.Bound_update -> Metrics.inc bounds
+      | Recorder.Spill -> Metrics.inc spills
+      | Recorder.Pool -> Metrics.observe depth (float_of_int s.arg))
+    ss;
+  Metrics.inc drops ~by:(dropped t);
+  Metrics.set localities (float_of_int (Hashtbl.length locs));
+  Metrics.set workers (float_of_int (Hashtbl.length tracks));
+  m
+
+let to_prometheus t = Metrics.to_prometheus (metrics t)

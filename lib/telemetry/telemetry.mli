@@ -1,0 +1,82 @@
+(** Trace assembly and export for the real runtimes.
+
+    A [Telemetry.t] is the sink a run records into: the runtime asks
+    for one {!Recorder} per worker domain ({!recorder}), and — for the
+    distributed runtime — the coordinator {!ingest}s the packed ring
+    buffers each locality ships at shutdown, shifting them by the
+    estimated per-locality clock offset so all spans land on one
+    timeline. After the run, {!spans} merges everything, and the
+    exporters render it:
+
+    - {!to_chrome} — Chrome trace-event JSON (open in Perfetto or
+      chrome://tracing): one process group per locality, one track per
+      worker, pool-depth samples as counter tracks;
+    - {!to_csv} — the simulator's [worker,start,duration,label] CSV
+      ({!Yewpar_sim.Trace.to_csv} parity), workers numbered densely
+      across localities;
+    - {!metrics}/{!to_prometheus} — a {!Metrics} registry derived from
+      the merged trace (task-duration / steal-latency / idle-wait
+      log-histograms, pool-depth histogram, event counters, drop
+      counts) in Prometheus text exposition format.
+
+    Creating recorders is not thread-safe: runtimes create all
+    recorders before spawning domains. Recording is per-recorder and
+    lock-free. *)
+
+type span = {
+  locality : int;
+  worker : int;
+  kind : Recorder.kind;
+  start : float;  (** Seconds, coordinator-aligned clock. *)
+  dur : float;
+  arg : int;  (** Kind-dependent payload, see {!Recorder.kind}. *)
+  label : string;
+      (** Display name override; [""] (every runtime-recorded span)
+          falls back to the kind name. Used when converting simulator
+          traces, whose labels are richer than the kind set. *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh sink; [capacity] (default 65536) bounds each recorder's
+    ring buffer. *)
+
+val recorder : t -> locality:int -> worker:int -> Recorder.t
+(** A new registered recorder. Call from one thread, before spawning
+    workers. *)
+
+val ingest :
+  t -> locality:int -> offset:float -> Recorder.packed list -> unit
+(** Adopt packed buffers shipped from another process; [offset]
+    (seconds, added to every timestamp) aligns that process's clock
+    with ours. *)
+
+val add_span : t -> span -> unit
+(** Append a pre-built span (used to convert simulator traces). *)
+
+val spans : t -> span list
+(** Everything recorded so far, merged and sorted by start time. *)
+
+val dropped : t -> int
+(** Total ring-overflow drops across all recorders and ingested
+    buffers. *)
+
+val to_chrome : t -> string
+(** Chrome trace-event JSON. Timestamps are microseconds relative to
+    the earliest span; [pid] = locality, [tid] = worker, with metadata
+    records naming both. Durationful spans are ["ph":"X"] complete
+    events, zero-duration marks are ["ph":"i"] instants, and {!Pool}
+    samples are ["ph":"C"] counter events. *)
+
+val to_csv : t -> string
+(** [worker,start,duration,label] rows, the simulator's span CSV
+    format; workers are densely renumbered across localities and
+    starts are relative to the earliest span. *)
+
+val metrics : t -> Metrics.t
+(** Derive the metric catalogue (see MANUAL §4.2) from the merged
+    trace. *)
+
+val to_prometheus : t -> string
+(** [Metrics.to_prometheus (metrics t)]. *)

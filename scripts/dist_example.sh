@@ -8,3 +8,11 @@ $Y solve -i queens-10      --skeleton depthbounded:2 --runtime dist -l 2 -w 2
 $Y solve -i queens-12      --skeleton stacksteal     --runtime dist -l 4 -w 2
 $Y solve -i sanr200_0.9-s  --skeleton depthbounded:2 --runtime dist -l 2 -w 2
 $Y solve -i knap-ss-20     --skeleton budget:500     --runtime dist -l 2 -w 2
+
+# Traced run: Chrome trace-event JSON (drag into https://ui.perfetto.dev
+# — one process group per locality, one track per worker) plus a
+# Prometheus metrics dump. --trace-format csv gives the simulator's
+# Gantt CSV instead.
+$Y solve -i queens-10      --skeleton depthbounded:2 --runtime dist -l 2 -w 2 \
+    --trace dist_queens10.json --metrics dist_queens10.prom
+echo "wrote dist_queens10.json and dist_queens10.prom"

@@ -1,0 +1,426 @@
+(* Telemetry tests: recorder ring-buffer overflow, histogram bucket
+   series, Prometheus exposition syntax, Chrome trace-event JSON
+   well-formedness, and end-to-end traced runs on the shm and dist
+   runtimes (including one-track-per-worker / one-process-per-locality
+   structure and trace-does-not-perturb-the-search). *)
+
+module Recorder = Yewpar_telemetry.Recorder
+module Metrics = Yewpar_telemetry.Metrics
+module Telemetry = Yewpar_telemetry.Telemetry
+module Coordination = Yewpar_core.Coordination
+module Stats = Yewpar_core.Stats
+module Shm = Yewpar_par.Shm
+module Dist = Yewpar_dist.Dist
+module Queens = Yewpar_queens.Queens
+
+let queens_n n = Queens.count_solutions (Queens.instance ~n)
+
+(* ------------------------- minimal JSON parser ------------------------- *)
+
+(* Just enough JSON to check the Chrome export is well-formed: objects,
+   arrays, strings (escapes decoded naively), numbers, literals. *)
+type json =
+  | J_obj of (string * json) list
+  | J_arr of json list
+  | J_str of string
+  | J_num of float
+  | J_bool of bool
+  | J_null
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else raise (Bad_json "eof") in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    if peek () <> c then
+      raise (Bad_json (Printf.sprintf "expected %c at %d" c !pos));
+    advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | 'u' ->
+          advance ();
+          pos := !pos + 4;
+          Buffer.add_char b '?'
+        | c ->
+          advance ();
+          Buffer.add_char b
+            (match c with 'n' -> '\n' | 't' -> '\t' | 'r' -> '\r' | c -> c));
+        loop ()
+      | c ->
+        advance ();
+        Buffer.add_char b c;
+        loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin advance (); J_obj [] end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); members ((k, v) :: acc)
+          | '}' -> advance (); J_obj (List.rev ((k, v) :: acc))
+          | c -> raise (Bad_json (Printf.sprintf "bad object char %c" c))
+        in
+        members []
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin advance (); J_arr [] end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); elements (v :: acc)
+          | ']' -> advance (); J_arr (List.rev (v :: acc))
+          | c -> raise (Bad_json (Printf.sprintf "bad array char %c" c))
+        in
+        elements []
+      end
+    | '"' -> J_str (parse_string ())
+    | 't' -> pos := !pos + 4; J_bool true
+    | 'f' -> pos := !pos + 5; J_bool false
+    | 'n' -> pos := !pos + 4; J_null
+    | _ ->
+      let start = !pos in
+      while
+        !pos < n
+        && (match s.[!pos] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        advance ()
+      done;
+      if !pos = start then raise (Bad_json (Printf.sprintf "junk at %d" start));
+      J_num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then raise (Bad_json "trailing garbage");
+  v
+
+let member k = function
+  | J_obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let get_events json =
+  match member "traceEvents" json with
+  | Some (J_arr evs) -> evs
+  | _ -> Alcotest.fail "traceEvents missing or not an array"
+
+let str_field k ev =
+  match member k ev with
+  | Some (J_str s) -> s
+  | _ -> Alcotest.fail (Printf.sprintf "field %S missing or not a string" k)
+
+let num_field k ev =
+  match member k ev with
+  | Some (J_num f) -> f
+  | _ -> Alcotest.fail (Printf.sprintf "field %S missing or not a number" k)
+
+(* ---------------------------- recorder ---------------------------- *)
+
+let test_ring_overflow () =
+  let r = Recorder.create ~capacity:4 ~worker:0 () in
+  for i = 0 to 9 do
+    Recorder.span_dur r Recorder.Task ~start:(float_of_int i) ~dur:0.5 ~arg:i
+  done;
+  Alcotest.(check int) "recorded" 10 (Recorder.recorded r);
+  Alcotest.(check int) "dropped" 6 (Recorder.dropped r);
+  let p = Recorder.export r in
+  Alcotest.(check int) "packed drop count" 6 p.Recorder.p_dropped;
+  Alcotest.(check int) "survivors" 4 (Array.length p.Recorder.p_starts);
+  (* The newest spans survive, exported oldest-first. *)
+  Alcotest.(check (array (float 1e-9)))
+    "newest retained, in order" [| 6.; 7.; 8.; 9. |] p.Recorder.p_starts;
+  Alcotest.(check (array int)) "args follow" [| 6; 7; 8; 9 |] p.Recorder.p_args
+
+let test_ring_no_overflow () =
+  let r = Recorder.create ~capacity:8 ~worker:1 () in
+  Recorder.instant r Recorder.Bound_update ~arg:42;
+  Recorder.span_dur r Recorder.Idle ~start:1. ~dur:2. ~arg:0;
+  Alcotest.(check int) "dropped" 0 (Recorder.dropped r);
+  let p = Recorder.export r in
+  Alcotest.(check int) "both exported" 2 (Array.length p.Recorder.p_tags);
+  Alcotest.(check int) "worker id" 1 p.Recorder.p_worker;
+  let kinds = Array.map Recorder.kind_of_tag p.Recorder.p_tags in
+  Alcotest.(check bool) "kinds round-trip" true
+    (kinds = [| Recorder.Bound_update; Recorder.Idle |])
+
+let test_null_recorder () =
+  Recorder.span_dur Recorder.null Recorder.Task ~start:0. ~dur:1. ~arg:0;
+  Recorder.instant Recorder.null Recorder.Pool ~arg:3;
+  Alcotest.(check int) "null records nothing" 0 (Recorder.recorded Recorder.null);
+  Alcotest.(check (float 0.)) "null clock" 0. (Recorder.now Recorder.null)
+
+(* ---------------------------- metrics ----------------------------- *)
+
+let test_buckets_125 () =
+  let got = Metrics.buckets_125 ~lo:1e-2 ~hi:1. in
+  Alcotest.(check (list (float 1e-9)))
+    "1-2-5 series" [ 0.01; 0.02; 0.05; 0.1; 0.2; 0.5; 1. ] got;
+  (* lo/hi not on the grid: starts at the largest value <= lo, ends at
+     the smallest >= hi. *)
+  let got = Metrics.buckets_125 ~lo:0.03 ~hi:0.3 in
+  Alcotest.(check (list (float 1e-9))) "covers lo and hi"
+    [ 0.02; 0.05; 0.1; 0.2; 0.5 ] got
+
+let test_buckets_pow2 () =
+  Alcotest.(check (list (float 0.)))
+    "powers of two" [ 1.; 2.; 4.; 8.; 16. ] (Metrics.buckets_pow2 ~hi:10)
+
+let test_histogram () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~buckets:[ 1.; 2.; 5. ] "h" in
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 3.; 10. ];
+  Alcotest.(check int) "count" 4 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 15. (Metrics.histogram_sum h);
+  (* Cumulative per-bucket counts, +Inf last. *)
+  match Metrics.histogram_buckets h with
+  | [ (b1, c1); (b2, c2); (b3, c3); (binf, cinf) ] ->
+    Alcotest.(check (list (float 1e-9))) "bounds" [ 1.; 2.; 5. ] [ b1; b2; b3 ];
+    Alcotest.(check bool) "last is +Inf" true (binf = infinity);
+    Alcotest.(check (list int)) "cumulative" [ 1; 2; 3; 4 ] [ c1; c2; c3; cinf ]
+  | l -> Alcotest.fail (Printf.sprintf "expected 4 buckets, got %d" (List.length l))
+
+let test_prometheus_syntax () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg ~help:"Things counted." "things_total" in
+  Metrics.inc ~by:3 c;
+  let g = Metrics.gauge reg "level" in
+  Metrics.set g 2.5;
+  let h = Metrics.histogram reg ~buckets:[ 0.1; 1. ] "latency_seconds" in
+  Metrics.observe h 0.05;
+  Metrics.observe h 7.;
+  let text = Metrics.to_prometheus reg in
+  let contains sub =
+    try
+      ignore (Str.search_forward (Str.regexp_string sub) text 0);
+      true
+    with Not_found -> false
+  in
+  List.iter
+    (fun sub -> Alcotest.(check bool) (Printf.sprintf "has %S" sub) true (contains sub))
+    [ "# HELP things_total Things counted."; "# TYPE things_total counter";
+      "things_total 3"; "# TYPE level gauge"; "level 2.5";
+      "# TYPE latency_seconds histogram"; "latency_seconds_bucket{le=\"0.1\"} 1";
+      "latency_seconds_bucket{le=\"+Inf\"} 2"; "latency_seconds_sum";
+      "latency_seconds_count 2" ];
+  (* Every non-comment, non-blank line is `name[{labels}] value`. *)
+  let line_re =
+    Str.regexp "^[a-zA-Z_:][a-zA-Z0-9_:]*\\({[^}]*}\\)? [^ ]+$"
+  in
+  List.iter
+    (fun line ->
+      if line <> "" && not (String.length line > 0 && line.[0] = '#') then
+        Alcotest.(check bool)
+          (Printf.sprintf "line %S well-formed" line)
+          true
+          (Str.string_match line_re line 0))
+    (String.split_on_char '\n' text)
+
+(* ------------------------- trace exporters ------------------------ *)
+
+let test_chrome_export () =
+  let tl = Telemetry.create () in
+  let r0 = Telemetry.recorder tl ~locality:0 ~worker:0 in
+  let r1 = Telemetry.recorder tl ~locality:1 ~worker:0 in
+  Recorder.span_dur r0 Recorder.Task ~start:1. ~dur:0.25 ~arg:3;
+  Recorder.instant r0 Recorder.Bound_update ~arg:7;
+  Recorder.span_dur r1 Recorder.Task ~start:1.5 ~dur:0.5 ~arg:1;
+  Recorder.instant r1 Recorder.Pool ~arg:4;
+  let json = parse_json (Telemetry.to_chrome tl) in
+  let events = get_events json in
+  Alcotest.(check bool) "has events" true (events <> []);
+  List.iter
+    (fun ev ->
+      let ph = str_field "ph" ev in
+      ignore (num_field "pid" ev);
+      match ph with
+      | "X" ->
+        ignore (str_field "name" ev);
+        ignore (num_field "ts" ev);
+        ignore (num_field "dur" ev);
+        ignore (num_field "tid" ev)
+      | "i" ->
+        ignore (num_field "ts" ev);
+        ignore (num_field "tid" ev)
+      | "C" -> ignore (num_field "ts" ev) (* counters are process-scoped *)
+      | "M" -> ignore (str_field "name" ev)
+      | ph -> Alcotest.fail ("unexpected ph " ^ ph))
+    events;
+  (* One complete event per durationful span, with µs timestamps
+     relative to the earliest span. *)
+  let xs = List.filter (fun ev -> str_field "ph" ev = "X") events in
+  Alcotest.(check int) "two complete events" 2 (List.length xs);
+  let durs = List.map (num_field "dur") xs |> List.sort compare in
+  Alcotest.(check (list (float 1.))) "durations in us" [ 250_000.; 500_000. ] durs;
+  let pids =
+    List.sort_uniq compare (List.map (fun ev -> num_field "pid" ev) xs)
+  in
+  Alcotest.(check (list (float 0.))) "one pid per locality" [ 0.; 1. ] pids
+
+let test_csv_export () =
+  let tl = Telemetry.create () in
+  let r0 = Telemetry.recorder tl ~locality:0 ~worker:0 in
+  let r1 = Telemetry.recorder tl ~locality:1 ~worker:2 in
+  Recorder.span_dur r0 Recorder.Task ~start:2. ~dur:0.5 ~arg:0;
+  Recorder.span_dur r1 Recorder.Idle ~start:2.5 ~dur:0.25 ~arg:0;
+  Recorder.instant r1 Recorder.Pool ~arg:9 (* pool samples are not rows *);
+  let lines =
+    Telemetry.to_csv tl |> String.trim |> String.split_on_char '\n'
+  in
+  Alcotest.(check string) "header" "worker,start,duration,label" (List.hd lines);
+  Alcotest.(check int) "one row per span" 2 (List.length (List.tl lines));
+  (* Dense global worker numbering across localities. *)
+  let workers =
+    List.map (fun l -> List.hd (String.split_on_char ',' l)) (List.tl lines)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "dense ids" [ "0"; "1" ] workers
+
+let test_clock_offset_ingest () =
+  let tl = Telemetry.create () in
+  let r = Recorder.create ~worker:0 () in
+  Recorder.span_dur r Recorder.Task ~start:100. ~dur:1. ~arg:0;
+  Telemetry.ingest tl ~locality:3 ~offset:50. [ Recorder.export r ];
+  match Telemetry.spans tl with
+  | [ s ] ->
+    Alcotest.(check (float 1e-9)) "offset applied" 150. s.Telemetry.start;
+    Alcotest.(check int) "locality kept" 3 s.Telemetry.locality
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 span, got %d" (List.length l))
+
+(* --------------------------- end to end --------------------------- *)
+
+let coordination = Coordination.Depth_bounded { dcutoff = 2 }
+
+let test_shm_traced () =
+  let p = queens_n 8 in
+  let untraced_stats = Stats.create () in
+  let untraced = Shm.run ~workers:2 ~stats:untraced_stats ~coordination p in
+  let tl = Telemetry.create () in
+  let stats = Stats.create () in
+  let traced = Shm.run ~workers:2 ~stats ~telemetry:tl ~coordination p in
+  Alcotest.(check int) "same result" untraced traced;
+  (* Tracing must not perturb the search. *)
+  Alcotest.(check int) "same node count" untraced_stats.Stats.nodes
+    stats.Stats.nodes;
+  let spans = Telemetry.spans tl in
+  let tasks =
+    List.filter (fun s -> s.Telemetry.kind = Recorder.Task) spans
+  in
+  Alcotest.(check int) "one task span per task" stats.Stats.tasks
+    (List.length tasks);
+  let json = parse_json (Telemetry.to_chrome tl) in
+  let tids =
+    get_events json
+    |> List.filter (fun ev ->
+           match str_field "ph" ev with "X" | "i" -> true | _ -> false)
+    |> List.map (fun ev -> num_field "tid" ev)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "a track per worker" 2 (List.length tids);
+  (* The derived metrics agree with the trace. *)
+  let prom = Telemetry.to_prometheus tl in
+  Alcotest.(check bool) "task histogram present" true
+    (try
+       ignore
+         (Str.search_forward
+            (Str.regexp_string "# TYPE yewpar_task_duration_seconds histogram")
+            prom 0);
+       true
+     with Not_found -> false)
+
+let test_dist_traced () =
+  let p = queens_n 8 in
+  let untraced = Dist.run ~watchdog:120. ~localities:2 ~workers:2 ~coordination p in
+  let tl = Telemetry.create () in
+  let stats = Stats.create () in
+  let traced =
+    Dist.run ~watchdog:120. ~stats ~telemetry:tl ~localities:2 ~workers:2
+      ~coordination p
+  in
+  Alcotest.(check int) "same result" untraced traced;
+  let spans = Telemetry.spans tl in
+  let localities =
+    List.sort_uniq compare (List.map (fun s -> s.Telemetry.locality) spans)
+  in
+  Alcotest.(check (list int)) "spans from every locality" [ 0; 1 ] localities;
+  let tasks =
+    List.filter (fun s -> s.Telemetry.kind = Recorder.Task) spans
+  in
+  (* [Stats.tasks] counts spawns; the root arrives from the coordinator
+     uncounted, so executions exceed spawns by exactly one. *)
+  Alcotest.(check int) "one task span per executed task"
+    (stats.Stats.tasks + 1) (List.length tasks);
+  (* Perfetto structure: localities as process groups. *)
+  let json = parse_json (Telemetry.to_chrome tl) in
+  let pids =
+    get_events json
+    |> List.filter (fun ev -> str_field "ph" ev <> "M")
+    |> List.map (fun ev -> num_field "pid" ev)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list (float 0.))) "a process per locality" [ 0.; 1. ] pids
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "recorder",
+        [
+          Alcotest.test_case "ring overflow drops oldest" `Quick test_ring_overflow;
+          Alcotest.test_case "no overflow round-trip" `Quick test_ring_no_overflow;
+          Alcotest.test_case "null recorder" `Quick test_null_recorder;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "1-2-5 bucket series" `Quick test_buckets_125;
+          Alcotest.test_case "pow2 bucket series" `Quick test_buckets_pow2;
+          Alcotest.test_case "histogram cumulative counts" `Quick test_histogram;
+          Alcotest.test_case "prometheus exposition" `Quick test_prometheus_syntax;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "chrome trace events" `Quick test_chrome_export;
+          Alcotest.test_case "csv spans" `Quick test_csv_export;
+          Alcotest.test_case "ingest applies clock offset" `Quick
+            test_clock_offset_ingest;
+        ] );
+      (* dist forks localities, which OCaml forbids once domains have
+         been spawned — so it must run before any shm test. *)
+      ( "end-to-end",
+        [
+          Alcotest.test_case "dist traced run" `Quick test_dist_traced;
+          Alcotest.test_case "shm traced run" `Quick test_shm_traced;
+        ] );
+    ]
