@@ -83,17 +83,23 @@ let json_sim_run ~experiment ~name ~coordination ~topology (m : Metrics.t)
       ("bound_broadcasts", jint m.Metrics.bound_broadcasts);
       ("speedup", jfloat speedup) ]
 
+(* Version of the --json envelope; bump when record keys change
+   meaning. [yewpar analyze] reads both this envelope and the legacy
+   bare-array format (as schema_version 0). *)
+let json_schema_version = 1
+
 let write_json file =
   let render fields =
-    "  {"
+    "    {"
     ^ String.concat ", " (List.map (fun (k, v) -> jstr k ^ ": " ^ v) fields)
     ^ "}"
   in
   Out_channel.with_open_text file (fun oc ->
-      Out_channel.output_string oc "[\n";
+      Printf.fprintf oc "{\n  \"schema_version\": %d,\n  \"records\": [\n"
+        json_schema_version;
       Out_channel.output_string oc
         (String.concat ",\n" (List.rev_map render !json_records));
-      Out_channel.output_string oc "\n]\n")
+      Out_channel.output_string oc "\n  ]\n}\n")
 
 (* Virtual sequential baselines are expensive (a full search); cache by
    instance name. *)

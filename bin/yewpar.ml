@@ -80,6 +80,9 @@ type obs = {
   obs_trace : string option;
   obs_format : trace_format;
   obs_metrics : string option;
+  obs_monitor : int option;
+  obs_heartbeat : float;
+  obs_depths : string option;
 }
 
 let obs_term =
@@ -118,15 +121,42 @@ let obs_term =
              ~doc:"Deprecated alias for $(b,--trace) $(docv) \
                    $(b,--trace-format) csv.")
   in
-  let combine obs_trace obs_format obs_metrics trace_csv =
+  let monitor =
+    Arg.(value & opt (some int) None
+         & info [ "monitor-port" ] ~docv:"PORT"
+             ~doc:"Serve live observability on 127.0.0.1:$(docv) while the \
+                   search runs (shm and dist runtimes): $(b,GET /metrics) is a \
+                   Prometheus gauge registry, $(b,GET /status) a JSON cluster \
+                   snapshot. Port 0 binds an ephemeral port, printed at \
+                   startup.")
+  in
+  let heartbeat =
+    Arg.(value & opt float 0.5
+         & info [ "heartbeat-interval" ] ~docv:"SECONDS"
+             ~doc:"Locality heartbeat period feeding the live metrics (dist \
+                   runtime, only with $(b,--monitor-port)).")
+  in
+  let depths =
+    Arg.(value & opt (some string) None
+         & info [ "depth-profile" ] ~docv:"FILE"
+             ~doc:"Write the per-depth search profile \
+                   (depth,nodes,pruned,spawned,bound_updates) to $(docv) as \
+                   CSV and print it as a table (seq, shm and dist runtimes).")
+  in
+  let combine obs_trace obs_format obs_metrics trace_csv obs_monitor
+      obs_heartbeat obs_depths =
     match (obs_trace, trace_csv) with
     | None, Some f ->
       prerr_endline
         "yewpar: --trace-csv is deprecated; use --trace FILE --trace-format csv";
-      { obs_trace = Some f; obs_format = Csv; obs_metrics }
-    | _ -> { obs_trace; obs_format; obs_metrics }
+      { obs_trace = Some f; obs_format = Csv; obs_metrics; obs_monitor;
+        obs_heartbeat; obs_depths }
+    | _ ->
+      { obs_trace; obs_format; obs_metrics; obs_monitor; obs_heartbeat;
+        obs_depths }
   in
-  Term.(const combine $ trace $ format $ metrics $ trace_csv)
+  Term.(const combine $ trace $ format $ metrics $ trace_csv $ monitor
+        $ heartbeat $ depths)
 
 let write_file file data =
   Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc data)
@@ -151,6 +181,23 @@ let export_observability obs = function
       Printf.printf "metrics:  %s (prometheus)\n" file
     | None -> ())
 
+module Depth_profile = Yewpar_core.Depth_profile
+
+let export_depths obs stats =
+  match obs.obs_depths with
+  | None -> ()
+  | Some file ->
+    let d = stats.Stats.depths in
+    write_file file (Depth_profile.to_csv d);
+    Format.printf "depths:@.%a@." Depth_profile.pp d;
+    Printf.printf "depth-profile: %s (csv, %d depths)\n" file
+      (Depth_profile.depths d)
+
+(* Monitoring startup announcement — essential with --monitor-port 0,
+   where the kernel picks the port. *)
+let announce_monitor port =
+  Printf.printf "monitor:  http://127.0.0.1:%d (/metrics, /status)\n%!" port
+
 (* Run a packed problem on the chosen runtime and print everything. *)
 let execute ~runtime ~coordination ~localities ~workers ~seed ~obs
     (Instances.Packed (p, show)) =
@@ -163,6 +210,7 @@ let execute ~runtime ~coordination ~localities ~workers ~seed ~obs
   | Rt_seq ->
     let t0 = Unix.gettimeofday () in
     let (result, stats), elapsed = wall (fun () -> Sequential.search_with_stats p) in
+    stats.Stats.elapsed <- elapsed;
     Option.iter
       (fun tl ->
         Telemetry.add_span tl
@@ -172,33 +220,42 @@ let execute ~runtime ~coordination ~localities ~workers ~seed ~obs
     Printf.printf "result:   %s\n" (show result);
     Format.printf "stats:    %a@." Stats.pp stats;
     Printf.printf "walltime: %.3fs\n" elapsed;
-    export_observability obs telemetry
+    export_observability obs telemetry;
+    export_depths obs stats
   | Rt_shm ->
     let stats = Stats.create () in
     let result, elapsed =
-      wall (fun () -> Shm.run ~workers ~stats ?telemetry ~coordination p)
+      wall (fun () ->
+          Shm.run ~workers ~stats ?telemetry ?monitor_port:obs.obs_monitor
+            ~on_monitor:announce_monitor ~coordination p)
     in
+    stats.Stats.elapsed <- elapsed;
     Printf.printf "result:   %s\n" (show result);
     Format.printf "stats:    %a@." Stats.pp stats;
     Printf.printf "walltime: %.3fs (%d domains)\n" elapsed workers;
-    export_observability obs telemetry
+    export_observability obs telemetry;
+    export_depths obs stats
   | Rt_dist ->
     let stats = Stats.create () in
     let result, elapsed =
       match
         wall (fun () ->
-            Dist.run ~stats ?telemetry ~localities ~workers ~coordination p)
+            Dist.run ~stats ?telemetry ?monitor_port:obs.obs_monitor
+              ~heartbeat:obs.obs_heartbeat ~on_monitor:announce_monitor
+              ~localities ~workers ~coordination p)
       with
       | r -> r
       | exception Invalid_argument msg ->
         Printf.eprintf "error: %s\n" msg;
         exit 1
     in
+    stats.Stats.elapsed <- elapsed;
     Printf.printf "result:   %s\n" (show result);
     Format.printf "stats:    %a@." Stats.pp stats;
     Printf.printf "walltime: %.3fs (%d localities x %d workers)\n" elapsed
       localities workers;
-    export_observability obs telemetry
+    export_observability obs telemetry;
+    export_depths obs stats
   | Rt_sim ->
     let topology = Sim_config.topology ~localities ~workers in
     let trace = Option.map (fun _ -> Yewpar_sim.Trace.create ()) telemetry in
@@ -383,9 +440,87 @@ let knapsack_cmd =
     Term.(const run $ file_arg $ target_arg $ skeleton_arg $ runtime_arg
           $ localities_arg $ workers_arg $ seed_arg $ obs_term)
 
+let analyze_cmd =
+  let module Analyze = Yewpar_telemetry.Analyze in
+  let trace_arg =
+    Arg.(value & opt (some file) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Analyze an execution trace (Chrome trace-event JSON or \
+                   worker,start,duration,label CSV, auto-detected) and print a \
+                   load-balance report.")
+  in
+  let compare_arg =
+    Arg.(value & opt (some file) None
+         & info [ "compare" ] ~docv:"OLD"
+             ~doc:"Compare $(b,bench --json) output $(docv) (baseline) against \
+                   the $(i,NEW) positional argument; exits 1 when any \
+                   benchmark regressed beyond $(b,--threshold).")
+  in
+  let new_arg =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"NEW"
+             ~doc:"The new bench JSON file for $(b,--compare).")
+  in
+  let threshold_arg =
+    Arg.(value & opt float 10.0
+         & info [ "threshold" ] ~docv:"PCT"
+             ~doc:"Regression threshold for $(b,--compare): a benchmark fails \
+                   when its elapsed time grows by more than $(docv) percent.")
+  in
+  let read_file file =
+    In_channel.with_open_bin file In_channel.input_all
+  in
+  let run trace compare new_file threshold =
+    let code =
+      match (trace, compare) with
+      | Some file, None -> (
+        match Analyze.load_trace (read_file file) with
+        | spans ->
+          print_string (Analyze.load_balance_report spans);
+          0
+        | exception Failure msg ->
+          Printf.eprintf "yewpar analyze: %s: %s\n" file msg;
+          2)
+      | None, Some old_file -> (
+        match new_file with
+        | None ->
+          prerr_endline
+            "yewpar analyze: --compare OLD needs a NEW positional file";
+          2
+        | Some new_file -> (
+          match
+            ( Analyze.load_bench (read_file old_file),
+              Analyze.load_bench (read_file new_file) )
+          with
+          | old_, new_ ->
+            let v = Analyze.compare_bench ~threshold_pct:threshold ~old_ ~new_ in
+            print_string v.Analyze.report;
+            if v.Analyze.regressions = [] then 0 else 1
+          | exception Failure msg ->
+            Printf.eprintf "yewpar analyze: %s\n" msg;
+            2))
+      | Some _, Some _ ->
+        prerr_endline "yewpar analyze: --trace and --compare are exclusive";
+        2
+      | None, None ->
+        prerr_endline
+          "yewpar analyze: nothing to do (use --trace FILE, or --compare OLD \
+           NEW)";
+        2
+    in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Analyze a recorded trace (load balance) or compare two bench \
+             JSON files (A/B regression check).")
+    Term.(const run $ trace_arg $ compare_arg $ new_arg $ threshold_arg)
+
 let () =
   let doc = "YewPar-style parallel search skeletons (OCaml reproduction)" in
   let info = Cmd.info "yewpar" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; solve_cmd; dimacs_cmd; tsplib_cmd; knapsack_cmd ]))
+       (Cmd.group info
+          [ list_cmd; solve_cmd; dimacs_cmd; tsplib_cmd; knapsack_cmd;
+            analyze_cmd ]))

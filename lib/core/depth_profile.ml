@@ -1,0 +1,126 @@
+(* Four parallel count arrays indexed by depth, grown on first touch of
+   a deeper row. Single-writer; merged after the parallel join. *)
+type t = {
+  on : bool;
+  mutable len : int;  (* rows in use = deepest recorded depth + 1 *)
+  mutable nodes : int array;
+  mutable pruned : int array;
+  mutable spawned : int array;
+  mutable bounds : int array;
+}
+
+let create () =
+  { on = true; len = 0; nodes = [||]; pruned = [||]; spawned = [||];
+    bounds = [||] }
+
+let null =
+  { on = false; len = 0; nodes = [||]; pruned = [||]; spawned = [||];
+    bounds = [||] }
+
+let enabled t = t.on
+
+let grow a n =
+  let b = Array.make n 0 in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let reserve t d =
+  if d >= Array.length t.nodes then begin
+    let n = max 16 (max (d + 1) (2 * Array.length t.nodes)) in
+    t.nodes <- grow t.nodes n;
+    t.pruned <- grow t.pruned n;
+    t.spawned <- grow t.spawned n;
+    t.bounds <- grow t.bounds n
+  end;
+  if d >= t.len then t.len <- d + 1
+
+let note_node t d =
+  if t.on && d >= 0 then begin
+    reserve t d;
+    t.nodes.(d) <- t.nodes.(d) + 1
+  end
+
+let note_prune t d =
+  if t.on && d >= 0 then begin
+    reserve t d;
+    t.pruned.(d) <- t.pruned.(d) + 1
+  end
+
+let note_spawn t d =
+  if t.on && d >= 0 then begin
+    reserve t d;
+    t.spawned.(d) <- t.spawned.(d) + 1
+  end
+
+let note_bound t d =
+  if t.on && d >= 0 then begin
+    reserve t d;
+    t.bounds.(d) <- t.bounds.(d) + 1
+  end
+
+let depths t = t.len
+
+let row t d =
+  if d < 0 || d >= t.len then (0, 0, 0, 0)
+  else (t.nodes.(d), t.pruned.(d), t.spawned.(d), t.bounds.(d))
+
+let sum a len =
+  let s = ref 0 in
+  for i = 0 to len - 1 do
+    s := !s + a.(i)
+  done;
+  !s
+
+let totals t =
+  (sum t.nodes t.len, sum t.pruned t.len, sum t.spawned t.len,
+   sum t.bounds t.len)
+
+let is_empty t =
+  let n, p, s, b = totals t in
+  n = 0 && p = 0 && s = 0 && b = 0
+
+let merge acc s =
+  if acc.on && s.len > 0 then begin
+    reserve acc (s.len - 1);
+    for d = 0 to s.len - 1 do
+      acc.nodes.(d) <- acc.nodes.(d) + s.nodes.(d);
+      acc.pruned.(d) <- acc.pruned.(d) + s.pruned.(d);
+      acc.spawned.(d) <- acc.spawned.(d) + s.spawned.(d);
+      acc.bounds.(d) <- acc.bounds.(d) + s.bounds.(d)
+    done
+  end
+
+let copy t =
+  { on = t.on; len = t.len;
+    nodes = Array.sub t.nodes 0 (Array.length t.nodes);
+    pruned = Array.sub t.pruned 0 (Array.length t.pruned);
+    spawned = Array.sub t.spawned 0 (Array.length t.spawned);
+    bounds = Array.sub t.bounds 0 (Array.length t.bounds) }
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "depth,nodes,pruned,spawned,bound_updates\n";
+  for d = 0 to t.len - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "%d,%d,%d,%d,%d\n" d t.nodes.(d) t.pruned.(d)
+         t.spawned.(d) t.bounds.(d))
+  done;
+  Buffer.contents buf
+
+let pp ppf t =
+  let rows =
+    List.init t.len (fun d ->
+        [ string_of_int d; string_of_int t.nodes.(d);
+          string_of_int t.pruned.(d); string_of_int t.spawned.(d);
+          string_of_int t.bounds.(d) ])
+  in
+  let n, p, s, b = totals t in
+  let rows =
+    rows
+    @ [ [ "total"; string_of_int n; string_of_int p; string_of_int s;
+          string_of_int b ] ]
+  in
+  Format.pp_print_string ppf
+    (Yewpar_util.Table.render
+       ~header:[ "depth"; "nodes"; "pruned"; "spawned"; "bounds" ]
+       rows)

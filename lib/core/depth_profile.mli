@@ -1,0 +1,67 @@
+(** Per-depth search profile.
+
+    Buckets the four per-node events of a search — nodes processed,
+    subtrees pruned, tasks spawned and incumbent improvements applied —
+    by global tree depth, so a run's shape is inspectable after the
+    fact: where the tree was widest, where pruning bit, where the
+    parallel coordinations actually spawned. Collected by the
+    sequential, shared-memory and distributed runtimes whenever
+    statistics are requested, and carried inside {!Stats.t} (so
+    distributed localities ship their profiles in the same frame as
+    their counters and {!Stats.add} aggregates them).
+
+    Recording is single-writer (one profile per worker, merged after
+    the join) and allocation-free until a deeper row is first touched;
+    a disabled profile ({!null}) reduces every note to one branch. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, enabled, all-zero profile. *)
+
+val null : t
+(** The disabled profile: never records, merges as empty. *)
+
+val enabled : t -> bool
+
+val note_node : t -> int -> unit
+(** [note_node t d] counts one node processed at depth [d]. *)
+
+val note_prune : t -> int -> unit
+(** One subtree discarded by the bound check, rooted at depth [d]. *)
+
+val note_spawn : t -> int -> unit
+(** One task spawned whose root sits at depth [d]. *)
+
+val note_bound : t -> int -> unit
+(** One incumbent improvement applied while processing depth [d]. *)
+
+val depths : t -> int
+(** Number of rows in use (1 + deepest depth recorded); 0 when
+    nothing was recorded. *)
+
+val row : t -> int -> int * int * int * int
+(** [row t d] is [(nodes, pruned, spawned, bound_updates)] at depth
+    [d] (all zero beyond {!depths}). *)
+
+val totals : t -> int * int * int * int
+(** Column sums over every depth — by construction equal to the
+    [nodes]/[pruned]/[tasks]/[bound_updates] counters of the run's
+    {!Stats.t} (the test suite enforces this). *)
+
+val merge : t -> t -> unit
+(** [merge acc s] adds [s]'s rows into [acc] (row-wise sums). Merging
+    into {!null} is a no-op. *)
+
+val copy : t -> t
+(** An independent snapshot. *)
+
+val is_empty : t -> bool
+(** No event was ever recorded. *)
+
+val to_csv : t -> string
+(** [depth,nodes,pruned,spawned,bound_updates] rows, one per depth in
+    use, with a header line. *)
+
+val pp : Format.formatter -> t -> unit
+(** Column-aligned table of the same rows plus a totals line. *)

@@ -3,13 +3,39 @@ let search (type s n r) ?stats (p : (s, n, r) Problem.t) : r =
   let knowledge = Knowledge.make_ref () in
   let view = harness.view knowledge in
   let engine = Engine.make ~space:p.space ~children:p.children ~root_depth:0 p.root in
+  (* The plain loop stays allocation- and branch-free on the hot path;
+     the profiled variant (only when stats are requested) additionally
+     buckets every enter/prune by depth, tracked incrementally so no
+     engine query is needed per node. *)
   let rec loop () =
     match Engine.step ~prune_rest:view.prune_siblings ~keep:view.keep engine with
     | Engine.Enter n -> if view.process n then loop ()
     | Engine.Pruned _ | Engine.Leave -> loop ()
     | Engine.Exhausted -> ()
   in
-  if view.process p.root then loop ();
+  let profiled_loop prof =
+    let depth = ref 0 in
+    let rec go () =
+      match Engine.step ~prune_rest:view.prune_siblings ~keep:view.keep engine with
+      | Engine.Enter n ->
+        incr depth;
+        Depth_profile.note_node prof !depth;
+        if view.process n then go ()
+      | Engine.Pruned _ ->
+        Depth_profile.note_prune prof (!depth + 1);
+        go ()
+      | Engine.Leave ->
+        decr depth;
+        go ()
+      | Engine.Exhausted -> ()
+    in
+    go ()
+  in
+  (match stats with
+  | None -> if view.process p.root then loop ()
+  | Some st ->
+    Depth_profile.note_node st.Stats.depths 0;
+    if view.process p.root then profiled_loop st.Stats.depths);
   (match stats with
   | None -> ()
   | Some st ->

@@ -7,11 +7,15 @@ type t = {
   mutable steal_attempts : int;
   mutable steals : int;
   mutable bound_updates : int;
+  mutable trace_dropped : int;
+  mutable elapsed : float;
+  depths : Depth_profile.t;
 }
 
 let create () =
   { nodes = 0; pruned = 0; backtracks = 0; max_depth = 0; tasks = 0;
-    steal_attempts = 0; steals = 0; bound_updates = 0 }
+    steal_attempts = 0; steals = 0; bound_updates = 0; trace_dropped = 0;
+    elapsed = 0.; depths = Depth_profile.create () }
 
 let add acc s =
   acc.nodes <- acc.nodes + s.nodes;
@@ -21,16 +25,27 @@ let add acc s =
   acc.tasks <- acc.tasks + s.tasks;
   acc.steal_attempts <- acc.steal_attempts + s.steal_attempts;
   acc.steals <- acc.steals + s.steals;
-  acc.bound_updates <- acc.bound_updates + s.bound_updates
+  acc.bound_updates <- acc.bound_updates + s.bound_updates;
+  acc.trace_dropped <- acc.trace_dropped + s.trace_dropped;
+  acc.elapsed <- Float.max acc.elapsed s.elapsed;
+  Depth_profile.merge acc.depths s.depths
 
 let copy s =
   { nodes = s.nodes; pruned = s.pruned; backtracks = s.backtracks;
     max_depth = s.max_depth; tasks = s.tasks; steal_attempts = s.steal_attempts;
-    steals = s.steals; bound_updates = s.bound_updates }
+    steals = s.steals; bound_updates = s.bound_updates;
+    trace_dropped = s.trace_dropped; elapsed = s.elapsed;
+    depths = Depth_profile.copy s.depths }
 
 let pp ppf s =
   Format.fprintf ppf
-    "nodes=%d pruned=%d backtracks=%d max_depth=%d tasks=%d steals=%d/%d \
-     bound_updates=%d"
-    s.nodes s.pruned s.backtracks s.max_depth s.tasks s.steals s.steal_attempts
-    s.bound_updates
+    "nodes=%d pruned=%d backtracks=%d max_depth=%d tasks=%d steals=%d/%d"
+    s.nodes s.pruned s.backtracks s.max_depth s.tasks s.steals s.steal_attempts;
+  if s.steal_attempts > 0 then
+    Format.fprintf ppf " (%.0f%%)"
+      (100. *. float_of_int s.steals /. float_of_int s.steal_attempts);
+  Format.fprintf ppf " bound_updates=%d" s.bound_updates;
+  if s.elapsed > 0. && s.bound_updates > 0 then
+    Format.fprintf ppf " (%.1f/s)" (float_of_int s.bound_updates /. s.elapsed);
+  if s.trace_dropped > 0 then
+    Format.fprintf ppf " trace_dropped=%d" s.trace_dropped

@@ -18,16 +18,33 @@ type t = {
       (** Incumbent improvements applied: successful local submissions
           plus, in the distributed runtime, broadcast floor raises a
           locality adopted. *)
+  mutable trace_dropped : int;
+      (** Telemetry spans lost to {!Yewpar_telemetry.Recorder} ring
+          overflow during this run (0 when untraced). Surfaced so a
+          silently truncated trace is visible next to the counters it
+          was meant to explain. *)
+  mutable elapsed : float;
+      (** Wall-clock seconds of the run, when the caller recorded it
+          (0 = unknown). {!add} takes the max, since parallel
+          localities overlap. *)
+  depths : Depth_profile.t;
+      (** Per-depth profile of the same events (see
+          {!Depth_profile}): column sums equal [nodes], [pruned],
+          [tasks] and [bound_updates]. *)
 }
 
 val create : unit -> t
 (** All-zero statistics. *)
 
 val add : t -> t -> unit
-(** [add acc s] accumulates [s] into [acc] ([max] for [max_depth]). *)
+(** [add acc s] accumulates [s] into [acc] ([max] for [max_depth] and
+    [elapsed], row-wise merge for [depths]). *)
 
 val copy : t -> t
 (** An independent snapshot. *)
 
 val pp : Format.formatter -> t -> unit
-(** One-line rendering for logs. *)
+(** One-line rendering for logs. Derived figures are appended when
+    meaningful: steal success rate after [steals=a/b], bound updates
+    per second when [elapsed] is set, and [trace_dropped] only when
+    nonzero. *)

@@ -1,5 +1,7 @@
 module Stats = Yewpar_core.Stats
 module Recorder = Yewpar_telemetry.Recorder
+module Metrics = Yewpar_telemetry.Metrics
+module Http_export = Yewpar_telemetry.Http_export
 
 type outcome = {
   payloads : string list;
@@ -9,11 +11,24 @@ type outcome = {
   failure : string option;
 }
 
+(* The latest heartbeat from one locality, as an immutable record so
+   the HTTP server domain can read a whole snapshot through a single
+   pointer load while the event loop keeps replacing it. *)
+type live = {
+  at : float;  (** Coordinator clock at receipt. *)
+  tasks_done : int;
+  pool_depth : int;
+  idle_workers : int;
+  idle_frac : float;
+  best : int;
+  trace_dropped : int;
+}
+
 (* Grace period after a watchdog-triggered shutdown before collection is
    abandoned and stragglers are left for the caller to kill. *)
 let watchdog_grace = 5.0
 
-let run ?watchdog ~conns ~(root : Pool.task) () =
+let run ?watchdog ?monitor_port ?on_monitor ~conns ~(root : Pool.task) () =
   let l = Array.length conns in
   let pool = Pool.create () in
   Pool.push pool root;
@@ -33,6 +48,129 @@ let run ?watchdog ~conns ~(root : Pool.task) () =
   let shutdown_sent = ref false in
   let shed_rr = ref 0 in
   let started = Unix.gettimeofday () in
+
+  (* ---------------- live monitoring (--monitor-port) --------------
+     Latest heartbeat per locality, folded into a gauge registry the
+     HTTP server renders on demand. The server runs on its own domain:
+     everything its handlers read is either an immutable record behind
+     one pointer ([live]) or a word-sized cell, so a scrape can be
+     slightly stale but never torn. *)
+  let live : live option array = Array.make l None in
+  let heartbeats = ref 0 in
+  let registry = Metrics.create () in
+  let g name help = Metrics.gauge registry ~help ("yewpar_live_" ^ name) in
+  let g_localities = g "localities" "Localities still connected" in
+  let g_tasks_done = g "tasks_done" "Tasks finished, summed over localities" in
+  let g_pool_depth =
+    g "pool_depth" "Locally queued tasks, summed over localities"
+  in
+  let g_dist_pool =
+    g "dist_pool_depth" "Tasks queued in the coordinator's distributed pool"
+  in
+  let g_active =
+    g "active_tasks" "Distributed active-task count (termination detector)"
+  in
+  let g_idle_workers =
+    g "idle_workers" "Workers blocked waiting for work, cluster-wide"
+  in
+  let g_idle_frac = g "idle_frac" "Mean reported per-locality idle fraction" in
+  let g_best = g "best" "Best incumbent objective seen by the coordinator" in
+  let g_broadcasts = g "bound_broadcasts" "Bound-update messages fanned out" in
+  let g_dropped =
+    g "trace_dropped" "Trace spans dropped by full ring buffers, cluster-wide"
+  in
+  let g_heartbeats = g "heartbeats" "Heartbeat frames received" in
+  let g_uptime = g "uptime_seconds" "Seconds since the coordinator started" in
+  let alive_count () =
+    Array.fold_left (fun a b -> if b then a + 1 else a) 0 alive
+  in
+  let refresh_gauges () =
+    let sum f =
+      Array.fold_left
+        (fun a -> function Some h -> a + f h | None -> a)
+        0 live
+    in
+    let reported =
+      Array.fold_left
+        (fun a -> function Some _ -> a + 1 | None -> a)
+        0 live
+    in
+    Metrics.set g_localities (float_of_int (alive_count ()));
+    Metrics.set g_tasks_done (float_of_int (sum (fun h -> h.tasks_done)));
+    Metrics.set g_pool_depth (float_of_int (sum (fun h -> h.pool_depth)));
+    Metrics.set g_dist_pool (float_of_int (Pool.size pool));
+    Metrics.set g_active (float_of_int !active);
+    Metrics.set g_idle_workers (float_of_int (sum (fun h -> h.idle_workers)));
+    (if reported > 0 then
+       let total =
+         Array.fold_left
+           (fun a -> function Some h -> a +. h.idle_frac | None -> a)
+           0. live
+       in
+       Metrics.set g_idle_frac (total /. float_of_int reported));
+    let best =
+      Array.fold_left
+        (fun a -> function Some h -> max a h.best | None -> a)
+        !global_best live
+    in
+    if best > min_int then Metrics.set g_best (float_of_int best);
+    Metrics.set g_broadcasts (float_of_int !broadcasts);
+    Metrics.set g_dropped (float_of_int (sum (fun h -> h.trace_dropped)));
+    Metrics.set g_heartbeats (float_of_int !heartbeats);
+    Metrics.set g_uptime (Unix.gettimeofday () -. started)
+  in
+  let status_json () =
+    let now = Unix.gettimeofday () in
+    let buf = Buffer.create 512 in
+    Printf.bprintf buf
+      "{\"schema_version\":1,\"runtime\":\"dist\",\"uptime\":%.3f,\
+       \"localities\":%d,\"alive\":%d,\"active_tasks\":%d,\
+       \"dist_pool_depth\":%d,\"global_best\":%s,\"bound_broadcasts\":%d,\
+       \"heartbeats\":%d,\"locality\":["
+      (now -. started) l (alive_count ()) !active (Pool.size pool)
+      (if !global_best > min_int then string_of_int !global_best else "null")
+      !broadcasts !heartbeats;
+    Array.iteri
+      (fun i hb ->
+        if i > 0 then Buffer.add_char buf ',';
+        match hb with
+        | None ->
+          Printf.bprintf buf "{\"id\":%d,\"alive\":%b}" i alive.(i)
+        | Some h ->
+          Printf.bprintf buf
+            "{\"id\":%d,\"alive\":%b,\"age\":%.3f,\"tasks_done\":%d,\
+             \"pool_depth\":%d,\"idle_workers\":%d,\"idle_frac\":%.4f,\
+             \"best\":%s,\"trace_dropped\":%d}"
+            i alive.(i) (now -. h.at) h.tasks_done h.pool_depth h.idle_workers
+            h.idle_frac
+            (if h.best > min_int then string_of_int h.best else "null")
+            h.trace_dropped)
+      live;
+    Buffer.add_string buf "]}";
+    Buffer.contents buf
+  in
+  let server =
+    match monitor_port with
+    | None -> None
+    | Some port ->
+      refresh_gauges ();
+      let s =
+        Http_export.start ~port
+          ~routes:
+            [
+              ( "/metrics",
+                fun () ->
+                  Metrics.set g_uptime (Unix.gettimeofday () -. started);
+                  ("text/plain; version=0.0.4", Metrics.to_prometheus registry)
+              );
+              ("/status", fun () -> ("application/json", status_json ()));
+            ]
+          ()
+      in
+      (match on_monitor with Some f -> f (Http_export.port s) | None -> ());
+      Some s
+  in
+  let monitored = server <> None in
 
   let fail msg = if !failure = None then failure := Some msg in
   let send i m =
@@ -99,6 +237,31 @@ let run ?watchdog ~conns ~(root : Pool.task) () =
           end
         done
       end
+    | Wire.Heartbeat
+        {
+          clock = _;
+          tasks_done;
+          pool_depth;
+          idle_workers;
+          idle_frac;
+          best;
+          trace_dropped;
+        } ->
+      if monitored then begin
+        live.(i) <-
+          Some
+            {
+              at = Unix.gettimeofday ();
+              tasks_done;
+              pool_depth;
+              idle_workers;
+              idle_frac;
+              best;
+              trace_dropped;
+            };
+        incr heartbeats;
+        refresh_gauges ()
+      end
     | Wire.Witness _ -> broadcast_shutdown ()
     | Wire.Failed { message } ->
       fail message;
@@ -132,6 +295,9 @@ let run ?watchdog ~conns ~(root : Pool.task) () =
   in
 
   let abandoned = ref false in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Http_export.stop server)
+  @@ fun () ->
   while (not (all_done ())) && not !abandoned do
     let live = ref [] in
     for i = l - 1 downto 0 do

@@ -31,9 +31,24 @@ type outcome = {
 }
 
 val run :
-  ?watchdog:float -> conns:Transport.t array -> root:Pool.task -> unit -> outcome
+  ?watchdog:float ->
+  ?monitor_port:int ->
+  ?on_monitor:(int -> unit) ->
+  conns:Transport.t array ->
+  root:Pool.task ->
+  unit ->
+  outcome
 (** Drive the search to completion over the given locality
     connections. [watchdog] (seconds) bounds the whole run: on expiry
     the coordinator broadcasts [Shutdown], records a failure, and — if
     localities still do not report — abandons collection shortly
-    after, letting the caller kill them. *)
+    after, letting the caller kill them.
+
+    With [monitor_port] the coordinator serves live observability over
+    HTTP on [127.0.0.1] for the duration of the run ([0] picks an
+    ephemeral port, reported through [on_monitor]): [GET /metrics] is
+    the Prometheus exposition of a [yewpar_live_*] gauge registry the
+    coordinator refreshes from each locality's [Wire.Heartbeat], and
+    [GET /status] a JSON cluster snapshot with per-locality detail
+    (latest heartbeat, its age, liveness). The server stops — and the
+    port closes — before {!run} returns, even on failure. *)

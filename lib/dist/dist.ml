@@ -32,8 +32,11 @@ let combine (type s n r) (p : (s, n, r) Problem.t) (codec : n Codec.t)
     | Some (v, e) when v >= target -> Some (codec.Codec.decode e)
     | Some _ | None -> None)
 
+let default_heartbeat = 0.5
+
 let distributed_run (type s n r) ?stats ?broadcasts ?telemetry ?watchdog
-    ~localities ~workers ~coordination (p : (s, n, r) Problem.t) : r =
+    ?monitor_port ?(heartbeat = default_heartbeat) ?on_monitor ~localities
+    ~workers ~coordination (p : (s, n, r) Problem.t) : r =
   if localities < 1 then invalid_arg "Dist.run: localities must be >= 1";
   if workers < 1 then invalid_arg "Dist.run: workers must be >= 1";
   let codec =
@@ -73,8 +76,10 @@ let distributed_run (type s n r) ?stats ?broadcasts ?telemetry ?watchdog
                   else Unix.close coord_fd)
                 pairs;
               let conn = Transport.create (snd pairs.(i)) in
-              Locality.run ~trace:(Option.is_some telemetry) ~conn ~workers
-                ~coordination p;
+              Locality.run ~trace:(Option.is_some telemetry)
+                ?heartbeat:
+                  (if Option.is_some monitor_port then Some heartbeat else None)
+                ~conn ~workers ~coordination p;
               Transport.close conn;
               0
             with _ -> 1
@@ -111,7 +116,7 @@ let distributed_run (type s n r) ?stats ?broadcasts ?telemetry ?watchdog
         pids)
     (fun () ->
       let outcome =
-        Coordinator.run ?watchdog ~conns
+        Coordinator.run ?watchdog ?monitor_port ?on_monitor ~conns
           ~root:{ Pool.depth = 0; payload = codec.Codec.encode p.Problem.root }
           ()
       in
@@ -135,12 +140,12 @@ let distributed_run (type s n r) ?stats ?broadcasts ?telemetry ?watchdog
           outcome.Coordinator.telemetry);
       combine p codec outcome.Coordinator.payloads)
 
-let run ?stats ?broadcasts ?telemetry ?watchdog ~localities ~workers
-    ~coordination p =
+let run ?stats ?broadcasts ?telemetry ?watchdog ?monitor_port ?heartbeat
+    ?on_monitor ~localities ~workers ~coordination p =
   match coordination with
   | Coordination.Sequential -> Sequential.search ?stats p
   | Coordination.Depth_bounded _ | Coordination.Stack_stealing _
   | Coordination.Budget _ | Coordination.Best_first _
   | Coordination.Random_spawn _ ->
-    distributed_run ?stats ?broadcasts ?telemetry ?watchdog ~localities ~workers
-      ~coordination p
+    distributed_run ?stats ?broadcasts ?telemetry ?watchdog ?monitor_port
+      ?heartbeat ?on_monitor ~localities ~workers ~coordination p

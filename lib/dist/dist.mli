@@ -24,6 +24,9 @@ val run :
   ?broadcasts:int ref ->
   ?telemetry:Yewpar_telemetry.Telemetry.t ->
   ?watchdog:float ->
+  ?monitor_port:int ->
+  ?heartbeat:float ->
+  ?on_monitor:(int -> unit) ->
   localities:int ->
   workers:int ->
   coordination:Yewpar_core.Coordination.t ->
@@ -46,6 +49,15 @@ val run :
     aligned, so the merged trace has one process group per locality;
     [watchdog] bounds the whole run in seconds (a deadlock safety net
     — on expiry the run raises instead of hanging).
+
+    [monitor_port] serves live observability for the duration of the
+    run: localities emit periodic [Wire.Heartbeat] snapshots (every
+    [heartbeat] seconds, default 0.5) that the coordinator folds into
+    a gauge registry answering [GET /metrics] (Prometheus) and
+    [GET /status] (JSON, per-locality detail) on [127.0.0.1]. Port [0]
+    binds an ephemeral port, reported through [on_monitor] once
+    listening. Heartbeats are only emitted when [monitor_port] is
+    given.
 
     [Sequential] coordination runs in-process via
     {!Yewpar_core.Sequential.search}.

@@ -7,6 +7,7 @@ module Coordination = Yewpar_core.Coordination
 module Problem = Yewpar_core.Problem
 module Codec = Yewpar_core.Codec
 module Stats = Yewpar_core.Stats
+module Depth_profile = Yewpar_core.Depth_profile
 
 type 'n task = { node : 'n; depth : int }
 
@@ -23,7 +24,7 @@ type 'n pool = {
    when nothing is happening. *)
 let tick = 0.002
 
-let run (type s n r) ?(trace = false) ~conn ~workers ~coordination
+let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
     (p : (s, n, r) Problem.t) : unit =
   let codec =
     match p.Problem.codec with
@@ -45,6 +46,25 @@ let run (type s n r) ?(trace = false) ~conn ~workers ~coordination
     else Array.make (workers + 1) Recorder.null
   in
   let comms_r = recorders.(workers) in
+  let monitored = heartbeat <> None in
+  let started = Recorder.clock () in
+  let c_done = Atomic.make 0 in
+  (* Cumulative worker idle seconds for the heartbeat's idle fraction;
+     only touched on wakeup, and only when monitoring is on. *)
+  let idle_acc = Atomic.make 0. in
+  let add_idle d =
+    let rec go () =
+      let cur = Atomic.get idle_acc in
+      if not (Atomic.compare_and_set idle_acc cur (cur +. d)) then go ()
+    in
+    go ()
+  in
+  (* One depth profile per worker domain plus one for the communicator
+     (floor adoptions land at depth 0); merged into the Stats frame. *)
+  let profs = Array.init (workers + 1) (fun _ -> Depth_profile.create ()) in
+  (* The depth each worker's engine currently sits at, so the submit
+     wrapper can bucket bound improvements without an engine query. *)
+  let cur_depth = Array.init (workers + 1) (fun _ -> ref 0) in
   let rec bump_max cell v =
     let cur = Atomic.get cell in
     if v > cur && not (Atomic.compare_and_set cell cur v) then bump_max cell v
@@ -114,10 +134,13 @@ let run (type s n r) ?(trace = false) ~conn ~workers ~coordination
   let views =
     Array.init workers (fun i ->
         let r = recorders.(i) in
+        let prof = profs.(i) in
+        let depth_cell = cur_depth.(i) in
         let submit n v =
           let improved = knowledge.Knowledge.submit n v in
           if improved then begin
             Atomic.incr c_bound_updates;
+            Depth_profile.note_bound prof !depth_cell;
             Recorder.instant r Recorder.Bound_update ~arg:v
           end;
           improved
@@ -157,8 +180,9 @@ let run (type s n r) ?(trace = false) ~conn ~workers ~coordination
     outbox_add
       (Wire.Task { depth = task.depth; payload = codec.Codec.encode task.node })
   in
-  let push r task =
+  let push r prof task =
     Atomic.incr c_tasks;
+    Depth_profile.note_spawn prof task.depth;
     if Atomic.compare_and_set global_hungry true false then spill r task
     else if Atomic.get pool.size >= spill_threshold then spill r task
     else enqueue_local r task
@@ -178,9 +202,11 @@ let run (type s n r) ?(trace = false) ~conn ~workers ~coordination
         | None ->
           Atomic.incr waiting;
           let idle_from = Recorder.now r in
+          let wall_from = if monitored then Recorder.clock () else 0. in
           Condition.wait pool.nonempty pool.mutex;
           Atomic.decr waiting;
           Recorder.span r Recorder.Idle ~start:idle_from ~arg:0;
+          if monitored then add_idle (Recorder.clock () -. wall_from);
           wait ()
     in
     let t = wait () in
@@ -202,27 +228,34 @@ let run (type s n r) ?(trace = false) ~conn ~workers ~coordination
   (* Stack-Stealing work pushing, extended with the distributed hunger
      signal: shed when local thieves wait on a dry pool, or when the
      coordinator relayed another locality's starvation. *)
-  let maybe_split_for_thieves r view ~chunked e =
+  let maybe_split_for_thieves r prof view ~chunked e =
     let local_thieves = Atomic.get waiting > 0 && Atomic.get pool.size = 0 in
     if local_thieves || Atomic.get global_hungry then
       if chunked then begin
         let cs, depth = Engine.split_lowest e in
-        List.iter (fun node -> push r { node; depth }) (filter_chunk view cs)
+        List.iter (fun node -> push r prof { node; depth }) (filter_chunk view cs)
       end
       else
         match Engine.split_one e with
-        | Some (node, depth) -> if view.Ops.keep node then push r { node; depth }
+        | Some (node, depth) ->
+          if view.Ops.keep node then push r prof { node; depth }
         | None -> ()
   in
-  let exec_task r (view : n Ops.view) task =
+  let exec_task r prof dcell (view : n Ops.view) task =
     let started = Recorder.now r in
-    (if not (view.Ops.keep task.node) then Atomic.incr c_pruned
+    dcell := task.depth;
+    (if not (view.Ops.keep task.node) then begin
+       Atomic.incr c_pruned;
+       Depth_profile.note_prune prof task.depth
+     end
      else if not (view.Ops.process task.node) then begin
        Atomic.incr c_nodes;
+       Depth_profile.note_node prof task.depth;
        request_stop ()
      end
      else begin
        Atomic.incr c_nodes;
+       Depth_profile.note_node prof task.depth;
        match coordination with
        | (Coordination.Depth_bounded { dcutoff } | Coordination.Best_first { dcutoff })
          when task.depth < dcutoff ->
@@ -231,7 +264,7 @@ let run (type s n r) ?(trace = false) ~conn ~workers ~coordination
            | None -> ()
            | Some (c, rest) ->
              if view.Ops.keep c then begin
-               push r { node = c; depth = task.depth + 1 };
+               push r prof { node = c; depth = task.depth + 1 };
                spawn_children rest
              end
              else if not view.Ops.prune_siblings then spawn_children rest
@@ -256,29 +289,34 @@ let run (type s n r) ?(trace = false) ~conn ~workers ~coordination
                  e
              with
              | Engine.Enter n ->
+               incr dcell;
+               Depth_profile.note_node prof !dcell;
                if view.Ops.process n then begin
                  (match coordination with
                  | Coordination.Stack_stealing { chunked } ->
-                   maybe_split_for_thieves r view ~chunked e
+                   maybe_split_for_thieves r prof view ~chunked e
                  | _ -> ());
                  go ()
                end
                else request_stop ()
-             | Engine.Pruned _ -> go ()
+             | Engine.Pruned _ ->
+               Depth_profile.note_prune prof (!dcell + 1);
+               go ()
              | Engine.Leave ->
+               decr dcell;
                (match coordination with
                | Coordination.Budget { budget }
                  when Engine.backtracks e - !last_bt >= budget ->
                  let cs, depth = Engine.split_lowest e in
                  List.iter
-                   (fun node -> push r { node; depth })
+                   (fun node -> push r prof { node; depth })
                    (filter_chunk view cs);
                  last_bt := Engine.backtracks e
                | Coordination.Random_spawn { mean_interval }
                  when Yewpar_util.Splitmix.int rng mean_interval = 0 -> (
                  match Engine.split_one e with
                  | Some (node, depth) when view.Ops.keep node ->
-                   push r { node; depth }
+                   push r prof { node; depth }
                  | Some _ | None -> ())
                | _ -> ());
                go ()
@@ -297,15 +335,18 @@ let run (type s n r) ?(trace = false) ~conn ~workers ~coordination
   let worker i () =
     let view = views.(i) in
     let r = recorders.(i) in
+    let prof = profs.(i) in
+    let dcell = cur_depth.(i) in
     let rec loop () =
       match take r with
       | None -> ()
       | Some t ->
-        (try exec_task r view t
+        (try exec_task r prof dcell view t
          with e ->
            ignore (Atomic.compare_and_set failure None (Some e));
            request_stop ());
         finish_task ();
+        Atomic.incr c_done;
         loop ()
     in
     loop ()
@@ -376,17 +417,52 @@ let run (type s n r) ?(trace = false) ~conn ~workers ~coordination
       if value > Atomic.get floor then begin
         Atomic.set floor value;
         (* Adopting a broadcast floor is an applied incumbent
-           improvement here, even though it was found elsewhere. *)
+           improvement here, even though it was found elsewhere; it has
+           no tree position, so the profile books it at depth 0. *)
         Atomic.incr c_bound_updates;
+        Depth_profile.note_bound profs.(workers) 0;
         Recorder.instant comms_r Recorder.Bound_update ~arg:value
       end
     | Wire.Shutdown ->
       shutdown := true;
       request_stop ()
     (* Coordinator-bound messages; never sent to a locality. *)
-    | Wire.Witness _ | Wire.Idle _ | Wire.Result _ | Wire.Stats _
-    | Wire.Telemetry _ | Wire.Failed _ ->
+    | Wire.Witness _ | Wire.Idle _ | Wire.Heartbeat _ | Wire.Result _
+    | Wire.Stats _ | Wire.Telemetry _ | Wire.Failed _ ->
       ()
+  in
+  let all_dropped () =
+    Array.fold_left (fun acc r -> acc + Recorder.dropped r) 0 recorders
+  in
+  (* neg_infinity: the first tick always beats, so even sub-interval
+     runs surface once in the coordinator's live registry. *)
+  let last_heartbeat = ref neg_infinity in
+  let maybe_heartbeat () =
+    match heartbeat with
+    | None -> ()
+    | Some every ->
+      let now = Recorder.clock () in
+      if now -. !last_heartbeat >= every then begin
+        last_heartbeat := now;
+        let uptime = now -. started in
+        let idle_frac =
+          if uptime > 0. then
+            Float.min 1.
+              (Atomic.get idle_acc /. (float_of_int workers *. uptime))
+          else 0.
+        in
+        Transport.send conn
+          (Wire.Heartbeat
+             {
+               clock = now;
+               tasks_done = Atomic.get c_done;
+               pool_depth = Atomic.get pool.size;
+               idle_workers = Atomic.get waiting;
+               idle_frac;
+               best = knowledge.Knowledge.best_obj ();
+               trace_dropped = all_dropped ();
+             })
+      end
   in
   let communicator_tick () =
     (match Transport.poll ~timeout:tick [ conn ] with
@@ -398,6 +474,7 @@ let run (type s n r) ?(trace = false) ~conn ~workers ~coordination
       failed_sent := true;
       Transport.send conn (Wire.Failed { message = Printexc.to_string e })
     | _ -> ());
+    maybe_heartbeat ();
     if is_optimise then begin
       let b = local.Knowledge.best_obj () in
       if b > !last_bound_sent && b > Atomic.get floor then begin
@@ -484,6 +561,8 @@ let run (type s n r) ?(trace = false) ~conn ~workers ~coordination
   st.Stats.steal_attempts <- !steal_attempts;
   st.Stats.steals <- !steals;
   st.Stats.bound_updates <- Atomic.get c_bound_updates;
+  st.Stats.trace_dropped <- all_dropped ();
+  Array.iter (fun p -> Depth_profile.merge st.Stats.depths p) profs;
   Transport.send conn (Wire.Result { payload });
   (* Telemetry travels before Stats on the same FIFO socket, so the
      coordinator always has the buffers by the time the locality counts

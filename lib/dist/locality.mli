@@ -26,6 +26,7 @@
 
 val run :
   ?trace:bool ->
+  ?heartbeat:float ->
   conn:Transport.t ->
   workers:int ->
   coordination:Yewpar_core.Coordination.t ->
@@ -36,6 +37,11 @@ val run :
     return. With [trace] (default [false]) every worker domain and the
     communicator thread (worker id = [workers]) record into
     preallocated {!Yewpar_telemetry.Recorder} ring buffers, shipped
-    upward in the [Telemetry] frame. The problem must carry a task
-    codec.
+    upward in the [Telemetry] frame. With [heartbeat] (seconds; off by
+    default) the communicator additionally emits a [Wire.Heartbeat]
+    progress snapshot at that interval — the first tick always sends
+    one — and workers accumulate wall-clock idle time for its
+    idle-fraction field. The shipped [Stats] carry per-depth profiles
+    and the recorders' ring-overflow drop count. The problem must
+    carry a task codec.
     @raise Transport.Closed if the coordinator disappears mid-run. *)

@@ -5,6 +5,15 @@ type msg =
   | Bound_update of { value : int }
   | Witness of { value : int; payload : string }
   | Idle of { completed : int }
+  | Heartbeat of {
+      clock : float;
+      tasks_done : int;
+      pool_depth : int;
+      idle_workers : int;
+      idle_frac : float;
+      best : int;
+      trace_dropped : int;
+    }
   | Result of { payload : string }
   | Stats of Yewpar_core.Stats.t
   | Telemetry of {

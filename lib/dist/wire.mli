@@ -40,6 +40,24 @@ type msg =
           [completed] coordinator-issued tasks (its spills for their
           unfinished subtrees were sent earlier on this same ordered
           socket). Drives distributed termination detection. *)
+  | Heartbeat of {
+      clock : float;  (** The locality's monotonic clock at emission. *)
+      tasks_done : int;  (** Tasks finished since startup. *)
+      pool_depth : int;  (** Tasks currently queued in the local pool. *)
+      idle_workers : int;  (** Workers blocked waiting for work. *)
+      idle_frac : float;
+          (** Cumulative idle seconds across workers divided by
+              [workers * uptime]: the locality's starvation level. *)
+      best : int;  (** The locality's current local bound. *)
+      trace_dropped : int;
+          (** Spans dropped by full recorder ring buffers so far. *)
+    }
+      (** Locality → coordinator, periodically while monitoring is
+          enabled ([--monitor-port]): a best-effort progress snapshot
+          the coordinator folds into its live metrics registry so
+          [GET /metrics] and [GET /status] reflect the running search.
+          Purely informational — never acked, never affects
+          termination. *)
   | Result of { payload : string }
       (** Locality → coordinator after shutdown: the locality's
           contribution to the final result (kind-dependent encoding,

@@ -1,7 +1,10 @@
 module Deque = Yewpar_util.Deque
 module Recorder = Yewpar_telemetry.Recorder
 module Telemetry = Yewpar_telemetry.Telemetry
+module Metrics = Yewpar_telemetry.Metrics
+module Http_export = Yewpar_telemetry.Http_export
 module Engine = Yewpar_core.Engine
+module Depth_profile = Yewpar_core.Depth_profile
 module Workpool = Yewpar_core.Workpool
 module Knowledge = Yewpar_core.Knowledge
 module Ops = Yewpar_core.Ops
@@ -30,8 +33,8 @@ let pool_create ~policy () =
     size = Atomic.make 0;
   }
 
-let parallel_run (type s n r) ~n_workers ?stats ?telemetry ~coordination
-    (p : (s, n, r) Problem.t) : r =
+let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?monitor_port
+    ?on_monitor ~coordination (p : (s, n, r) Problem.t) : r =
   (* Cross-domain counters; folded into [stats] after the join. *)
   let c_nodes = Atomic.make 0 in
   let c_pruned = Atomic.make 0 in
@@ -41,6 +44,16 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ~coordination
   let c_steal_attempts = Atomic.make 0 in
   let c_steals = Atomic.make 0 in
   let c_bound_updates = Atomic.make 0 in
+  let c_done = Atomic.make 0 in
+  (* Per-worker depth profiles (single-writer, merged after the join)
+     and the depth each worker's engine currently sits at, so the
+     submit wrapper can bucket bound improvements without an engine
+     query. Disabled — one branch per note — when stats are off. *)
+  let profs =
+    Array.init n_workers (fun _ ->
+        if stats = None then Depth_profile.null else Depth_profile.create ())
+  in
+  let cur_depth = Array.init n_workers (fun _ -> ref 0) in
   (* One span recorder per worker domain (all ring buffers preallocated
      here, before any domain spawns); [Recorder.null] turns every
      recording site into a single branch when telemetry is off. *)
@@ -72,10 +85,13 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ~coordination
   let views =
     Array.init n_workers (fun i ->
         let r = recorders.(i) in
+        let prof = profs.(i) in
+        let depth_cell = cur_depth.(i) in
         let submit n v =
           let improved = knowledge.Knowledge.submit n v in
           if improved then begin
             Atomic.incr c_bound_updates;
+            Depth_profile.note_bound prof !depth_cell;
             Recorder.instant r Recorder.Bound_update ~arg:v
           end;
           improved
@@ -88,8 +104,9 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ~coordination
     | Coordination.Best_first _ -> (views.(0)).Ops.priority
     | _ -> fun _ -> 0
   in
-  let push r task =
+  let push r prof task =
     Atomic.incr c_tasks;
+    Depth_profile.note_spawn prof task.depth;
     Atomic.incr outstanding;
     Mutex.lock pool.mutex;
     Workpool.push pool.tasks ~depth:task.depth ~priority:(task_priority task.node)
@@ -168,27 +185,34 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ~coordination
 
   (* Stack-Stealing work pushing: a running worker sheds work when the
      pool is dry and someone is waiting for it. *)
-  let maybe_split_for_thieves r view ~chunked e =
+  let maybe_split_for_thieves r prof view ~chunked e =
     if Atomic.get waiting > 0 && Atomic.get pool.size = 0 then
       if chunked then begin
         let cs, depth = Engine.split_lowest e in
-        List.iter (fun node -> push r { node; depth }) (filter_chunk view cs)
+        List.iter (fun node -> push r prof { node; depth }) (filter_chunk view cs)
       end
       else
         match Engine.split_one e with
-        | Some (node, depth) -> if view.Ops.keep node then push r { node; depth }
+        | Some (node, depth) ->
+          if view.Ops.keep node then push r prof { node; depth }
         | None -> ()
   in
 
-  let exec_task r (view : n Ops.view) task =
+  let exec_task r prof dcell (view : n Ops.view) task =
     let started = Recorder.now r in
-    (if not (view.Ops.keep task.node) then Atomic.incr c_pruned
+    dcell := task.depth;
+    (if not (view.Ops.keep task.node) then begin
+       Atomic.incr c_pruned;
+       Depth_profile.note_prune prof task.depth
+     end
      else if not (view.Ops.process task.node) then begin
        Atomic.incr c_nodes;
+       Depth_profile.note_node prof task.depth;
        request_stop ()
      end
      else begin
        Atomic.incr c_nodes;
+       Depth_profile.note_node prof task.depth;
        match coordination with
        | (Coordination.Depth_bounded { dcutoff } | Coordination.Best_first { dcutoff })
          when task.depth < dcutoff ->
@@ -197,7 +221,7 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ~coordination
            | None -> ()
            | Some (c, rest) ->
              if view.Ops.keep c then begin
-               push r { node = c; depth = task.depth + 1 };
+               push r prof { node = c; depth = task.depth + 1 };
                spawn_children rest
              end
              else if not view.Ops.prune_siblings then spawn_children rest
@@ -219,26 +243,34 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ~coordination
                Engine.step ~prune_rest:view.Ops.prune_siblings ~keep:view.Ops.keep e
              with
              | Engine.Enter n ->
+               incr dcell;
+               Depth_profile.note_node prof !dcell;
                if view.Ops.process n then begin
                  (match coordination with
                  | Coordination.Stack_stealing { chunked } ->
-                   maybe_split_for_thieves r view ~chunked e
+                   maybe_split_for_thieves r prof view ~chunked e
                  | _ -> ());
                  go ()
                end
                else request_stop ()
-             | Engine.Pruned _ -> go ()
+             | Engine.Pruned _ ->
+               Depth_profile.note_prune prof (!dcell + 1);
+               go ()
              | Engine.Leave ->
+               decr dcell;
                (match coordination with
                | Coordination.Budget { budget }
                  when Engine.backtracks e - !last_bt >= budget ->
                  let cs, depth = Engine.split_lowest e in
-                 List.iter (fun node -> push r { node; depth }) (filter_chunk view cs);
+                 List.iter
+                   (fun node -> push r prof { node; depth })
+                   (filter_chunk view cs);
                  last_bt := Engine.backtracks e
                | Coordination.Random_spawn { mean_interval }
                  when Yewpar_util.Splitmix.int rng mean_interval = 0 -> (
                  match Engine.split_one e with
-                 | Some (node, depth) when view.Ops.keep node -> push r { node; depth }
+                 | Some (node, depth) when view.Ops.keep node ->
+                   push r prof { node; depth }
                  | Some _ | None -> ())
                | _ -> ());
                go ()
@@ -260,21 +292,106 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ~coordination
   let worker i () =
     let view = views.(i) in
     let r = recorders.(i) in
+    let prof = profs.(i) in
+    let dcell = cur_depth.(i) in
     let rec loop () =
       match take r with
       | None -> ()
       | Some t ->
-        (try exec_task r view t
+        (try exec_task r prof dcell view t
          with e ->
            ignore (Atomic.compare_and_set failure None (Some e));
            request_stop ());
         finish_task ();
+        Atomic.incr c_done;
         loop ()
     in
     loop ()
   in
 
-  push recorders.(0) { node = p.Problem.root; depth = 0 };
+  (* Live monitoring: the /metrics gauges are computed from the shared
+     atomics on each scrape, so the handler (which runs on the server's
+     domain, concurrently with the workers) only ever does word-sized
+     reads — a snapshot can be slightly stale but never torn. *)
+  let monitor =
+    match monitor_port with
+    | None -> None
+    | Some port ->
+      let started = Unix.gettimeofday () in
+      let registry = Metrics.create () in
+      let g name help = Metrics.gauge registry ~help ("yewpar_live_" ^ name) in
+      let g_workers = g "workers" "Worker domains in this run" in
+      let g_nodes = g "nodes" "Nodes processed so far" in
+      let g_pruned = g "pruned" "Subtrees pruned so far" in
+      let g_tasks = g "tasks" "Tasks spawned so far" in
+      let g_done = g "tasks_done" "Tasks finished so far" in
+      let g_pool = g "pool_depth" "Tasks currently queued in the pool" in
+      let g_outstanding =
+        g "active_tasks" "Tasks queued or executing (termination detector)"
+      in
+      let g_idle = g "idle_workers" "Workers blocked waiting for work" in
+      let g_steals = g "steals" "Successful steals so far" in
+      let g_attempts = g "steal_attempts" "Steal attempts so far" in
+      let g_bounds = g "bound_updates" "Incumbent improvements applied" in
+      let g_dropped =
+        g "trace_dropped" "Trace spans dropped by full ring buffers"
+      in
+      let g_uptime = g "uptime_seconds" "Seconds since the search started" in
+      let refresh () =
+        Metrics.set g_workers (float_of_int n_workers);
+        Metrics.set g_nodes (float_of_int (Atomic.get c_nodes));
+        Metrics.set g_pruned (float_of_int (Atomic.get c_pruned));
+        Metrics.set g_tasks (float_of_int (Atomic.get c_tasks));
+        Metrics.set g_done (float_of_int (Atomic.get c_done));
+        Metrics.set g_pool (float_of_int (Atomic.get pool.size));
+        Metrics.set g_outstanding (float_of_int (Atomic.get outstanding));
+        Metrics.set g_idle (float_of_int (Atomic.get waiting));
+        Metrics.set g_steals (float_of_int (Atomic.get c_steals));
+        Metrics.set g_attempts (float_of_int (Atomic.get c_steal_attempts));
+        Metrics.set g_bounds (float_of_int (Atomic.get c_bound_updates));
+        Metrics.set g_dropped
+          (float_of_int
+             (Array.fold_left (fun a r -> a + Recorder.dropped r) 0 recorders));
+        Metrics.set g_uptime (Unix.gettimeofday () -. started)
+      in
+      let status_json () =
+        Printf.sprintf
+          "{\"schema_version\":1,\"runtime\":\"shm\",\"uptime\":%.3f,\
+           \"workers\":%d,\"nodes\":%d,\"pruned\":%d,\"tasks\":%d,\
+           \"tasks_done\":%d,\"pool_depth\":%d,\"active_tasks\":%d,\
+           \"idle_workers\":%d,\"steals\":%d,\"steal_attempts\":%d,\
+           \"bound_updates\":%d,\"best\":%s,\"trace_dropped\":%d}"
+          (Unix.gettimeofday () -. started)
+          n_workers (Atomic.get c_nodes) (Atomic.get c_pruned)
+          (Atomic.get c_tasks) (Atomic.get c_done) (Atomic.get pool.size)
+          (Atomic.get outstanding) (Atomic.get waiting) (Atomic.get c_steals)
+          (Atomic.get c_steal_attempts)
+          (Atomic.get c_bound_updates)
+          (let b = knowledge.Knowledge.best_obj () in
+           if b > min_int then string_of_int b else "null")
+          (Array.fold_left (fun a r -> a + Recorder.dropped r) 0 recorders)
+      in
+      let s =
+        Http_export.start ~port
+          ~routes:
+            [
+              ( "/metrics",
+                fun () ->
+                  refresh ();
+                  ("text/plain; version=0.0.4", Metrics.to_prometheus registry)
+              );
+              ("/status", fun () -> ("application/json", status_json ()));
+            ]
+          ()
+      in
+      (match on_monitor with Some f -> f (Http_export.port s) | None -> ());
+      Some s
+  in
+
+  push recorders.(0) profs.(0) { node = p.Problem.root; depth = 0 };
+  Fun.protect
+    ~finally:(fun () -> Option.iter Http_export.stop monitor)
+  @@ fun () ->
   let domains = Array.init n_workers (fun i -> Domain.spawn (worker i)) in
   Array.iter Domain.join domains;
   (match Atomic.get failure with Some e -> raise e | None -> ());
@@ -293,10 +410,16 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ~coordination
     st.Yewpar_core.Stats.steals <-
       st.Yewpar_core.Stats.steals + Atomic.get c_steals;
     st.Yewpar_core.Stats.bound_updates <-
-      st.Yewpar_core.Stats.bound_updates + Atomic.get c_bound_updates);
+      st.Yewpar_core.Stats.bound_updates + Atomic.get c_bound_updates;
+    st.Yewpar_core.Stats.trace_dropped <-
+      st.Yewpar_core.Stats.trace_dropped
+      + Array.fold_left (fun a r -> a + Recorder.dropped r) 0 recorders;
+    Array.iter
+      (fun prof -> Depth_profile.merge st.Yewpar_core.Stats.depths prof)
+      profs);
   harness.Ops.result knowledge
 
-let run ?workers ?stats ?telemetry ~coordination p =
+let run ?workers ?stats ?telemetry ?monitor_port ?on_monitor ~coordination p =
   match coordination with
   | Coordination.Sequential -> (
     match telemetry with
@@ -316,4 +439,5 @@ let run ?workers ?stats ?telemetry ~coordination p =
       | Some _ -> invalid_arg "Shm.run: workers must be >= 1"
       | None -> Domain.recommended_domain_count ()
     in
-    parallel_run ~n_workers ?stats ?telemetry ~coordination p
+    parallel_run ~n_workers ?stats ?telemetry ?monitor_port ?on_monitor
+      ~coordination p

@@ -23,13 +23,17 @@
 val run :
   ?workers:int -> ?stats:Yewpar_core.Stats.t ->
   ?telemetry:Yewpar_telemetry.Telemetry.t ->
+  ?monitor_port:int ->
+  ?on_monitor:(int -> unit) ->
   coordination:Yewpar_core.Coordination.t ->
   ('space, 'node, 'result) Yewpar_core.Problem.t -> 'result
 (** [run ~coordination p] executes [p] on [workers] domains (default:
     [Domain.recommended_domain_count ()]). [Sequential] coordination
     delegates to {!Yewpar_core.Sequential.search}. When [stats] is
     supplied, node/prune/task/steal/bound-update counters aggregated
-    across all domains are accumulated into it after the join.
+    across all domains are accumulated into it after the join, along
+    with per-depth profiles ({!Yewpar_core.Depth_profile}) and the
+    recorders' ring-overflow drop count.
 
     When [telemetry] is supplied, every worker domain gets a
     preallocated {!Yewpar_telemetry.Recorder} (locality 0, worker =
@@ -37,4 +41,12 @@ val run :
     bound-update and pool-depth spans; they are registered in the sink
     before the domains spawn, so after [run] returns the sink merges
     and exports them. Tracing never changes the search: the traced and
-    untraced runs process the same nodes. *)
+    untraced runs process the same nodes.
+
+    When [monitor_port] is supplied (parallel coordinations only; [0]
+    binds an ephemeral port reported through [on_monitor]), the run
+    serves [GET /metrics] (a [yewpar_live_*] Prometheus gauge registry
+    computed from the shared counters on each scrape) and
+    [GET /status] (a JSON snapshot) on [127.0.0.1] for its duration
+    ({!Yewpar_telemetry.Http_export}); the port closes before [run]
+    returns. *)

@@ -1,0 +1,436 @@
+module Table = Yewpar_util.Table
+
+type span = {
+  locality : int;
+  worker : int;
+  name : string;
+  start : float;
+  dur : float;
+}
+
+(* ------------------------- minimal JSON -------------------------- *)
+
+(* Just enough JSON for the two formats we produce ourselves (Chrome
+   trace events, bench records): objects, arrays, strings, numbers,
+   literals. Escapes are decoded naively; \uXXXX collapses to '?',
+   which never occurs in our own exports. *)
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "json: %s at offset %d" msg !pos) in
+  let peek () = if !pos < n then s.[!pos] else fail "unexpected end" in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if peek () <> c then fail (Printf.sprintf "expected %C" c);
+    advance ()
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail "bad literal"
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated escape";
+          pos := !pos + 4;
+          Buffer.add_char b '?'
+        | c ->
+          advance ();
+          Buffer.add_char b
+            (match c with 'n' -> '\n' | 't' -> '\t' | 'r' -> '\r' | c -> c));
+        loop ()
+      | c ->
+        advance ();
+        Buffer.add_char b c;
+        loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "bad object"
+        in
+        members []
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elements (v :: acc)
+          | ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "bad array"
+        in
+        elements []
+      end
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ ->
+      let start = !pos in
+      while
+        !pos < n
+        && (match s.[!pos] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        advance ()
+      done;
+      if !pos = start then fail "junk";
+      Num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+let num_or d = function Some (Num f) -> f | _ -> d
+let str_or d = function Some (Str s) -> s | _ -> d
+
+(* ------------------------- trace loading ------------------------- *)
+
+let spans_of_chrome content =
+  let events =
+    match member "traceEvents" (parse_json content) with
+    | Some (Arr evs) -> evs
+    | _ -> failwith "chrome trace: traceEvents missing"
+  in
+  List.filter_map
+    (fun ev ->
+      match str_or "" (member "ph" ev) with
+      | "X" | "i" ->
+        Some
+          {
+            locality = int_of_float (num_or 0. (member "pid" ev));
+            worker = int_of_float (num_or 0. (member "tid" ev));
+            name = str_or "?" (member "name" ev);
+            (* Chrome timestamps are microseconds. *)
+            start = num_or 0. (member "ts" ev) /. 1e6;
+            dur = num_or 0. (member "dur" ev) /. 1e6;
+          }
+      | _ -> None (* metadata, counters *))
+    events
+
+let spans_of_csv content =
+  let lines =
+    String.split_on_char '\n' content
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> []
+  | header :: rows ->
+    if not (String.length header >= 6 && String.sub header 0 6 = "worker") then
+      failwith "csv trace: missing worker,start,duration,label header";
+    List.map
+      (fun line ->
+        match String.split_on_char ',' line with
+        | worker :: start :: dur :: label ->
+          {
+            locality = 0;
+            worker = int_of_string (String.trim worker);
+            name = String.concat "," label;
+            start = float_of_string start;
+            dur = float_of_string dur;
+          }
+        | _ -> failwith (Printf.sprintf "csv trace: bad row %S" line))
+      rows
+
+let load_trace content =
+  let rec first_printable i =
+    if i >= String.length content then ' '
+    else
+      match content.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> first_printable (i + 1)
+      | c -> c
+  in
+  match first_printable 0 with
+  | '{' | '[' -> spans_of_chrome content
+  | _ -> spans_of_csv content
+
+(* ---------------------- load-balance report ---------------------- *)
+
+let fsec v = Printf.sprintf "%.6f" v
+let fpct v = Printf.sprintf "%.1f" v
+
+let percentile p sorted =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else begin
+    let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let load_balance_report spans =
+  if spans = [] then "empty trace: nothing to analyze\n"
+  else begin
+    let t0 =
+      List.fold_left (fun acc s -> Float.min acc s.start) infinity spans
+    in
+    let t1 =
+      List.fold_left (fun acc s -> Float.max acc (s.start +. s.dur)) neg_infinity
+        spans
+    in
+    let makespan = t1 -. t0 in
+    (* Per-(locality, worker) accumulation, in stable id order. *)
+    let table = Hashtbl.create 32 in
+    let track s =
+      let key = (s.locality, s.worker) in
+      match Hashtbl.find_opt table key with
+      | Some v -> v
+      | None ->
+        let v = (ref 0., ref 0., ref 0, ref 0) in
+        Hashtbl.add table key v;
+        v
+    in
+    let steal_lat = ref [] in
+    List.iter
+      (fun s ->
+        let busy, idle, tasks, steals = track s in
+        (match s.name with
+        | "idle" -> idle := !idle +. s.dur
+        | name ->
+          busy := !busy +. s.dur;
+          if name = "task" then incr tasks;
+          if name = "steal_success" then begin
+            incr steals;
+            steal_lat := s.dur :: !steal_lat
+          end))
+      spans;
+    let workers =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+      |> List.sort compare
+    in
+    let nw = List.length workers in
+    let busy_of (_, (busy, _, _, _)) = !busy in
+    let total_busy = List.fold_left (fun a w -> a +. busy_of w) 0. workers in
+    let total_idle =
+      List.fold_left (fun a (_, (_, idle, _, _)) -> a +. !idle) 0. workers
+    in
+    let mean_busy = total_busy /. float_of_int nw in
+    let min_w, max_w =
+      List.fold_left
+        (fun (mn, mx) w ->
+          ((if busy_of w < busy_of mn then w else mn),
+           if busy_of w > busy_of mx then w else mx))
+        (List.hd workers, List.hd workers)
+        workers
+    in
+    let pct v = if makespan > 0. then 100. *. v /. makespan else 0. in
+    let wname (l, w) = Printf.sprintf "%d/%d" l w in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "load balance: %d workers, %d spans, makespan %ss\n\n" nw
+         (List.length spans) (fsec makespan));
+    Buffer.add_string buf
+      (Table.render
+         ~header:[ "worker"; "busy (s)"; "busy %"; "idle (s)"; "tasks"; "steals" ]
+         (List.map
+            (fun ((key, (busy, idle, tasks, steals)) : (int * int) * _) ->
+              [ wname key; fsec !busy; fpct (pct !busy); fsec !idle;
+                string_of_int !tasks; string_of_int !steals ])
+            workers));
+    Buffer.add_char buf '\n';
+    let imbalance = if mean_busy > 0. then busy_of max_w /. mean_busy else 1. in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "busy: mean %ss, min %ss (worker %s), max %ss (worker %s)\n"
+         (fsec mean_busy)
+         (fsec (busy_of min_w))
+         (wname (fst min_w))
+         (fsec (busy_of max_w))
+         (wname (fst max_w)));
+    Buffer.add_string buf
+      (Printf.sprintf "imbalance (max/mean busy): %.3f\n" imbalance);
+    let worker_time = makespan *. float_of_int nw in
+    Buffer.add_string buf
+      (Printf.sprintf "idle: total %ss (%s%% of %d x makespan)\n"
+         (fsec total_idle)
+         (fpct (if worker_time > 0. then 100. *. total_idle /. worker_time else 0.))
+         nw);
+    let lats = Array.of_list !steal_lat in
+    Array.sort compare lats;
+    if Array.length lats > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf
+           "steal latency (s): n=%d p50=%s p90=%s p99=%s max=%s\n"
+           (Array.length lats)
+           (fsec (percentile 50. lats))
+           (fsec (percentile 90. lats))
+           (fsec (percentile 99. lats))
+           (fsec lats.(Array.length lats - 1)))
+    else Buffer.add_string buf "steal latency (s): no steal_success spans\n";
+    Buffer.contents buf
+  end
+
+(* ------------------------- bench compare ------------------------- *)
+
+type bench = { schema_version : int; records : (string * float) list }
+
+let record_key r =
+  Printf.sprintf "%s/%s/%s/%s/%dx%d"
+    (str_or "?" (member "experiment" r))
+    (str_or "?" (member "problem" r))
+    (str_or "?" (member "skeleton" r))
+    (str_or "?" (member "runtime" r))
+    (int_of_float (num_or 0. (member "localities" r)))
+    (int_of_float (num_or 0. (member "workers" r)))
+
+let load_bench content =
+  let json = parse_json content in
+  let schema_version, records =
+    match json with
+    | Arr records -> (0, records)
+    | Obj _ -> (
+      match (member "schema_version" json, member "records" json) with
+      | Some (Num v), Some (Arr records) -> (int_of_float v, records)
+      | _ -> failwith "bench json: expected schema_version and records")
+    | _ -> failwith "bench json: expected an object or array"
+  in
+  (* Seed sweeps repeat a key; average them so the comparison is
+     per-configuration. *)
+  let sums = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let key = record_key r in
+      let elapsed = num_or nan (member "elapsed" r) in
+      if not (Float.is_nan elapsed) then
+        match Hashtbl.find_opt sums key with
+        | Some (total, count) -> Hashtbl.replace sums key (total +. elapsed, count + 1)
+        | None ->
+          Hashtbl.add sums key (elapsed, 1);
+          order := key :: !order)
+    records;
+  let records =
+    List.rev_map
+      (fun key ->
+        let total, count = Hashtbl.find sums key in
+        (key, total /. float_of_int count))
+      !order
+  in
+  { schema_version; records }
+
+type verdict = {
+  regressions : (string * float * float * float) list;
+  report : string;
+}
+
+let compare_bench ~threshold_pct ~old_ ~new_ =
+  let old_tbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace old_tbl k v) old_.records;
+  let new_tbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace new_tbl k v) new_.records;
+  let joined =
+    List.filter_map
+      (fun (k, old_e) ->
+        match Hashtbl.find_opt new_tbl k with
+        | Some new_e ->
+          let delta =
+            if old_e > 0. then 100. *. ((new_e /. old_e) -. 1.) else 0.
+          in
+          Some (k, old_e, new_e, delta)
+        | None -> None)
+      old_.records
+  in
+  let only_old =
+    List.filter (fun (k, _) -> not (Hashtbl.mem new_tbl k)) old_.records
+  in
+  let only_new =
+    List.filter (fun (k, _) -> not (Hashtbl.mem old_tbl k)) new_.records
+  in
+  let regressions =
+    List.filter (fun (_, _, _, d) -> d > threshold_pct) joined
+    |> List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a)
+  in
+  let buf = Buffer.create 1024 in
+  if old_.schema_version <> new_.schema_version then
+    Buffer.add_string buf
+      (Printf.sprintf "note: schema versions differ (old %d, new %d)\n\n"
+         old_.schema_version new_.schema_version);
+  Buffer.add_string buf
+    (Table.render
+       ~header:[ "benchmark"; "old (s)"; "new (s)"; "delta %" ]
+       (List.map
+          (fun (k, o, ne, d) ->
+            [ (k ^ if d > threshold_pct then " !" else "");
+              Printf.sprintf "%.6f" o; Printf.sprintf "%.6f" ne;
+              Printf.sprintf "%+.2f" d ])
+          (List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a) joined)));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (k, _) ->
+      Buffer.add_string buf (Printf.sprintf "missing in new: %s\n" k))
+    only_old;
+  List.iter
+    (fun (k, _) -> Buffer.add_string buf (Printf.sprintf "new benchmark: %s\n" k))
+    only_new;
+  Buffer.add_string buf
+    (Printf.sprintf "%d/%d compared benchmarks regressed beyond +%.1f%%\n"
+       (List.length regressions) (List.length joined) threshold_pct);
+  { regressions; report = Buffer.contents buf }

@@ -1,0 +1,66 @@
+(** Post-hoc trace and benchmark analysis ([yewpar analyze]).
+
+    Two readers and two reports, all pure string/value processing so
+    they are testable without files:
+
+    - {!load_trace} parses either of the exporters' trace formats —
+      Chrome trace-event JSON ({!Telemetry.to_chrome}) or the
+      simulator-parity CSV ({!Telemetry.to_csv}) — back into spans,
+      auto-detected from the content;
+    - {!load_balance_report} renders the workload picture the paper's
+      skeleton comparisons rest on: per-worker busy/idle split, steal
+      latency percentiles, and work-imbalance figures;
+    - {!load_bench} reads [bench --json] output (both the versioned
+      [{"schema_version": .., "records": [..]}] envelope and the
+      legacy bare array);
+    - {!compare_bench} joins two bench files on
+      (experiment, problem, skeleton, runtime, topology) and flags
+      elapsed-time regressions beyond a threshold — the CLI exits
+      nonzero when any are found, making it a CI tripwire. *)
+
+type span = {
+  locality : int;
+  worker : int;
+  name : string;
+  start : float;  (** Seconds, relative to the trace origin. *)
+  dur : float;  (** Seconds. *)
+}
+
+val load_trace : string -> span list
+(** Parse trace file {e content}: Chrome trace-event JSON (complete
+    ["X"] events become durationful spans, instants ["i"] zero-length
+    ones; metadata and counter events are skipped) or
+    [worker,start,duration,label] CSV, whichever the content looks
+    like.
+    @raise Failure on malformed input. *)
+
+val load_balance_report : span list -> string
+(** Human-readable load-balance report: per-worker busy seconds,
+    busy %, idle seconds and task/steal counts; mean/min/max busy and
+    the max/mean imbalance factor; steal-latency percentiles
+    (p50/p90/p99/max over [steal_success] spans); and an idle
+    breakdown. Deterministic for a given span list (golden-tested). *)
+
+type bench = {
+  schema_version : int;  (** 0 for the legacy bare-array format. *)
+  records : (string * float) list;
+      (** [(key, elapsed)] with key =
+          [experiment/problem/skeleton/runtime/LxW]; duplicate keys
+          (seed sweeps) are averaged. *)
+}
+
+val load_bench : string -> bench
+(** Parse [bench --json] file content. @raise Failure on junk. *)
+
+type verdict = {
+  regressions : (string * float * float * float) list;
+      (** [(key, old_elapsed, new_elapsed, delta_pct)] beyond the
+          threshold, worst first. *)
+  report : string;  (** Full comparison table plus a summary line. *)
+}
+
+val compare_bench : threshold_pct:float -> old_:bench -> new_:bench -> verdict
+(** A/B comparison keyed on the benchmark identity; a regression is
+    [new > old * (1 + threshold_pct/100)] on a key present in both
+    files. Keys present on one side only are listed but never fail
+    the comparison. *)

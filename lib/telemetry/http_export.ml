@@ -1,0 +1,156 @@
+type t = {
+  sock : Unix.file_descr;
+  bound : int;
+  stopping : bool Atomic.t;
+  server : unit Domain.t;
+  mutable stopped : bool;
+}
+
+(* Accept-loop granularity: how often the server domain re-checks the
+   stop flag when no client is connecting. *)
+let tick = 0.1
+
+let crlf = "\r\n"
+
+let response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s%sContent-Type: %s%sContent-Length: %d%sConnection: close%s%s%s"
+    status crlf content_type crlf (String.length body) crlf crlf crlf body
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  (try
+     while !off < n do
+       off := !off + Unix.write fd b !off (n - !off)
+     done
+   with Unix.Unix_error _ -> ())
+
+(* Read until the request line is complete (or the client hangs up /
+   stalls past the timeout). GET requests fit a single read in
+   practice; the loop only covers pathological clients. *)
+let read_request_line fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  let rec go () =
+    let s = Buffer.contents buf in
+    match String.index_opt s '\n' with
+    | Some i -> Some (String.trim (String.sub s 0 i))
+    | None ->
+      if Buffer.length buf > 8192 || Unix.gettimeofday () > deadline then None
+      else begin
+        match Unix.select [ fd ] [] [] 0.5 with
+        | [], _, _ -> go ()
+        | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> None
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception Unix.Unix_error _ -> None)
+      end
+  in
+  go ()
+
+let handle routes fd =
+  let reply status content_type body =
+    write_all fd (response ~status ~content_type body)
+  in
+  match read_request_line fd with
+  | None -> reply "400 Bad Request" "text/plain" "bad request\n"
+  | Some line -> (
+    match String.split_on_char ' ' line with
+    | [ "GET"; target; _version ] -> (
+      (* Strip any query string: /metrics?x=y serves /metrics. *)
+      let path =
+        match String.index_opt target '?' with
+        | Some i -> String.sub target 0 i
+        | None -> target
+      in
+      match List.assoc_opt path routes with
+      | None -> reply "404 Not Found" "text/plain" "not found\n"
+      | Some handler -> (
+        match handler () with
+        | content_type, body -> reply "200 OK" content_type body
+        | exception e ->
+          reply "500 Internal Server Error" "text/plain"
+            (Printexc.to_string e ^ "\n")))
+    | _ :: _ :: _ -> reply "405 Method Not Allowed" "text/plain" "GET only\n"
+    | _ -> reply "400 Bad Request" "text/plain" "bad request\n")
+
+let serve sock stopping routes () =
+  while not (Atomic.get stopping) do
+    match Unix.select [ sock ] [] [] tick with
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept sock with
+      | client, _ ->
+        (try handle routes client with _ -> ());
+        (try Unix.close client with Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  try Unix.close sock with Unix.Unix_error _ -> ()
+
+let start ?(port = 0) ~routes () =
+  (* A vanished client must surface as EPIPE on write, not kill us. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let bound =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let stopping = Atomic.make false in
+  let server = Domain.spawn (serve sock stopping routes) in
+  { sock; bound; stopping; server; stopped = false }
+
+let port t = t.bound
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stopping true;
+    Domain.join t.server
+  end
+
+let get ?(timeout = 5.0) ~port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      (try Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+       with Unix.Unix_error (e, _, _) ->
+         failwith
+           (Printf.sprintf "Http_export.get: connect: %s" (Unix.error_message e)));
+      write_all sock
+        (Printf.sprintf "GET %s HTTP/1.0%sHost: localhost%s%s" path crlf crlf
+           crlf);
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let deadline = Unix.gettimeofday () +. timeout in
+      let rec drain () =
+        let left = deadline -. Unix.gettimeofday () in
+        if left <= 0. then failwith "Http_export.get: timeout"
+        else
+          match Unix.select [ sock ] [] [] left with
+          | [], _, _ -> failwith "Http_export.get: timeout"
+          | _ -> (
+            match Unix.read sock chunk 0 (Bytes.length chunk) with
+            | 0 -> Buffer.contents buf
+            | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              drain ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ())
+      in
+      drain ())

@@ -1,0 +1,43 @@
+(** Minimal HTTP/1.0 endpoint for live run monitoring.
+
+    A tiny single-purpose server bound to [127.0.0.1], serving
+    [GET]-only routes from a dedicated domain so a running search can
+    be scraped while it executes ([--monitor-port] in the CLI):
+
+    - [GET /metrics] — Prometheus text exposition, for a scraper;
+    - [GET /status] — a JSON cluster snapshot, for humans and scripts.
+
+    The server never interprets bodies and closes the connection after
+    each response (HTTP/1.0 semantics), which keeps it compatible with
+    [curl], Prometheus and browsers alike without pulling in an HTTP
+    library. Route callbacks run on the server's domain, concurrently
+    with the search: handlers must be prepared to read shared state
+    that other domains are mutating, and should treat what they see as
+    a best-effort snapshot (the runtimes only expose word-sized reads,
+    so a scrape can be slightly stale but never malformed).
+
+    Unknown paths get a 404, non-GET methods a 405 and unparsable
+    requests a 400; a handler that raises turns into a 500 rather than
+    killing the server. *)
+
+type t
+
+val start :
+  ?port:int -> routes:(string * (unit -> string * string)) list -> unit -> t
+(** [start ~port ~routes ()] binds [127.0.0.1:port] (default and [0]:
+    an ephemeral port, see {!port}) and serves each [(path, handler)]
+    route, where [handler ()] returns [(content_type, body)].
+    @raise Unix.Unix_error if the port is taken. *)
+
+val port : t -> int
+(** The actually-bound port (useful with [~port:0]). *)
+
+val stop : t -> unit
+(** Stop accepting, close the socket and join the server domain.
+    Idempotent. *)
+
+val get : ?timeout:float -> port:int -> string -> string
+(** A one-shot blocking [GET] client for tests and tooling:
+    [get ~port path] connects to [127.0.0.1:port], sends the request
+    and returns the whole response (headers and body).
+    @raise Failure on timeout (default 5s) or connection errors. *)

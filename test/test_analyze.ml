@@ -1,0 +1,202 @@
+(* Trace/bench analyzer tests: Chrome and CSV trace parsing, the
+   load-balance report checked against a golden fixture, bench-JSON
+   loading (envelope and legacy bare-array) and A/B regression
+   comparison semantics. *)
+
+module Analyze = Yewpar_telemetry.Analyze
+
+(* [dune runtest] runs with the test directory as cwd, [dune exec]
+   with the workspace root; accept either. *)
+let read_file candidates =
+  let path =
+    match List.find_opt Sys.file_exists candidates with
+    | Some p -> p
+    | None -> List.hd candidates
+  in
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let fixture name =
+  read_file
+    [ Filename.concat "fixtures" name; Filename.concat "test/fixtures" name ]
+
+let span_t : Analyze.span Alcotest.testable =
+  Alcotest.testable
+    (fun ppf (s : Analyze.span) ->
+      Format.fprintf ppf "%d/%d %s %g+%g" s.locality s.worker s.name s.start
+        s.dur)
+    ( = )
+
+(* ----------------------------- traces ----------------------------- *)
+
+let chrome_parsing () =
+  let spans = Analyze.load_trace (fixture "trace_small.json") in
+  (* 8 events, minus one "M" metadata and one "C" counter. *)
+  Alcotest.(check int) "span count" 6 (List.length spans);
+  Alcotest.check span_t "first span"
+    { Analyze.locality = 0; worker = 0; name = "task"; start = 0.; dur = 1. }
+    (List.hd spans);
+  let instant =
+    List.find (fun (s : Analyze.span) -> s.name = "bound_update") spans
+  in
+  Alcotest.check span_t "instant has zero duration"
+    { Analyze.locality = 0; worker = 1; name = "bound_update"; start = 0.6;
+      dur = 0. }
+    instant
+
+let csv_parsing () =
+  let csv =
+    "worker,start,duration,label\n\
+     0,0.0,1.5,task\n\
+     1,0.25,0.5,idle\n\
+     1,0.75,0.125,steal_success\n"
+  in
+  let spans = Analyze.load_trace csv in
+  Alcotest.(check int) "span count" 3 (List.length spans);
+  Alcotest.check span_t "csv row"
+    { Analyze.locality = 0; worker = 1; name = "idle"; start = 0.25; dur = 0.5 }
+    (List.nth spans 1)
+
+let junk_rejected () =
+  (match Analyze.load_trace "not a trace at all" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "junk accepted as csv");
+  match Analyze.load_trace "{\"no_events\":1}" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "object without traceEvents accepted"
+
+let golden_report () =
+  (* The report for the checked-in trace must match byte for byte;
+     regenerate with
+       yewpar analyze --trace test/fixtures/trace_small.json  *)
+  let spans = Analyze.load_trace (fixture "trace_small.json") in
+  Alcotest.(check string) "golden load-balance report"
+    (fixture "trace_small.report")
+    (Analyze.load_balance_report spans)
+
+let empty_report () =
+  Alcotest.(check string) "empty trace" "empty trace: nothing to analyze\n"
+    (Analyze.load_balance_report [])
+
+(* ----------------------------- bench ------------------------------ *)
+
+let record ?(experiment = "figure4") ?(problem = "queens-12")
+    ?(skeleton = "depthbounded") ?(runtime = "shm") ?(localities = 1)
+    ?(workers = 4) elapsed =
+  Printf.sprintf
+    "{\"experiment\":%S,\"problem\":%S,\"skeleton\":%S,\"runtime\":%S,\
+     \"localities\":%d,\"workers\":%d,\"elapsed\":%f}"
+    experiment problem skeleton runtime localities workers elapsed
+
+let envelope records =
+  Printf.sprintf "{\"schema_version\":1,\"records\":[%s]}"
+    (String.concat "," records)
+
+let bench_loading () =
+  let b = Analyze.load_bench (envelope [ record 1.0; record ~workers:8 2.0 ]) in
+  Alcotest.(check int) "schema version" 1 b.Analyze.schema_version;
+  Alcotest.(check int) "record count" 2 (List.length b.Analyze.records);
+  let key, elapsed = List.hd b.Analyze.records in
+  Alcotest.(check string) "key" "figure4/queens-12/depthbounded/shm/1x4" key;
+  Alcotest.(check (float 1e-9)) "elapsed" 1.0 elapsed;
+  (* Legacy bare-array files load as schema 0. *)
+  let legacy = Analyze.load_bench (Printf.sprintf "[%s]" (record 3.0)) in
+  Alcotest.(check int) "legacy schema" 0 legacy.Analyze.schema_version;
+  Alcotest.(check int) "legacy records" 1 (List.length legacy.Analyze.records)
+
+let bench_duplicates_averaged () =
+  (* Seed sweeps repeat a configuration; the loader averages them. *)
+  let b =
+    Analyze.load_bench (envelope [ record 1.0; record 3.0; record ~workers:8 5.0 ])
+  in
+  Alcotest.(check int) "averaged down to 2" 2 (List.length b.Analyze.records);
+  Alcotest.(check (float 1e-9)) "mean elapsed" 2.0
+    (List.assoc "figure4/queens-12/depthbounded/shm/1x4" b.Analyze.records)
+
+let compare_no_regression () =
+  let old_ = Analyze.load_bench (envelope [ record 1.0 ]) in
+  let new_ = Analyze.load_bench (envelope [ record 1.05 ]) in
+  let v = Analyze.compare_bench ~threshold_pct:10. ~old_ ~new_ in
+  Alcotest.(check int) "within threshold" 0 (List.length v.Analyze.regressions)
+
+let compare_regression () =
+  let old_ =
+    Analyze.load_bench (envelope [ record 1.0; record ~workers:8 2.0 ])
+  in
+  let new_ =
+    Analyze.load_bench (envelope [ record 1.5; record ~workers:8 2.0 ])
+  in
+  let v = Analyze.compare_bench ~threshold_pct:10. ~old_ ~new_ in
+  (match v.Analyze.regressions with
+  | [ (key, o, n, delta) ] ->
+    Alcotest.(check string) "regressed key"
+      "figure4/queens-12/depthbounded/shm/1x4" key;
+    Alcotest.(check (float 1e-9)) "old" 1.0 o;
+    Alcotest.(check (float 1e-9)) "new" 1.5 n;
+    Alcotest.(check (float 1e-6)) "delta %" 50.0 delta
+  | rs ->
+    Alcotest.fail (Printf.sprintf "expected 1 regression, got %d" (List.length rs)));
+  (* The report flags the regressed row and counts it in the summary. *)
+  let contains needle =
+    let re = Str.regexp_string needle in
+    match Str.search_forward re v.Analyze.report 0 with
+    | _ -> true
+    | exception Not_found -> false
+  in
+  Alcotest.(check bool) "row flagged" true
+    (contains "figure4/queens-12/depthbounded/shm/1x4 !");
+  Alcotest.(check bool) "summary line" true
+    (contains "1/2 compared benchmarks regressed beyond +10.0%")
+
+let compare_disjoint_keys () =
+  let old_ = Analyze.load_bench (envelope [ record 1.0 ]) in
+  let new_ = Analyze.load_bench (envelope [ record ~problem:"queens-14" 9.0 ]) in
+  let v = Analyze.compare_bench ~threshold_pct:10. ~old_ ~new_ in
+  Alcotest.(check int) "nothing joined, nothing regressed" 0
+    (List.length v.Analyze.regressions);
+  let contains needle =
+    let re = Str.regexp_string needle in
+    match Str.search_forward re v.Analyze.report 0 with
+    | _ -> true
+    | exception Not_found -> false
+  in
+  Alcotest.(check bool) "old-only reported" true
+    (contains "missing in new: figure4/queens-12/depthbounded/shm/1x4");
+  Alcotest.(check bool) "new-only reported" true
+    (contains "new benchmark: figure4/queens-14/depthbounded/shm/1x4")
+
+let baseline_file_loads () =
+  (* The committed baseline must stay loadable and self-compare clean. *)
+  let b =
+    Analyze.load_bench
+      (read_file [ "../BENCH_baseline.json"; "BENCH_baseline.json" ])
+  in
+  Alcotest.(check int) "schema version" 1 b.Analyze.schema_version;
+  Alcotest.(check bool) "has records" true (List.length b.Analyze.records > 0);
+  let v = Analyze.compare_bench ~threshold_pct:10. ~old_:b ~new_:b in
+  Alcotest.(check int) "self-compare is clean" 0
+    (List.length v.Analyze.regressions)
+
+let () =
+  Alcotest.run "analyze"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "chrome parsing" `Quick chrome_parsing;
+          Alcotest.test_case "csv parsing" `Quick csv_parsing;
+          Alcotest.test_case "junk rejected" `Quick junk_rejected;
+          Alcotest.test_case "golden report" `Quick golden_report;
+          Alcotest.test_case "empty report" `Quick empty_report;
+        ] );
+      ( "bench",
+        [
+          Alcotest.test_case "loading" `Quick bench_loading;
+          Alcotest.test_case "duplicates averaged" `Quick bench_duplicates_averaged;
+          Alcotest.test_case "no regression" `Quick compare_no_regression;
+          Alcotest.test_case "regression flagged" `Quick compare_regression;
+          Alcotest.test_case "disjoint keys" `Quick compare_disjoint_keys;
+          Alcotest.test_case "committed baseline" `Quick baseline_file_loads;
+        ] );
+    ]

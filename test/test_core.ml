@@ -5,6 +5,7 @@ module Ops = Yewpar_core.Ops
 module Sequential = Yewpar_core.Sequential
 module Coordination = Yewpar_core.Coordination
 module Stats = Yewpar_core.Stats
+module Depth_profile = Yewpar_core.Depth_profile
 
 (* An explicit rose tree as a toy search space. *)
 type tree = T of int * tree list
@@ -191,6 +192,36 @@ let sequential_bound_prunes () =
   let n = Sequential.search ~stats p in
   Alcotest.(check int) "still optimal with pruning" 9 (value n);
   Alcotest.(check bool) "pruning happened" true (stats.Stats.pruned > 0)
+
+let sequential_depth_profile () =
+  (* The per-depth profile collected alongside stats must column-sum to
+     the run's scalar counters (sequential search spawns no tasks and
+     applies no shared incumbent, so those columns are zero). *)
+  let rec bound (T (v, cs)) = List.fold_left (fun acc c -> max acc (bound c)) v cs in
+  let stats = Stats.create () in
+  let p =
+    Problem.maximise ~name:"maxb" ~space:() ~root:sample ~children:children_of
+      ~bound ~objective:value ()
+  in
+  ignore (Sequential.search ~stats p);
+  let nodes, pruned, spawned, bounds = Depth_profile.totals stats.Stats.depths in
+  Alcotest.(check int) "nodes column" stats.Stats.nodes nodes;
+  Alcotest.(check int) "pruned column" stats.Stats.pruned pruned;
+  Alcotest.(check int) "no spawns" 0 spawned;
+  Alcotest.(check int) "no bound updates" 0 bounds;
+  (* Root lives at depth 0; the deepest row must match max_depth. *)
+  Alcotest.(check int) "rows = max depth + 1" (stats.Stats.max_depth + 1)
+    (Depth_profile.depths stats.Stats.depths);
+  let r0_nodes, _, _, _ = Depth_profile.row stats.Stats.depths 0 in
+  Alcotest.(check int) "one root node" 1 r0_nodes;
+  (* The CSV export carries one line per depth plus the header. *)
+  let csv = Depth_profile.to_csv stats.Stats.depths in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "csv rows"
+    (Depth_profile.depths stats.Stats.depths + 1)
+    (List.length lines);
+  Alcotest.(check string) "csv header" "depth,nodes,pruned,spawned,bound_updates"
+    (List.hd lines)
 
 let enumeration_monoid () =
   (* Sum of values, a different monoid from counting. *)
@@ -494,6 +525,7 @@ let () =
           Alcotest.test_case "decide" `Quick sequential_decide;
           Alcotest.test_case "short-circuit" `Quick sequential_shortcircuit_stops;
           Alcotest.test_case "bound prunes" `Quick sequential_bound_prunes;
+          Alcotest.test_case "depth profile" `Quick sequential_depth_profile;
           Alcotest.test_case "other monoid" `Quick enumeration_monoid;
         ] );
       ( "knowledge",

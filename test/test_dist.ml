@@ -11,6 +11,8 @@ module Codec = Yewpar_core.Codec
 module Sequential = Yewpar_core.Sequential
 module Coordination = Yewpar_core.Coordination
 module Stats = Yewpar_core.Stats
+module Depth_profile = Yewpar_core.Depth_profile
+module Http_export = Yewpar_telemetry.Http_export
 module Queens = Yewpar_queens.Queens
 module Mc = Yewpar_maxclique.Maxclique
 module Gen = Yewpar_graph.Gen
@@ -32,6 +34,18 @@ let sample_stats () =
   st.Stats.steals <- 1;
   st
 
+let sample_heartbeat () =
+  Wire.Heartbeat
+    {
+      clock = 12.625;
+      tasks_done = 31;
+      pool_depth = 4;
+      idle_workers = 1;
+      idle_frac = 0.25;
+      best = 17;
+      trace_dropped = 3;
+    }
+
 let all_msgs () =
   [
     Wire.Task { depth = 3; payload = "abc" };
@@ -41,11 +55,33 @@ let all_msgs () =
     Wire.Bound_update { value = 42 };
     Wire.Witness { value = 9; payload = "w" };
     Wire.Idle { completed = 17 };
+    sample_heartbeat ();
     Wire.Result { payload = "r" };
     Wire.Stats (sample_stats ());
     Wire.Failed { message = "boom" };
     Wire.Shutdown;
   ]
+
+let heartbeat_roundtrip () =
+  (* Field-level check, not just structural equality through the
+     decoder: a frame built from a heartbeat must decode to the exact
+     snapshot (floats included). *)
+  let dec = Wire.decoder () in
+  let b = Wire.to_bytes (sample_heartbeat ()) in
+  Wire.feed dec b 0 (Bytes.length b);
+  match Wire.next dec with
+  | Some
+      (Wire.Heartbeat
+        { clock; tasks_done; pool_depth; idle_workers; idle_frac; best;
+          trace_dropped }) ->
+    Alcotest.(check (float 0.)) "clock" 12.625 clock;
+    Alcotest.(check int) "tasks_done" 31 tasks_done;
+    Alcotest.(check int) "pool_depth" 4 pool_depth;
+    Alcotest.(check int) "idle_workers" 1 idle_workers;
+    Alcotest.(check (float 0.)) "idle_frac" 0.25 idle_frac;
+    Alcotest.(check int) "best" 17 best;
+    Alcotest.(check int) "trace_dropped" 3 trace_dropped
+  | _ -> Alcotest.fail "heartbeat did not decode as a heartbeat"
 
 let roundtrip_bytewise () =
   (* Feeding one byte at a time must never yield an early or mangled
@@ -155,6 +191,24 @@ let queens_matches () =
   let stats = Stats.create () in
   ignore (dist ~stats ~coordination:(Coordination.Depth_bounded { dcutoff = 2 }) p);
   Alcotest.(check bool) "successful steals" true (stats.Stats.steals >= 1)
+
+let depth_profile_invariants () =
+  (* The per-depth profile shipped back inside the Stats frame must
+     column-sum to the scalar counters of the same run: every node,
+     prune, spawn and applied bound lands in exactly one depth bucket
+     (comms-thread floor adoptions are booked at depth 0). *)
+  let g = Gen.uniform ~seed:41 32 0.6 in
+  let p = Mc.max_clique g in
+  let stats = Stats.create () in
+  ignore (dist ~stats ~coordination:(Coordination.Depth_bounded { dcutoff = 2 }) p);
+  let nodes, pruned, spawned, bounds = Depth_profile.totals stats.Stats.depths in
+  Alcotest.(check int) "nodes column" stats.Stats.nodes nodes;
+  Alcotest.(check int) "pruned column" stats.Stats.pruned pruned;
+  Alcotest.(check int) "spawned column" stats.Stats.tasks spawned;
+  Alcotest.(check int) "bounds column" stats.Stats.bound_updates bounds;
+  Alcotest.(check bool) "profile populated" false
+    (Depth_profile.is_empty stats.Stats.depths);
+  Alcotest.(check bool) "pruning happened somewhere" true (pruned > 0)
 
 let maxclique_matches () =
   let g = Gen.uniform ~seed:41 32 0.6 in
@@ -297,11 +351,92 @@ let orphan_self_reaps () =
     Alcotest.(check bool) "orphan exited reporting failure" true
       (status = Unix.WEXITED 1)
 
+let contains haystack needle =
+  let re = Str.regexp_string needle in
+  match Str.search_forward re haystack 0 with
+  | _ -> true
+  | exception Not_found -> false
+
+let monitor_scrape_midrun () =
+  (* A scraper process forked BEFORE any domain exists in this process
+     (OCaml 5 forbids forking once domains have been spawned) polls for
+     the coordinator's ephemeral port and hits /metrics and /status
+     while the search is still in flight. queens-12 runs long enough
+     (hundreds of ms distributed) that the scrape cannot race the
+     shutdown. *)
+  let portfile = Filename.temp_file "yewpar_monitor" ".port" in
+  let outfile = Filename.temp_file "yewpar_monitor" ".out" in
+  Sys.remove portfile;
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    let code =
+      try
+        let deadline = Unix.gettimeofday () +. 60. in
+        let rec wait_port () =
+          if Sys.file_exists portfile then begin
+            let ic = open_in portfile in
+            let p = int_of_string (String.trim (input_line ic)) in
+            close_in ic;
+            p
+          end
+          else if Unix.gettimeofday () > deadline then failwith "no port"
+          else begin
+            ignore (Unix.select [] [] [] 0.01);
+            wait_port ()
+          end
+        in
+        let port = wait_port () in
+        let metrics = Http_export.get ~timeout:10. ~port "/metrics" in
+        let status = Http_export.get ~timeout:10. ~port "/status" in
+        let oc = open_out outfile in
+        output_string oc metrics;
+        output_string oc "\n--8<--\n";
+        output_string oc status;
+        close_out oc;
+        0
+      with _ -> 1
+    in
+    Unix._exit code
+  | scraper ->
+    let publish port =
+      (* Write-then-rename so the scraper never reads a partial file. *)
+      let tmp = portfile ^ ".tmp" in
+      let oc = open_out tmp in
+      output_string oc (string_of_int port);
+      close_out oc;
+      Sys.rename tmp portfile
+    in
+    let stats = Stats.create () in
+    let r =
+      Dist.run ~stats ~watchdog:120. ~monitor_port:0 ~heartbeat:0.02
+        ~on_monitor:publish ~localities:2 ~workers:2
+        ~coordination:(Coordination.Depth_bounded { dcutoff = 2 })
+        (queens_n 12)
+    in
+    let _, status = Unix.waitpid [] scraper in
+    Alcotest.(check bool) "scraper exited cleanly" true
+      (status = Unix.WEXITED 0);
+    Alcotest.(check int) "search result unaffected by monitoring" 14200 r;
+    let ic = open_in_bin outfile in
+    let body = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove outfile;
+    (try Sys.remove portfile with Sys_error _ -> ());
+    Alcotest.(check bool) "metrics expose live gauges" true
+      (contains body "yewpar_live_localities");
+    Alcotest.(check bool) "status names the runtime" true
+      (contains body "\"runtime\":\"dist\"");
+    Alcotest.(check bool) "status is versioned" true
+      (contains body "\"schema_version\"")
+
 let () =
   Alcotest.run "dist"
     [
       ( "wire",
         [
+          Alcotest.test_case "heartbeat roundtrip" `Quick heartbeat_roundtrip;
           Alcotest.test_case "bytewise roundtrip" `Quick roundtrip_bytewise;
           Alcotest.test_case "chunked stream" `Quick concatenated_stream;
           Alcotest.test_case "corrupt length" `Quick corrupt_length_rejected;
@@ -313,6 +448,8 @@ let () =
           Alcotest.test_case "maxclique" `Quick maxclique_matches;
           Alcotest.test_case "knapsack" `Quick knapsack_matches;
           Alcotest.test_case "decision" `Quick decision_matches;
+          Alcotest.test_case "depth profile invariants" `Quick
+            depth_profile_invariants;
         ] );
       ( "edge cases",
         [
@@ -323,4 +460,8 @@ let () =
           Alcotest.test_case "children reaped" `Quick children_reaped;
           Alcotest.test_case "orphan self-reaps" `Quick orphan_self_reaps;
         ] );
+      (* Last: this test starts an HTTP-server domain inside the test
+         process, and no fork may happen after a domain has existed. *)
+      ( "monitor",
+        [ Alcotest.test_case "mid-run scrape" `Quick monitor_scrape_midrun ] );
     ]

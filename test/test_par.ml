@@ -6,6 +6,9 @@ module Mc = Yewpar_maxclique.Maxclique
 module Gen = Yewpar_graph.Gen
 module Knapsack = Yewpar_knapsack.Knapsack
 module Uts = Yewpar_uts.Uts
+module Stats = Yewpar_core.Stats
+module Depth_profile = Yewpar_core.Depth_profile
+module Http_export = Yewpar_telemetry.Http_export
 
 type tree = T of int * tree list
 
@@ -141,6 +144,80 @@ let stats_aggregated () =
   Alcotest.(check bool) "max depth sensible" true
     (stats.Yewpar_core.Stats.max_depth <= 6)
 
+let depth_profile_invariants () =
+  (* Column sums of the merged per-depth profile must equal the scalar
+     counters of the same run — every node, prune, spawn and applied
+     incumbent improvement falls into exactly one depth bucket. *)
+  let g = Gen.uniform ~seed:41 35 0.6 in
+  List.iter
+    (fun (name, coordination) ->
+      let stats = Stats.create () in
+      ignore (Shm.run ~workers:4 ~stats ~coordination (Mc.max_clique g));
+      let nodes, pruned, spawned, bounds =
+        Depth_profile.totals stats.Stats.depths
+      in
+      Alcotest.(check int) (Printf.sprintf "nodes column (%s)" name)
+        stats.Stats.nodes nodes;
+      Alcotest.(check int) (Printf.sprintf "pruned column (%s)" name)
+        stats.Stats.pruned pruned;
+      Alcotest.(check int) (Printf.sprintf "spawned column (%s)" name)
+        stats.Stats.tasks spawned;
+      Alcotest.(check int) (Printf.sprintf "bounds column (%s)" name)
+        stats.Stats.bound_updates bounds;
+      Alcotest.(check bool) (Printf.sprintf "profile populated (%s)" name)
+        false
+        (Depth_profile.is_empty stats.Stats.depths))
+    coords;
+  (* Pure enumeration: no pruning, no incumbent — the nodes column
+     alone carries the whole tree. *)
+  let stats = Stats.create () in
+  ignore
+    (Shm.run ~workers:2 ~stats
+       ~coordination:(Coordination.Depth_bounded { dcutoff = 2 })
+       (count_problem (mk_tree 5 3 1)));
+  let nodes, _, _, _ = Depth_profile.totals stats.Stats.depths in
+  Alcotest.(check int) "enumeration nodes column" stats.Stats.nodes nodes
+
+let contains haystack needle =
+  let re = Str.regexp_string needle in
+  match Str.search_forward re haystack 0 with
+  | _ -> true
+  | exception Not_found -> false
+
+let monitor_scrape_midrun () =
+  (* The monitor server is live before the worker domains spawn, so
+     scraping from inside [on_monitor] is a deterministic mid-run
+     scrape: the run cannot finish before the callback returns. *)
+  let scraped = ref None in
+  let on_monitor port =
+    let metrics = Http_export.get ~timeout:10. ~port "/metrics" in
+    let status = Http_export.get ~timeout:10. ~port "/status" in
+    let missing = Http_export.get ~timeout:10. ~port "/nope" in
+    scraped := Some (metrics, status, missing)
+  in
+  let g = Gen.uniform ~seed:41 35 0.6 in
+  let expected = (Sequential.search (Mc.max_clique g)).Mc.size in
+  let node =
+    Shm.run ~workers:4 ~monitor_port:0 ~on_monitor
+      ~coordination:(Coordination.Depth_bounded { dcutoff = 2 })
+      (Mc.max_clique g)
+  in
+  Alcotest.(check int) "search result unaffected by monitoring" expected
+    node.Mc.size;
+  match !scraped with
+  | None -> Alcotest.fail "on_monitor never fired"
+  | Some (metrics, status, missing) ->
+    Alcotest.(check bool) "metrics expose live gauges" true
+      (contains metrics "yewpar_live_workers");
+    Alcotest.(check bool) "metrics are prometheus text" true
+      (contains metrics "text/plain");
+    Alcotest.(check bool) "status names the runtime" true
+      (contains status "\"runtime\":\"shm\"");
+    Alcotest.(check bool) "status is versioned" true
+      (contains status "\"schema_version\"");
+    Alcotest.(check bool) "unknown path is a 404" true
+      (contains missing "404")
+
 let repeated_runs_stable () =
   (* Results (not witnesses) must be stable across repeated parallel
      runs despite scheduling nondeterminism. *)
@@ -173,5 +250,9 @@ let () =
           Alcotest.test_case "repeated runs" `Quick repeated_runs_stable;
           Alcotest.test_case "exception safety" `Quick generator_exceptions_propagate;
           Alcotest.test_case "stats aggregation" `Quick stats_aggregated;
+          Alcotest.test_case "depth profile invariants" `Quick
+            depth_profile_invariants;
         ] );
+      ( "monitor",
+        [ Alcotest.test_case "mid-run scrape" `Quick monitor_scrape_midrun ] );
     ]
