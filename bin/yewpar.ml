@@ -83,6 +83,12 @@ type obs = {
   obs_monitor : int option;
   obs_heartbeat : float;
   obs_depths : string option;
+  obs_watchdog : float option;
+  obs_failure_timeout : float;
+  obs_lease_timeout : float option;
+  obs_max_respawns : int;
+  obs_chaos : Yewpar_dist.Chaos.t option;
+  obs_chaos_seed : int;
 }
 
 let obs_term =
@@ -133,8 +139,9 @@ let obs_term =
   let heartbeat =
     Arg.(value & opt float 0.5
          & info [ "heartbeat-interval" ] ~docv:"SECONDS"
-             ~doc:"Locality heartbeat period feeding the live metrics (dist \
-                   runtime, only with $(b,--monitor-port)).")
+             ~doc:"Locality heartbeat period (dist runtime). Heartbeats feed \
+                   both the live metrics ($(b,--monitor-port)) and the \
+                   coordinator's failure detector ($(b,--failure-timeout)).")
   in
   let depths =
     Arg.(value & opt (some string) None
@@ -143,20 +150,76 @@ let obs_term =
                    (depth,nodes,pruned,spawned,bound_updates) to $(docv) as \
                    CSV and print it as a table (seq, shm and dist runtimes).")
   in
+  let watchdog =
+    Arg.(value & opt (some float) None
+         & info [ "watchdog" ] ~docv:"SECONDS"
+             ~doc:"Abort the run if the search has not completed after \
+                   $(docv) seconds (dist runtime). The failure report names \
+                   each locality's last-heartbeat age.")
+  in
+  let failure_timeout =
+    Arg.(value & opt float 10.0
+         & info [ "failure-timeout" ] ~docv:"SECONDS"
+             ~doc:"Declare a locality dead after $(docv) seconds of heartbeat \
+                   silence and replay its unretired task leases on survivors \
+                   (dist runtime); 0 or negative disables the detector \
+                   (socket EOF still counts as death).")
+  in
+  let lease_timeout =
+    Arg.(value & opt (some float) None
+         & info [ "lease-timeout" ] ~docv:"SECONDS"
+             ~doc:"Revoke and replay any task lease still outstanding after \
+                   $(docv) seconds (dist runtime; off by default). A safety \
+                   net against lost frames — the original holder's late \
+                   results are discarded, never double-counted.")
+  in
+  let max_respawns =
+    Arg.(value & opt int 0
+         & info [ "max-respawns" ] ~docv:"N"
+             ~doc:"Pre-fork $(docv) standby localities and promote one for \
+                   each locality lost (dist runtime).")
+  in
+  let chaos_conv =
+    Arg.conv
+      ( (fun s ->
+          match Yewpar_dist.Chaos.parse s with
+          | Ok c -> Ok c
+          | Error msg -> Error (`Msg msg)),
+        fun ppf c ->
+          Format.pp_print_string ppf (Yewpar_dist.Chaos.describe c) )
+  in
+  let chaos =
+    Arg.(value & opt (some chaos_conv) None
+         & info [ "chaos" ] ~docv:"SPEC"
+             ~doc:"Inject faults into the dist runtime for testing: \
+                   comma-separated $(b,kill-locality:ID\\@TIMEs) (SIGKILL a \
+                   locality mid-run), $(b,drop-frame:TYPE:PROB) (drop inbound \
+                   wire frames), $(b,delay:Nms) (slow the link).")
+  in
+  let chaos_seed =
+    Arg.(value & opt int 0
+         & info [ "chaos-seed" ] ~docv:"SEED"
+             ~doc:"Seed for randomized chaos decisions (frame drops), so a \
+                   failing run replays deterministically.")
+  in
   let combine obs_trace obs_format obs_metrics trace_csv obs_monitor
-      obs_heartbeat obs_depths =
+      obs_heartbeat obs_depths obs_watchdog obs_failure_timeout
+      obs_lease_timeout obs_max_respawns obs_chaos obs_chaos_seed =
+    let rest =
+      { obs_trace; obs_format; obs_metrics; obs_monitor; obs_heartbeat;
+        obs_depths; obs_watchdog; obs_failure_timeout; obs_lease_timeout;
+        obs_max_respawns; obs_chaos; obs_chaos_seed }
+    in
     match (obs_trace, trace_csv) with
     | None, Some f ->
       prerr_endline
         "yewpar: --trace-csv is deprecated; use --trace FILE --trace-format csv";
-      { obs_trace = Some f; obs_format = Csv; obs_metrics; obs_monitor;
-        obs_heartbeat; obs_depths }
-    | _ ->
-      { obs_trace; obs_format; obs_metrics; obs_monitor; obs_heartbeat;
-        obs_depths }
+      { rest with obs_trace = Some f; obs_format = Csv }
+    | _ -> rest
   in
   Term.(const combine $ trace $ format $ metrics $ trace_csv $ monitor
-        $ heartbeat $ depths)
+        $ heartbeat $ depths $ watchdog $ failure_timeout $ lease_timeout
+        $ max_respawns $ chaos $ chaos_seed)
 
 let write_file file data =
   Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc data)
@@ -241,7 +304,11 @@ let execute ~runtime ~coordination ~localities ~workers ~seed ~obs
       match
         wall (fun () ->
             Dist.run ~stats ?telemetry ?monitor_port:obs.obs_monitor
-              ~heartbeat:obs.obs_heartbeat ~on_monitor:announce_monitor
+              ~heartbeat:obs.obs_heartbeat ?watchdog:obs.obs_watchdog
+              ~failure_timeout:obs.obs_failure_timeout
+              ?lease_timeout:obs.obs_lease_timeout
+              ~max_respawns:obs.obs_max_respawns ?chaos:obs.obs_chaos
+              ~chaos_seed:obs.obs_chaos_seed ~on_monitor:announce_monitor
               ~localities ~workers ~coordination p)
       with
       | r -> r
@@ -252,6 +319,9 @@ let execute ~runtime ~coordination ~localities ~workers ~seed ~obs
     stats.Stats.elapsed <- elapsed;
     Printf.printf "result:   %s\n" (show result);
     Format.printf "stats:    %a@." Stats.pp stats;
+    Printf.printf "fault:    localities_lost=%d leases_reissued=%d respawns=%d\n"
+      stats.Stats.localities_lost stats.Stats.leases_reissued
+      stats.Stats.respawns;
     Printf.printf "walltime: %.3fs (%d localities x %d workers)\n" elapsed
       localities workers;
     export_observability obs telemetry;

@@ -8,6 +8,9 @@ type t = {
   mutable steals : int;
   mutable bound_updates : int;
   mutable trace_dropped : int;
+  mutable localities_lost : int;
+  mutable leases_reissued : int;
+  mutable respawns : int;
   mutable elapsed : float;
   depths : Depth_profile.t;
 }
@@ -15,6 +18,7 @@ type t = {
 let create () =
   { nodes = 0; pruned = 0; backtracks = 0; max_depth = 0; tasks = 0;
     steal_attempts = 0; steals = 0; bound_updates = 0; trace_dropped = 0;
+    localities_lost = 0; leases_reissued = 0; respawns = 0;
     elapsed = 0.; depths = Depth_profile.create () }
 
 let add acc s =
@@ -27,6 +31,9 @@ let add acc s =
   acc.steals <- acc.steals + s.steals;
   acc.bound_updates <- acc.bound_updates + s.bound_updates;
   acc.trace_dropped <- acc.trace_dropped + s.trace_dropped;
+  acc.localities_lost <- acc.localities_lost + s.localities_lost;
+  acc.leases_reissued <- acc.leases_reissued + s.leases_reissued;
+  acc.respawns <- acc.respawns + s.respawns;
   acc.elapsed <- Float.max acc.elapsed s.elapsed;
   Depth_profile.merge acc.depths s.depths
 
@@ -34,8 +41,9 @@ let copy s =
   { nodes = s.nodes; pruned = s.pruned; backtracks = s.backtracks;
     max_depth = s.max_depth; tasks = s.tasks; steal_attempts = s.steal_attempts;
     steals = s.steals; bound_updates = s.bound_updates;
-    trace_dropped = s.trace_dropped; elapsed = s.elapsed;
-    depths = Depth_profile.copy s.depths }
+    trace_dropped = s.trace_dropped; localities_lost = s.localities_lost;
+    leases_reissued = s.leases_reissued; respawns = s.respawns;
+    elapsed = s.elapsed; depths = Depth_profile.copy s.depths }
 
 let pp ppf s =
   Format.fprintf ppf
@@ -48,4 +56,7 @@ let pp ppf s =
   if s.elapsed > 0. && s.bound_updates > 0 then
     Format.fprintf ppf " (%.1f/s)" (float_of_int s.bound_updates /. s.elapsed);
   if s.trace_dropped > 0 then
-    Format.fprintf ppf " trace_dropped=%d" s.trace_dropped
+    Format.fprintf ppf " trace_dropped=%d" s.trace_dropped;
+  if s.localities_lost > 0 || s.leases_reissued > 0 || s.respawns > 0 then
+    Format.fprintf ppf " localities_lost=%d leases_reissued=%d respawns=%d"
+      s.localities_lost s.leases_reissued s.respawns

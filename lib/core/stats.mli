@@ -23,6 +23,15 @@ type t = {
           overflow during this run (0 when untraced). Surfaced so a
           silently truncated trace is visible next to the counters it
           was meant to explain. *)
+  mutable localities_lost : int;
+      (** Distributed runtime: localities that crashed (or were
+          declared dead by the liveness timeout) during the run. *)
+  mutable leases_reissued : int;
+      (** Distributed runtime: task leases revoked from a dead (or
+          timed-out) holder and reissued to a survivor. *)
+  mutable respawns : int;
+      (** Distributed runtime: standby localities promoted to replace
+          lost ones (see [--max-respawns]). *)
   mutable elapsed : float;
       (** Wall-clock seconds of the run, when the caller recorded it
           (0 = unknown). {!add} takes the max, since parallel
@@ -46,5 +55,6 @@ val copy : t -> t
 val pp : Format.formatter -> t -> unit
 (** One-line rendering for logs. Derived figures are appended when
     meaningful: steal success rate after [steals=a/b], bound updates
-    per second when [elapsed] is set, and [trace_dropped] only when
-    nonzero. *)
+    per second when [elapsed] is set, and [trace_dropped] and the
+    fault-tolerance counters ([localities_lost], [leases_reissued],
+    [respawns]) only when nonzero. *)

@@ -1,0 +1,57 @@
+(** Fault injection for the distributed runtime.
+
+    A chaos specification is a comma-separated list of faults, parsed
+    from [--chaos SPEC] on the command line:
+
+    - [kill-locality:ID@TIMEs] — locality [ID] kills itself (SIGKILL,
+      no cleanup, no goodbye frame) [TIME] seconds after it starts:
+      the canonical crash used by the fault-tolerance CI gate.
+    - [drop-frame:TYPE:PROB] — each inbound frame of wire type [TYPE]
+      (lowercase constructor name, e.g. [steal_reply], [bound_update])
+      is silently discarded with probability [PROB]. [Shutdown] is
+      never dropped — losing it only wedges the test harness, not the
+      protocol under test.
+    - [delay:Nms] — sleep [N] milliseconds before every outbound
+      frame, simulating a slow link.
+
+    Faults compose: ["kill-locality:1@0.2s,delay:5ms"] is a slow
+    cluster that loses locality 1 at 200ms.
+
+    Randomized decisions (frame drops) draw from a
+    {!Yewpar_util.Splitmix} stream derived from [--chaos-seed] and the
+    locality index, so a failing run replays bit-for-bit. *)
+
+type fault =
+  | Kill_locality of { locality : int; after : float }
+  | Drop_frame of { frame : string; prob : float }
+  | Delay of { seconds : float }
+
+type t = fault list
+
+val parse : string -> (t, string) result
+(** Parse a [--chaos] specification; [Error] explains the first bad
+    fault. *)
+
+val frame_name : Wire.msg -> string
+(** The lowercase constructor name used by [drop-frame] specs. *)
+
+type plan = {
+  kill_after : float option;
+      (** Seconds after locality start at which to SIGKILL self. *)
+  drops : (string * float) list;  (** Frame name, drop probability. *)
+  delay : float;  (** Seconds to sleep before each outbound frame. *)
+  rng : Yewpar_util.Splitmix.gen;
+}
+(** One locality's slice of the chaos spec. *)
+
+val plan : t -> seed:int -> locality:int -> plan option
+(** [plan faults ~seed ~locality] is the plan for that locality, or
+    [None] when no fault applies to it (the common case: chaos should
+    cost nothing when absent). *)
+
+val should_drop : plan -> Wire.msg -> bool
+(** Roll the dice for one inbound frame. Never [true] for
+    [Shutdown]. *)
+
+val describe : t -> string
+(** Render back to the spec grammar (for logs). *)

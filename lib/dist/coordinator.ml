@@ -4,11 +4,23 @@ module Metrics = Yewpar_telemetry.Metrics
 module Http_export = Yewpar_telemetry.Http_export
 
 type outcome = {
-  payloads : string list;
+  deltas : string list;
+  residuals : string list;
+  witness : (int * string) option;
   stats : Stats.t;
   broadcasts : int;
   telemetry : (float * Recorder.packed list) option array;
   failure : string option;
+}
+
+(* One coordinator-issued task: everything needed to replay it if its
+   holder dies before retiring it. *)
+type lease = {
+  lease_parent : int;  (* parent lease id, -1 for the root *)
+  lease_depth : int;
+  lease_payload : string;
+  holder : int;
+  issued_at : float;
 }
 
 (* The latest heartbeat from one locality, as an immutable record so
@@ -28,15 +40,44 @@ type live = {
    abandoned and stragglers are left for the caller to kill. *)
 let watchdog_grace = 5.0
 
-let run ?watchdog ?monitor_port ?on_monitor ~conns ~(root : Pool.task) () =
+(* A locality that cannot drain one frame for this long is wedged;
+   treat the send timeout like a death. *)
+let send_timeout = 5.0
+
+let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
+    ?(standby_from = max_int) ~conns ~root_payload () =
   let l = Array.length conns in
+  let standby_from = min standby_from l in
+  let failure_timeout =
+    match failure_timeout with Some t when t > 0. -> Some t | _ -> None
+  in
+  let lease_timeout =
+    match lease_timeout with Some t when t > 0. -> Some t | _ -> None
+  in
   let pool = Pool.create () in
-  Pool.push pool root;
-  (* Tasks in the pool + handed to a locality but not yet acked. *)
-  let active = ref 1 in
+  (* ---- the lease forest ----
+     [outstanding]: issued, unretired. [retired]: id -> result delta.
+     [revoked]: ids whose subtree coverage was voided (dead holder, or
+     descendant of a replayed lease) — late retirements and spills
+     naming them are discarded. [parent_of] keeps every edge forever so
+     revocation can walk ancestor chains through any state. *)
+  let outstanding : (int, lease) Hashtbl.t = Hashtbl.create 64 in
+  let retired : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let revoked : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let parent_of : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let next_id = ref 1 in
+  let fresh_task ~parent ~depth ~payload =
+    let id = !next_id in
+    incr next_id;
+    if parent >= 0 then Hashtbl.replace parent_of id parent;
+    { Pool.id; parent; depth; payload }
+  in
+  Pool.push pool (fresh_task ~parent:(-1) ~depth:0 ~payload:root_payload);
   let hungry = Array.make l false in
   let shed_inflight = Array.make l false in
   let alive = Array.make l true in
+  let standby = Array.init l (fun i -> i >= standby_from) in
+  let eligible i = alive.(i) && not standby.(i) in
   let results : string option array = Array.make l None in
   let stats_got : Stats.t option array = Array.make l None in
   let telemetry_got : (float * Recorder.packed list) option array =
@@ -44,10 +85,25 @@ let run ?watchdog ?monitor_port ?on_monitor ~conns ~(root : Pool.task) () =
   in
   let failure = ref None in
   let global_best = ref min_int in
+  (* Best (value, encoded node) the coordinator holds — fed by
+     Bound_update witnesses and Decide Witness frames, so the answer
+     survives its finder's death. *)
+  let witness : (int * string) option ref = ref None in
+  let note_witness v payload =
+    match !witness with
+    | Some (bv, _) when bv >= v -> ()
+    | _ -> witness := Some (v, payload)
+  in
   let broadcasts = ref 0 in
   let shutdown_sent = ref false in
   let shed_rr = ref 0 in
   let started = Unix.gettimeofday () in
+  let last_rx = Array.make l started in
+  let last_ping = Array.make l started in
+  (* Fault counters, surfaced in the outcome stats / gauges / status. *)
+  let lost = ref 0 in
+  let reissued = ref 0 in
+  let respawns = ref 0 in
 
   (* ---------------- live monitoring (--monitor-port) --------------
      Latest heartbeat per locality, folded into a gauge registry the
@@ -68,7 +124,8 @@ let run ?watchdog ?monitor_port ?on_monitor ~conns ~(root : Pool.task) () =
     g "dist_pool_depth" "Tasks queued in the coordinator's distributed pool"
   in
   let g_active =
-    g "active_tasks" "Distributed active-task count (termination detector)"
+    g "active_tasks"
+      "Queued plus outstanding leases (the termination detector)"
   in
   let g_idle_workers =
     g "idle_workers" "Workers blocked waiting for work, cluster-wide"
@@ -81,9 +138,15 @@ let run ?watchdog ?monitor_port ?on_monitor ~conns ~(root : Pool.task) () =
   in
   let g_heartbeats = g "heartbeats" "Heartbeat frames received" in
   let g_uptime = g "uptime_seconds" "Seconds since the coordinator started" in
+  let g_lost = g "localities_lost" "Localities declared dead during the run" in
+  let g_reissued =
+    g "leases_reissued" "Task leases revoked from dead holders and replayed"
+  in
+  let g_respawns = g "respawns" "Standby localities promoted after a death" in
   let alive_count () =
     Array.fold_left (fun a b -> if b then a + 1 else a) 0 alive
   in
+  let active_count () = Pool.size pool + Hashtbl.length outstanding in
   let refresh_gauges () =
     let sum f =
       Array.fold_left
@@ -99,7 +162,7 @@ let run ?watchdog ?monitor_port ?on_monitor ~conns ~(root : Pool.task) () =
     Metrics.set g_tasks_done (float_of_int (sum (fun h -> h.tasks_done)));
     Metrics.set g_pool_depth (float_of_int (sum (fun h -> h.pool_depth)));
     Metrics.set g_dist_pool (float_of_int (Pool.size pool));
-    Metrics.set g_active (float_of_int !active);
+    Metrics.set g_active (float_of_int (active_count ()));
     Metrics.set g_idle_workers (float_of_int (sum (fun h -> h.idle_workers)));
     (if reported > 0 then
        let total =
@@ -117,6 +180,9 @@ let run ?watchdog ?monitor_port ?on_monitor ~conns ~(root : Pool.task) () =
     Metrics.set g_broadcasts (float_of_int !broadcasts);
     Metrics.set g_dropped (float_of_int (sum (fun h -> h.trace_dropped)));
     Metrics.set g_heartbeats (float_of_int !heartbeats);
+    Metrics.set g_lost (float_of_int !lost);
+    Metrics.set g_reissued (float_of_int !reissued);
+    Metrics.set g_respawns (float_of_int !respawns);
     Metrics.set g_uptime (Unix.gettimeofday () -. started)
   in
   let status_json () =
@@ -125,9 +191,12 @@ let run ?watchdog ?monitor_port ?on_monitor ~conns ~(root : Pool.task) () =
     Printf.bprintf buf
       "{\"schema_version\":1,\"runtime\":\"dist\",\"uptime\":%.3f,\
        \"localities\":%d,\"alive\":%d,\"active_tasks\":%d,\
-       \"dist_pool_depth\":%d,\"global_best\":%s,\"bound_broadcasts\":%d,\
+       \"dist_pool_depth\":%d,\"outstanding_leases\":%d,\
+       \"localities_lost\":%d,\"leases_reissued\":%d,\"respawns\":%d,\
+       \"global_best\":%s,\"bound_broadcasts\":%d,\
        \"heartbeats\":%d,\"locality\":["
-      (now -. started) l (alive_count ()) !active (Pool.size pool)
+      (now -. started) l (alive_count ()) (active_count ()) (Pool.size pool)
+      (Hashtbl.length outstanding) !lost !reissued !respawns
       (if !global_best > min_int then string_of_int !global_best else "null")
       !broadcasts !heartbeats;
     Array.iteri
@@ -135,14 +204,15 @@ let run ?watchdog ?monitor_port ?on_monitor ~conns ~(root : Pool.task) () =
         if i > 0 then Buffer.add_char buf ',';
         match hb with
         | None ->
-          Printf.bprintf buf "{\"id\":%d,\"alive\":%b}" i alive.(i)
+          Printf.bprintf buf "{\"id\":%d,\"alive\":%b,\"standby\":%b}" i
+            alive.(i) standby.(i)
         | Some h ->
           Printf.bprintf buf
-            "{\"id\":%d,\"alive\":%b,\"age\":%.3f,\"tasks_done\":%d,\
-             \"pool_depth\":%d,\"idle_workers\":%d,\"idle_frac\":%.4f,\
-             \"best\":%s,\"trace_dropped\":%d}"
-            i alive.(i) (now -. h.at) h.tasks_done h.pool_depth h.idle_workers
-            h.idle_frac
+            "{\"id\":%d,\"alive\":%b,\"standby\":%b,\"age\":%.3f,\
+             \"tasks_done\":%d,\"pool_depth\":%d,\"idle_workers\":%d,\
+             \"idle_frac\":%.4f,\"best\":%s,\"trace_dropped\":%d}"
+            i alive.(i) standby.(i) (now -. h.at) h.tasks_done h.pool_depth
+            h.idle_workers h.idle_frac
             (if h.best > min_int then string_of_int h.best else "null")
             h.trace_dropped)
       live;
@@ -173,42 +243,174 @@ let run ?watchdog ?monitor_port ?on_monitor ~conns ~(root : Pool.task) () =
   let monitored = server <> None in
 
   let fail msg = if !failure = None then failure := Some msg in
-  let send i m =
+
+  (* Death handling is (carefully) reentrant with [send]: [alive] flips
+     first, so a send failure discovered while notifying survivors just
+     queues another death. *)
+  let rec send i m =
     if alive.(i) then
-      try Transport.send conns.(i) m with Transport.Closed -> alive.(i) <- false
-  in
-  let broadcast_shutdown () =
+      try Transport.send ~timeout:send_timeout conns.(i) m
+      with Transport.Closed | Transport.Timeout ->
+        on_death i ~reason:"connection lost"
+
+  and broadcast_shutdown () =
     if not !shutdown_sent then begin
       shutdown_sent := true;
       for i = 0 to l - 1 do
         send i Wire.Shutdown
       done
     end
+
+  (* Revoke the coverage of [roots] (outstanding leases about to be
+     replayed) and of every descendant lease, wherever it lives:
+     queued tasks are dropped, outstanding leases voided (a live
+     holder's late retirement will be ignored), retired deltas
+     excluded from the final fold. Then each root whose parent
+     survives is replayed under a fresh id — fresh so a zombie
+     holder's late frames can never be confused with the replay. *)
+  and revoke_forest roots =
+    let root_set = Hashtbl.create 16 in
+    List.iter (fun (id, _) -> Hashtbl.replace root_set id ()) roots;
+    let memo = Hashtbl.create 64 in
+    let rec doomed id =
+      match Hashtbl.find_opt memo id with
+      | Some d -> d
+      | None ->
+        let d =
+          Hashtbl.mem root_set id
+          ||
+          match Hashtbl.find_opt parent_of id with
+          | Some pid -> doomed pid
+          | None -> false
+        in
+        Hashtbl.replace memo id d;
+        d
+    in
+    let dropped = Pool.remove_by pool (fun t -> doomed t.Pool.id) in
+    List.iter (fun t -> Hashtbl.replace revoked t.Pool.id ()) dropped;
+    let doomed_out =
+      Hashtbl.fold
+        (fun id _ acc -> if doomed id then id :: acc else acc)
+        outstanding []
+    in
+    List.iter
+      (fun id ->
+        Hashtbl.remove outstanding id;
+        Hashtbl.replace revoked id ())
+      doomed_out;
+    let doomed_ret =
+      Hashtbl.fold
+        (fun id _ acc -> if doomed id then id :: acc else acc)
+        retired []
+    in
+    List.iter
+      (fun id ->
+        Hashtbl.remove retired id;
+        Hashtbl.replace revoked id ())
+      doomed_ret;
+    List.iter
+      (fun (_id, lease) ->
+        let parent = lease.lease_parent in
+        (* A root whose parent is itself doomed is re-covered by the
+           parent's replay; reissuing it too would double-count. *)
+        if parent < 0 || not (doomed parent) then begin
+          incr reissued;
+          Pool.push pool
+            (fresh_task ~parent ~depth:lease.lease_depth
+               ~payload:lease.lease_payload)
+        end)
+      roots
+
+  and promote_spare () =
+    let chosen = ref (-1) in
+    for j = 0 to l - 1 do
+      if !chosen < 0 && alive.(j) && standby.(j) then chosen := j
+    done;
+    if !chosen >= 0 then begin
+      standby.(!chosen) <- false;
+      incr respawns;
+      if !global_best > min_int then begin
+        send !chosen (Wire.Bound_update { value = !global_best; witness = None });
+        incr broadcasts
+      end
+    end
+
+  and on_death i ~reason =
+    if alive.(i) then begin
+      alive.(i) <- false;
+      (* Fence: stop reading a possibly-still-breathing zombie so its
+         late frames cannot race the replay. *)
+      (try Transport.close conns.(i) with _ -> ());
+      hungry.(i) <- false;
+      shed_inflight.(i) <- false;
+      if not !shutdown_sent then begin
+        incr lost;
+        if not standby.(i) then begin
+          let held =
+            Hashtbl.fold
+              (fun id lease acc ->
+                if lease.holder = i then (id, lease) :: acc else acc)
+              outstanding []
+          in
+          revoke_forest held;
+          promote_spare ();
+          (* Rebroadcast the incumbent floor: replayed work must prune
+             as hard as the work it replaces. *)
+          if !global_best > min_int then
+            for j = 0 to l - 1 do
+              if eligible j then begin
+                send j (Wire.Bound_update { value = !global_best; witness = None });
+                incr broadcasts
+              end
+            done;
+          let any_eligible = ref false in
+          for j = 0 to l - 1 do
+            if eligible j then any_eligible := true
+          done;
+          if not !any_eligible then begin
+            fail
+              (Printf.sprintf
+                 "all localities lost (last: locality %d, %s)" i reason);
+            broadcast_shutdown ()
+          end
+        end
+      end
+    end
   in
+
   let serve i =
     match Pool.pop pool with
     | Some t ->
       hungry.(i) <- false;
-      send i (Wire.Steal_reply { task = Some (t.Pool.depth, t.Pool.payload) })
+      Hashtbl.replace outstanding t.Pool.id
+        {
+          lease_parent = t.Pool.parent;
+          lease_depth = t.Pool.depth;
+          lease_payload = t.Pool.payload;
+          holder = i;
+          issued_at = Unix.gettimeofday ();
+        };
+      send i
+        (Wire.Steal_reply { task = Some (t.Pool.id, t.Pool.depth, t.Pool.payload) })
     | None -> hungry.(i) <- true
   in
   let serve_hungry () =
     for i = 0 to l - 1 do
-      if hungry.(i) && alive.(i) && Pool.size pool > 0 then serve i
+      if hungry.(i) && eligible i && Pool.size pool > 0 then serve i
     done
   in
   (* Someone is starving and the pool is dry: ask one busy locality (in
      round-robin, one request in flight each) to shed queued work. *)
   let request_shed () =
-    if
-      (not !shutdown_sent)
-      && Pool.size pool = 0
-      && Array.exists Fun.id hungry
-    then begin
+    let starving = ref false in
+    for i = 0 to l - 1 do
+      if hungry.(i) && eligible i then starving := true
+    done;
+    if (not !shutdown_sent) && Pool.size pool = 0 && !starving then begin
       let chosen = ref (-1) in
       for k = 0 to l - 1 do
         let i = (!shed_rr + k) mod l in
-        if !chosen < 0 && alive.(i) && (not hungry.(i)) && not shed_inflight.(i)
+        if !chosen < 0 && eligible i && (not hungry.(i)) && not shed_inflight.(i)
         then chosen := i
       done;
       if !chosen >= 0 then begin
@@ -219,24 +421,39 @@ let run ?watchdog ?monitor_port ?on_monitor ~conns ~(root : Pool.task) () =
     end
   in
   let handle i = function
-    | Wire.Task { depth; payload } ->
-      incr active;
+    | Wire.Task { parent; depth; payload } ->
       shed_inflight.(i) <- false;
-      Pool.push pool { Pool.depth; payload }
-    | Wire.Steal_request -> serve i
-    | Wire.Idle { completed } ->
-      active := !active - completed;
-      shed_inflight.(i) <- false
-    | Wire.Bound_update { value } ->
+      (* A spill whose parent lease was revoked describes work already
+         re-covered by the replay of a dead ancestor: drop it. *)
+      if not (Hashtbl.mem revoked parent) then
+        Pool.push pool (fresh_task ~parent ~depth ~payload)
+    | Wire.Steal_request ->
+      if standby.(i) then hungry.(i) <- true else serve i
+    | Wire.Idle { retired = rs } ->
+      shed_inflight.(i) <- false;
+      List.iter
+        (fun (id, delta) ->
+          if not (Hashtbl.mem revoked id) then
+            match Hashtbl.find_opt outstanding id with
+            | Some lease when lease.holder = i ->
+              Hashtbl.remove outstanding id;
+              Hashtbl.replace retired id delta
+            | Some _ | None -> ())
+        rs
+    | Wire.Bound_update { value; witness = w } ->
+      (match w with Some payload -> note_witness value payload | None -> ());
       if value > !global_best then begin
         global_best := value;
         for j = 0 to l - 1 do
-          if j <> i && alive.(j) then begin
-            send j (Wire.Bound_update { value });
+          if j <> i && eligible j then begin
+            send j (Wire.Bound_update { value; witness = None });
             incr broadcasts
           end
         done
       end
+    | Wire.Witness { value; payload } ->
+      note_witness value payload;
+      broadcast_shutdown ()
     | Wire.Heartbeat
         {
           clock = _;
@@ -262,7 +479,6 @@ let run ?watchdog ?monitor_port ?on_monitor ~conns ~(root : Pool.task) () =
         incr heartbeats;
         refresh_gauges ()
       end
-    | Wire.Witness _ -> broadcast_shutdown ()
     | Wire.Failed { message } ->
       fail message;
       broadcast_shutdown ()
@@ -274,12 +490,11 @@ let run ?watchdog ?monitor_port ?on_monitor ~conns ~(root : Pool.task) () =
          frame's transit time. Adding it to every span start aligns the
          locality's timeline with ours. *)
       telemetry_got.(i) <- Some (Unix.gettimeofday () -. clock, buffers)
-    (* Locality-bound messages; never sent to the coordinator. *)
-    | Wire.Steal_reply _ | Wire.Shutdown -> ()
+    (* Locality-bound messages; never sent to the coordinator. [Pong]
+       matters only for the liveness clock, refreshed on any frame. *)
+    | Wire.Pong | Wire.Ping | Wire.Steal_reply _ | Wire.Shutdown -> ()
   in
-  let locality_done i =
-    (not alive.(i)) || (results.(i) <> None && stats_got.(i) <> None)
-  in
+  let locality_done i = (not alive.(i)) || stats_got.(i) <> None in
   let all_done () =
     let d = ref true in
     for i = 0 to l - 1 do
@@ -293,35 +508,96 @@ let run ?watchdog ?monitor_port ?on_monitor ~conns ~(root : Pool.task) () =
     | None -> false
     | Some limit -> Unix.gettimeofday () -. started > limit +. grace
   in
+  let heartbeat_ages now =
+    String.concat " "
+      (List.init l (fun i ->
+           if not alive.(i) then Printf.sprintf "%d:dead" i
+           else Printf.sprintf "%d:%.1fs" i (now -. last_rx.(i))))
+  in
+  (* Liveness: ping a silent locality, declare it dead past the
+     timeout. Sockets catch outright crashes instantly via EOF; the
+     timeout catches wedged-but-connected processes. *)
+  let check_liveness () =
+    match failure_timeout with
+    | None -> ()
+    | Some ft ->
+      if not !shutdown_sent then begin
+        let now = Unix.gettimeofday () in
+        let ping_after = ft /. 3. in
+        for i = 0 to l - 1 do
+          if alive.(i) then
+            if now -. last_rx.(i) > ft then
+              on_death i
+                ~reason:
+                  (Printf.sprintf "silent for %.1fs (timeout %.1fs)"
+                     (now -. last_rx.(i)) ft)
+            else if
+              now -. last_rx.(i) > ping_after
+              && now -. last_ping.(i) > ping_after
+            then begin
+              last_ping.(i) <- now;
+              send i Wire.Ping
+            end
+        done
+      end
+  in
+  let last_lease_scan = ref started in
+  let check_lease_timeouts () =
+    match lease_timeout with
+    | None -> ()
+    | Some lt ->
+      if not !shutdown_sent then begin
+        let now = Unix.gettimeofday () in
+        if now -. !last_lease_scan > lt /. 4. then begin
+          last_lease_scan := now;
+          let expired =
+            Hashtbl.fold
+              (fun id lease acc ->
+                if now -. lease.issued_at > lt then (id, lease) :: acc else acc)
+              outstanding []
+          in
+          if expired <> [] then revoke_forest expired
+        end
+      end
+  in
 
   let abandoned = ref false in
   Fun.protect
     ~finally:(fun () -> Option.iter Http_export.stop server)
   @@ fun () ->
   while (not (all_done ())) && not !abandoned do
-    let live = ref [] in
+    let live_conns = ref [] in
     for i = l - 1 downto 0 do
-      if alive.(i) then live := (i, conns.(i)) :: !live
+      if alive.(i) then live_conns := (i, conns.(i)) :: !live_conns
     done;
-    let readable = Transport.poll ~timeout:0.005 (List.map snd !live) in
+    let readable = Transport.poll ~timeout:0.005 (List.map snd !live_conns) in
     List.iter
       (fun (i, c) ->
         if List.memq c readable then
           match Transport.pump c with
-          | msgs -> List.iter (handle i) msgs
+          | msgs ->
+            if msgs <> [] then last_rx.(i) <- Unix.gettimeofday ();
+            List.iter (handle i) msgs
           | exception Transport.Closed ->
-            alive.(i) <- false;
-            if results.(i) = None then begin
-              fail (Printf.sprintf "locality %d died before reporting" i);
-              broadcast_shutdown ()
-            end)
-      !live;
+            on_death i ~reason:"socket closed")
+      !live_conns;
+    check_liveness ();
+    check_lease_timeouts ();
     serve_hungry ();
     request_shed ();
-    if (not !shutdown_sent) && !active <= 0 then broadcast_shutdown ();
+    if (not !shutdown_sent) && Pool.size pool = 0
+       && Hashtbl.length outstanding = 0
+    then broadcast_shutdown ();
     if (not !watchdog_fired) && overdue 0. then begin
       watchdog_fired := true;
-      fail "watchdog expired before the search completed";
+      let now = Unix.gettimeofday () in
+      fail
+        (Printf.sprintf
+           "watchdog expired after %.1fs (limit %.1fs); active_tasks=%d \
+            per-locality last-heartbeat ages: %s"
+           (now -. started)
+           (Option.value watchdog ~default:0.)
+           (active_count ()) (heartbeat_ages now));
       broadcast_shutdown ()
     end;
     if !watchdog_fired && overdue watchdog_grace then abandoned := true
@@ -331,8 +607,10 @@ let run ?watchdog ?monitor_port ?on_monitor ~conns ~(root : Pool.task) () =
   Array.iter
     (function Some st -> Stats.add stats st | None -> ())
     stats_got;
-  let payloads =
-    Array.to_list results |> List.filter_map Fun.id
-  in
-  { payloads; stats; broadcasts = !broadcasts; telemetry = telemetry_got;
-    failure = !failure }
+  stats.Stats.localities_lost <- !lost;
+  stats.Stats.leases_reissued <- !reissued;
+  stats.Stats.respawns <- !respawns;
+  let deltas = Hashtbl.fold (fun _ delta acc -> delta :: acc) retired [] in
+  let residuals = Array.to_list results |> List.filter_map Fun.id in
+  { deltas; residuals; witness = !witness; stats; broadcasts = !broadcasts;
+    telemetry = telemetry_got; failure = !failure }

@@ -4,20 +4,53 @@
     Owns the distributed workpool ({!Pool}), seeds it with the encoded
     root, and serves/relays steals between localities; rebroadcasts
     incumbent improvements to every other locality (counting the
-    fan-out as bound broadcasts); and detects distributed termination
-    with an active-task count — the pool's population plus every
-    handed-but-unacked task. Spills arrive (FIFO, per socket) before
-    the [Idle] that acks their parent task, so the count reaching zero
-    proves global quiescence; the coordinator then broadcasts
-    [Shutdown] and collects each locality's [Result] and [Stats].
+    fan-out as bound broadcasts).
 
-    A [Witness] (Decide short-circuit) or [Failed] (user exception)
-    triggers the shutdown broadcast early; a locality dying before it
-    reports is recorded as a failure. *)
+    {2 Task leases}
+
+    Every task handed to a locality is recorded as a {e lease}: id,
+    parent lease, depth, payload, holder, issue time. Spills arriving
+    from a locality become child leases of the lease they were spawned
+    under, forming a forest rooted at the search root. A locality
+    retires its leases (with per-lease result deltas) in [Idle] frames
+    at full quiescence; termination is detected when the pool is empty
+    and no lease is outstanding — at which point the retired deltas
+    exactly partition the search tree.
+
+    {2 Fault tolerance}
+
+    A locality is declared dead on socket EOF, a frame send that times
+    out, or — with [failure_timeout] — heartbeat silence past the
+    limit (a [Ping] probes it at a third of the limit). On death the
+    dead holder's outstanding leases and {e all} their descendant
+    leases are revoked (queued tasks dropped, live holders' late
+    retirements ignored, retired deltas excluded) and the forest roots
+    are replayed under fresh ids; the incumbent floor is rebroadcast
+    so replays prune as hard as the work they replace, and a standby
+    locality (index ≥ [standby_from]) is promoted if available.
+    Optimise incumbents survive their finder's death because
+    [Bound_update] frames carry the witness node. With
+    [lease_timeout], leases outstanding longer than the limit are
+    revoked and replayed the same way (recovering from lost frames
+    under fault injection). The run fails only when every non-standby
+    locality is lost. *)
 
 type outcome = {
-  payloads : string list;  (** Per-locality [Result] payloads. *)
-  stats : Yewpar_core.Stats.t;  (** Sum of every locality's counters. *)
+  deltas : string list;
+      (** Result deltas of every retired, non-revoked lease. For
+          enumerations these partition the tree exactly; folding them
+          is the answer. *)
+  residuals : string list;
+      (** Per-locality [Result] payloads: extra idempotent best-known
+          candidates for Optimise/Decide (ignored for Enumerate). *)
+  witness : (int * string) option;
+      (** Best (value, encoded node) the coordinator holds, fed by
+          [Bound_update] witnesses and Decide [Witness] frames — the
+          incumbent that survives its finder's death. *)
+  stats : Yewpar_core.Stats.t;
+      (** Sum of every locality's counters, plus the coordinator's own
+          fault counters ([localities_lost], [leases_reissued],
+          [respawns]). *)
   broadcasts : int;  (** Bound-update messages fanned out. *)
   telemetry :
     (float * Yewpar_telemetry.Recorder.packed list) option array;
@@ -27,28 +60,41 @@ type outcome = {
           sample) shifts that locality's span timestamps onto the
           coordinator's timeline. *)
   failure : string option;
-      (** A locality's failure message, or a watchdog/death report. *)
+      (** A locality's failure message, a watchdog report (with
+          elapsed time and per-locality last-heartbeat ages), or
+          total-loss report. *)
 }
 
 val run :
   ?watchdog:float ->
   ?monitor_port:int ->
   ?on_monitor:(int -> unit) ->
+  ?failure_timeout:float ->
+  ?lease_timeout:float ->
+  ?standby_from:int ->
   conns:Transport.t array ->
-  root:Pool.task ->
+  root_payload:string ->
   unit ->
   outcome
 (** Drive the search to completion over the given locality
     connections. [watchdog] (seconds) bounds the whole run: on expiry
-    the coordinator broadcasts [Shutdown], records a failure, and — if
+    the coordinator broadcasts [Shutdown], records a failure naming
+    the elapsed time and each locality's last-heartbeat age, and — if
     localities still do not report — abandons collection shortly
-    after, letting the caller kill them.
+    after, letting the caller kill them. [failure_timeout] (seconds;
+    [<= 0] disables) bounds heartbeat silence before a locality is
+    declared dead; [lease_timeout] (seconds; [<= 0] or absent
+    disables) bounds how long a lease may stay outstanding before it
+    is revoked and replayed. Connections with index ≥ [standby_from]
+    are standby spares: never served work until promoted after a
+    death.
 
     With [monitor_port] the coordinator serves live observability over
     HTTP on [127.0.0.1] for the duration of the run ([0] picks an
     ephemeral port, reported through [on_monitor]): [GET /metrics] is
-    the Prometheus exposition of a [yewpar_live_*] gauge registry the
-    coordinator refreshes from each locality's [Wire.Heartbeat], and
-    [GET /status] a JSON cluster snapshot with per-locality detail
-    (latest heartbeat, its age, liveness). The server stops — and the
-    port closes — before {!run} returns, even on failure. *)
+    the Prometheus exposition of a [yewpar_live_*] gauge registry —
+    including [localities_lost], [leases_reissued] and [respawns] —
+    and [GET /status] a JSON cluster snapshot with per-locality detail
+    (latest heartbeat, its age, liveness, standby state) plus the
+    fault counters. The server stops — and the port closes — before
+    {!run} returns, even on failure. *)

@@ -5,40 +5,59 @@ module Stats = Yewpar_core.Stats
 module Sequential = Yewpar_core.Sequential
 module Telemetry = Yewpar_telemetry.Telemetry
 
-(* Combine the localities' marshalled partial results by search kind. *)
+(* Combine the coordinator's collected results by search kind.
+
+   Enumerate: the retired lease deltas partition the search tree —
+   folding them is the answer (residuals carry nothing).
+
+   Optimise/Decide: deltas, residuals and the coordinator's witness are
+   all idempotent (value, encoded node) candidates; take the best. The
+   witness matters when the incumbent's finder died before retiring the
+   lease that found it. *)
 let combine (type s n r) (p : (s, n, r) Problem.t) (codec : n Codec.t)
-    (payloads : string list) : r =
-  let best_of payloads =
-    List.fold_left
-      (fun best s ->
-        match ((Marshal.from_string s 0 : (int * string) option), best) with
-        | None, b -> b
-        | Some (v, e), None -> Some (v, e)
-        | Some (v, e), Some (bv, _) when v > bv -> Some (v, e)
-        | Some _, b -> b)
-      None payloads
+    (outcome : Coordinator.outcome) : r =
+  let best_candidate () =
+    let best =
+      List.fold_left
+        (fun best s ->
+          match ((Marshal.from_string s 0 : (int * string) option), best) with
+          | None, b -> b
+          | Some (v, e), None -> Some (v, e)
+          | Some (v, e), Some (bv, _) when v > bv -> Some (v, e)
+          | Some _, b -> b)
+        None
+        (outcome.Coordinator.deltas @ outcome.Coordinator.residuals)
+    in
+    match (outcome.Coordinator.witness, best) with
+    | Some (v, e), Some (bv, _) when v > bv -> Some (v, e)
+    | Some w, None -> Some w
+    | _, b -> b
   in
   match p.Problem.kind with
   | Problem.Enumerate spec ->
     List.fold_left
       (fun acc s -> spec.Problem.combine acc (Marshal.from_string s 0))
-      spec.Problem.empty payloads
+      spec.Problem.empty outcome.Coordinator.deltas
   | Problem.Optimise _ -> (
-    match best_of payloads with
+    match best_candidate () with
     | Some (_, e) -> codec.Codec.decode e
     | None -> failwith "Dist: optimisation finished without processing the root")
   | Problem.Decide { target; _ } -> (
-    match best_of payloads with
+    match best_candidate () with
     | Some (v, e) when v >= target -> Some (codec.Codec.decode e)
     | Some _ | None -> None)
 
 let default_heartbeat = 0.5
+let default_failure_timeout = 10.0
 
 let distributed_run (type s n r) ?stats ?broadcasts ?telemetry ?watchdog
-    ?monitor_port ?(heartbeat = default_heartbeat) ?on_monitor ~localities
+    ?monitor_port ?(heartbeat = default_heartbeat)
+    ?(failure_timeout = default_failure_timeout) ?lease_timeout
+    ?(max_respawns = 0) ?chaos ?(chaos_seed = 0) ?on_monitor ~localities
     ~workers ~coordination (p : (s, n, r) Problem.t) : r =
   if localities < 1 then invalid_arg "Dist.run: localities must be >= 1";
   if workers < 1 then invalid_arg "Dist.run: workers must be >= 1";
+  if max_respawns < 0 then invalid_arg "Dist.run: max_respawns must be >= 0";
   let codec =
     match p.Problem.codec with
     | Some c -> c
@@ -48,6 +67,16 @@ let distributed_run (type s n r) ?stats ?broadcasts ?telemetry ?watchdog
            "Dist.run: problem %S has no task codec and cannot be distributed"
            p.Problem.name)
   in
+  (* Respawn works by promotion: OCaml 5 cannot fork once a domain has
+     been spawned (the monitor HTTP server runs in one), so the spares
+     are pre-forked standby localities, idle until promoted. *)
+  let total = localities + max_respawns in
+  let plans =
+    Array.init total (fun i ->
+        match chaos with
+        | None -> None
+        | Some spec -> Chaos.plan spec ~seed:chaos_seed ~locality:i)
+  in
   (* A locality death must surface as Transport.Closed, not kill us. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   (* Children inherit the channel buffers and flush them when their
@@ -55,11 +84,10 @@ let distributed_run (type s n r) ?stats ?broadcasts ?telemetry ?watchdog
   flush stdout;
   flush stderr;
   let pairs =
-    Array.init localities (fun _ ->
-        Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0)
+    Array.init total (fun _ -> Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0)
   in
   let pids =
-    Array.init localities (fun i ->
+    Array.init total (fun i ->
         match Unix.fork () with
         | 0 ->
           (* Locality process: keep only our own socket end. Exit with
@@ -76,10 +104,10 @@ let distributed_run (type s n r) ?stats ?broadcasts ?telemetry ?watchdog
                   else Unix.close coord_fd)
                 pairs;
               let conn = Transport.create (snd pairs.(i)) in
-              Locality.run ~trace:(Option.is_some telemetry)
-                ?heartbeat:
-                  (if Option.is_some monitor_port then Some heartbeat else None)
-                ~conn ~workers ~coordination p;
+              (* Heartbeats are always on: they feed the coordinator's
+                 failure detector, not just live monitoring. *)
+              Locality.run ~trace:(Option.is_some telemetry) ~heartbeat
+                ?chaos:plans.(i) ~conn ~workers ~coordination p;
               Transport.close conn;
               0
             with _ -> 1
@@ -116,9 +144,9 @@ let distributed_run (type s n r) ?stats ?broadcasts ?telemetry ?watchdog
         pids)
     (fun () ->
       let outcome =
-        Coordinator.run ?watchdog ?monitor_port ?on_monitor ~conns
-          ~root:{ Pool.depth = 0; payload = codec.Codec.encode p.Problem.root }
-          ()
+        Coordinator.run ?watchdog ?monitor_port ?on_monitor
+          ~failure_timeout ?lease_timeout ~standby_from:localities ~conns
+          ~root_payload:(codec.Codec.encode p.Problem.root) ()
       in
       (match outcome.Coordinator.failure with
       | Some msg -> failwith ("Dist: " ^ msg)
@@ -138,9 +166,10 @@ let distributed_run (type s n r) ?stats ?broadcasts ?telemetry ?watchdog
             | Some (offset, buffers) ->
               Telemetry.ingest tl ~locality:i ~offset buffers)
           outcome.Coordinator.telemetry);
-      combine p codec outcome.Coordinator.payloads)
+      combine p codec outcome)
 
 let run ?stats ?broadcasts ?telemetry ?watchdog ?monitor_port ?heartbeat
+    ?failure_timeout ?lease_timeout ?max_respawns ?chaos ?chaos_seed
     ?on_monitor ~localities ~workers ~coordination p =
   match coordination with
   | Coordination.Sequential -> Sequential.search ?stats p
@@ -148,4 +177,5 @@ let run ?stats ?broadcasts ?telemetry ?watchdog ?monitor_port ?heartbeat
   | Coordination.Budget _ | Coordination.Best_first _
   | Coordination.Random_spawn _ ->
     distributed_run ?stats ?broadcasts ?telemetry ?watchdog ?monitor_port
-      ?heartbeat ?on_monitor ~localities ~workers ~coordination p
+      ?heartbeat ?failure_timeout ?lease_timeout ?max_respawns ?chaos
+      ?chaos_seed ?on_monitor ~localities ~workers ~coordination p

@@ -1,11 +1,12 @@
 (** The distributed runtime: real multi-process search.
 
-    Forks [localities] worker processes, each running [workers] search
-    domains over a locality-local pool and incumbent ({!Locality}),
-    and drives them from a coordinator event loop in the calling
-    process ({!Coordinator}) over Unix-domain socket pairs speaking
-    the {!Wire} protocol. Task nodes cross process boundaries through
-    the problem's task codec ({!Yewpar_core.Codec}), so only problems
+    Forks [localities] worker processes (plus [max_respawns] standby
+    spares), each running [workers] search domains over a
+    locality-local pool and incumbent ({!Locality}), and drives them
+    from a coordinator event loop in the calling process
+    ({!Coordinator}) over Unix-domain socket pairs speaking the
+    {!Wire} protocol. Task nodes cross process boundaries through the
+    problem's task codec ({!Yewpar_core.Codec}), so only problems
     built with [~codec] are distributable.
 
     Compared to the shared-memory runtime this is the paper's actual
@@ -13,6 +14,14 @@
     prunes against its own incumbent plus a floor rebroadcast by the
     coordinator, and work moves by explicit steal messages through a
     depth-ordered distributed pool.
+
+    The runtime survives locality crashes: every shipped task is a
+    {e lease} the coordinator can revoke and replay on a survivor when
+    its holder dies (socket EOF or heartbeat silence), with per-lease
+    result deltas guaranteeing the final answer is exact — no lost and
+    no double-counted subtrees (see {!Coordinator}). Pre-forked
+    standby localities are promoted to replace lost ones. Faults can
+    be injected for testing with [chaos] ({!Chaos}).
 
     Forking happens before any domain is spawned, so the children
     inherit the problem closure safely; on return (normal or
@@ -26,20 +35,28 @@ val run :
   ?watchdog:float ->
   ?monitor_port:int ->
   ?heartbeat:float ->
+  ?failure_timeout:float ->
+  ?lease_timeout:float ->
+  ?max_respawns:int ->
+  ?chaos:Chaos.t ->
+  ?chaos_seed:int ->
   ?on_monitor:(int -> unit) ->
   localities:int ->
   workers:int ->
   coordination:Yewpar_core.Coordination.t ->
   ('s, 'n, 'r) Yewpar_core.Problem.t ->
   'r
-(** Run the search to completion and combine the localities' partial
-    results by search kind (enumerations fold with [combine];
-    optimisation/decision take the best reported incumbent).
+(** Run the search to completion and combine the collected results by
+    search kind: enumerations fold the retired lease deltas (which
+    partition the search tree exactly, even across failures);
+    optimisation/decision take the best of the deltas, the
+    localities' residual reports and the coordinator's witness.
 
     [stats] accumulates the aggregate of every locality's counters
     ([steal_attempts]/[steals] count wire-level steal traffic;
     [bound_updates] counts incumbent improvements applied, local
-    submissions plus adopted floor broadcasts);
+    submissions plus adopted floor broadcasts) plus the fault counters
+    ([localities_lost], [leases_reissued], [respawns]);
     [broadcasts] receives the number of bound-update fan-out messages;
     [telemetry] turns on per-worker span recording inside every
     locality (preallocated ring buffers, one per worker domain plus
@@ -48,21 +65,32 @@ val run :
     ingests them into the sink with per-locality clock offsets
     aligned, so the merged trace has one process group per locality;
     [watchdog] bounds the whole run in seconds (a deadlock safety net
-    — on expiry the run raises instead of hanging).
+    — on expiry the run raises instead of hanging, naming each
+    locality's last-heartbeat age).
+
+    Fault tolerance: localities always emit [Wire.Heartbeat] frames
+    (every [heartbeat] seconds, default 0.5) — they feed the
+    coordinator's failure detector as well as live monitoring.
+    [failure_timeout] (default 10, [<= 0] disables) is how long a
+    locality may stay silent before it is declared dead and its
+    unretired leases are replayed on survivors; [lease_timeout]
+    (disabled by default) additionally bounds how long any single
+    lease may stay outstanding. [max_respawns] (default 0) pre-forks
+    that many standby localities, promoted one per death. [chaos]
+    injects faults for testing — crash a locality on schedule, drop
+    frames, delay the link — deterministically under [chaos_seed]
+    (see {!Chaos.parse} for the [--chaos] grammar).
 
     [monitor_port] serves live observability for the duration of the
-    run: localities emit periodic [Wire.Heartbeat] snapshots (every
-    [heartbeat] seconds, default 0.5) that the coordinator folds into
-    a gauge registry answering [GET /metrics] (Prometheus) and
-    [GET /status] (JSON, per-locality detail) on [127.0.0.1]. Port [0]
-    binds an ephemeral port, reported through [on_monitor] once
-    listening. Heartbeats are only emitted when [monitor_port] is
-    given.
+    run: heartbeats fold into a gauge registry answering
+    [GET /metrics] (Prometheus) and [GET /status] (JSON, per-locality
+    detail plus fault counters) on [127.0.0.1]. Port [0] binds an
+    ephemeral port, reported through [on_monitor] once listening.
 
     [Sequential] coordination runs in-process via
     {!Yewpar_core.Sequential.search}.
 
     @raise Invalid_argument if the problem has no task codec or the
     topology is not at least 1x1.
-    @raise Failure if a locality fails (user exception, early death)
-    or the watchdog expires. *)
+    @raise Failure if every locality is lost, a locality fails (user
+    exception), or the watchdog expires. *)

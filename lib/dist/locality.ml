@@ -9,7 +9,9 @@ module Codec = Yewpar_core.Codec
 module Stats = Yewpar_core.Stats
 module Depth_profile = Yewpar_core.Depth_profile
 
-type 'n task = { node : 'n; depth : int }
+(* Every locally queued task descends from a coordinator-issued lease;
+   [lease] names it so results and spills can be attributed. *)
+type 'n task = { lease : int; node : 'n; depth : int }
 
 (* Same mutex/condition pool as the shared-memory runtime: deepest-first
    local pops, atomic size mirror for lock-free emptiness polls. *)
@@ -24,8 +26,27 @@ type 'n pool = {
    when nothing is happening. *)
 let tick = 0.002
 
-let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
-    (p : (s, n, r) Problem.t) : unit =
+(* A steal reply lost in transit (fault injection, coordinator hiccup)
+   must not starve us forever: re-request after this long. *)
+let steal_retry = 0.5
+
+(* The per-lease result ledger. Workers accumulate each task's
+   contribution in a private scratch cell and fold it into the lease's
+   entry under [mutex] once per task — before the task is counted
+   finished, so full quiescence implies every delta is visible to the
+   communicator. *)
+type ledger = {
+  register : int -> unit;  (** A lease arrived from the coordinator. *)
+  begin_task : int -> int -> unit;  (** [begin_task worker lease]. *)
+  end_task : int -> unit;  (** Fold the worker's scratch into the table. *)
+  pending : unit -> bool;  (** Any lease taken since the last {!retire}? *)
+  retire : unit -> (int * string) list;
+      (** Snapshot and clear: every taken lease with its encoded delta. *)
+  residual : unit -> string;  (** Final [Result] payload. *)
+}
+
+let run (type s n r) ?(trace = false) ?heartbeat ?chaos ~conn ~workers
+    ~coordination (p : (s, n, r) Problem.t) : unit =
   let codec =
     match p.Problem.codec with
     | Some c -> c
@@ -48,6 +69,13 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
   let comms_r = recorders.(workers) in
   let monitored = heartbeat <> None in
   let started = Recorder.clock () in
+  let started_wall = Unix.gettimeofday () in
+  let kill_deadline =
+    match chaos with
+    | Some c ->
+      Option.map (fun after -> started_wall +. after) c.Chaos.kill_after
+    | None -> None
+  in
   let c_done = Atomic.make 0 in
   (* Cumulative worker idle seconds for the heartbeat's idle fraction;
      only touched on wakeup, and only when monitoring is on. *)
@@ -116,8 +144,23 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
 
   (* Knowledge: a locality-local incumbent plus a floor fed by
      coordinator bound broadcasts. Pruning sees the max of both; only
-     locally-submitted incumbents have a witness node here. *)
-  let local = Knowledge.make_atomic () in
+     locally-submitted incumbents have a witness node here. The best
+     pair lives in one atomic cell so the communicator can read a
+     coherent (value, witness) for [Bound_update] frames. *)
+  let best_cell : (int * n option) Atomic.t = Atomic.make (min_int, None) in
+  let local =
+    let rec submit n v =
+      let ((cur, _) as old) = Atomic.get best_cell in
+      if v <= cur then false
+      else if Atomic.compare_and_set best_cell old (v, Some n) then true
+      else submit n v
+    in
+    {
+      Knowledge.best_obj = (fun () -> fst (Atomic.get best_cell));
+      best_node = (fun () -> snd (Atomic.get best_cell));
+      submit;
+    }
+  in
   let floor = Atomic.make min_int in
   let knowledge =
     {
@@ -127,25 +170,229 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
       submit = local.Knowledge.submit;
     }
   in
-  let harness = Ops.harness p.Problem.kind in
-  (* Each worker's view submits through a wrapper accounting applied
-     incumbent improvements (floor raises are accounted by the
-     communicator when it adopts a broadcast). *)
-  let views =
-    Array.init workers (fun i ->
-        let r = recorders.(i) in
-        let prof = profs.(i) in
-        let depth_cell = cur_depth.(i) in
-        let submit n v =
-          let improved = knowledge.Knowledge.submit n v in
-          if improved then begin
-            Atomic.incr c_bound_updates;
-            Depth_profile.note_bound prof !depth_cell;
-            Recorder.instant r Recorder.Bound_update ~arg:v
-          end;
-          improved
-        in
-        harness.Ops.view { knowledge with Knowledge.submit })
+  (* Submit wrapper accounting applied incumbent improvements (floor
+     raises are accounted by the communicator when it adopts a
+     broadcast). *)
+  let submit_acct w n v =
+    let improved = knowledge.Knowledge.submit n v in
+    if improved then begin
+      Atomic.incr c_bound_updates;
+      Depth_profile.note_bound profs.(w) !(cur_depth.(w));
+      Recorder.instant recorders.(w) Recorder.Bound_update ~arg:v
+    end;
+    improved
+  in
+
+  (* ------------- per-lease result ledger + worker views -------------
+     Built by kind instead of through {!Ops.harness}: the harness
+     accumulates per worker, but fault tolerance needs results keyed by
+     lease, so a dead locality's unretired leases can be replayed
+     without double-counting the retired ones. *)
+  let lease_mutex = Mutex.create () in
+  let locked f =
+    Mutex.lock lease_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lease_mutex) f
+  in
+  let cur_lease = Array.make workers (-1) in
+  let views, ledger =
+    match p.Problem.kind with
+    | Problem.Enumerate spec ->
+      let table : (int, r ref) Hashtbl.t = Hashtbl.create 64 in
+      let scratch = Array.init workers (fun _ -> ref spec.Problem.empty) in
+      let views =
+        Array.init workers (fun w ->
+            let acc = scratch.(w) in
+            {
+              Ops.process =
+                (fun node ->
+                  acc := spec.Problem.combine !acc (spec.Problem.view node);
+                  true);
+              keep = (fun _ -> true);
+              prune_siblings = false;
+              priority = (fun _ -> 0);
+            })
+      in
+      let register lease =
+        locked (fun () ->
+            if not (Hashtbl.mem table lease) then
+              Hashtbl.replace table lease (ref spec.Problem.empty))
+      in
+      let begin_task w lease = cur_lease.(w) <- lease in
+      let end_task w =
+        let d = !(scratch.(w)) in
+        scratch.(w) := spec.Problem.empty;
+        locked (fun () ->
+            match Hashtbl.find_opt table cur_lease.(w) with
+            | Some cell -> cell := spec.Problem.combine !cell d
+            | None -> Hashtbl.replace table cur_lease.(w) (ref d))
+      in
+      let pending () = locked (fun () -> Hashtbl.length table > 0) in
+      let retire () =
+        locked (fun () ->
+            let rs =
+              Hashtbl.fold
+                (fun id cell acc -> (id, Marshal.to_string !cell []) :: acc)
+                table []
+            in
+            Hashtbl.reset table;
+            rs)
+      in
+      (* Enumerations flow entirely through lease deltas; the residual
+         is an empty contribution kept for frame-shape uniformity. *)
+      let residual () = Marshal.to_string spec.Problem.empty [] in
+      (views, { register; begin_task; end_task; pending; retire; residual })
+    | Problem.Optimise obj ->
+      let table : (int, (int * n) option ref) Hashtbl.t = Hashtbl.create 64 in
+      let scratch : (int * n) option ref array =
+        Array.init workers (fun _ -> ref None)
+      in
+      let better cell node v =
+        match !cell with
+        | Some (bv, _) when bv >= v -> ()
+        | _ -> cell := Some (v, node)
+      in
+      let views =
+        Array.init workers (fun w ->
+            let keep =
+              match obj.Problem.bound with
+              | None -> fun _ -> true
+              | Some bound -> fun c -> bound c > knowledge.Knowledge.best_obj ()
+            in
+            let sc = scratch.(w) in
+            {
+              Ops.process =
+                (fun node ->
+                  let v = obj.Problem.value node in
+                  better sc node v;
+                  ignore (submit_acct w node v);
+                  true);
+              keep;
+              prune_siblings = obj.Problem.monotone && obj.Problem.bound <> None;
+              priority =
+                (match obj.Problem.bound with
+                | Some b -> b
+                | None -> obj.Problem.value);
+            })
+      in
+      let register lease =
+        locked (fun () ->
+            if not (Hashtbl.mem table lease) then
+              Hashtbl.replace table lease (ref None))
+      in
+      let begin_task w lease = cur_lease.(w) <- lease in
+      let end_task w =
+        let d = !(scratch.(w)) in
+        scratch.(w) := None;
+        match d with
+        | None -> ()
+        | Some (v, node) ->
+          locked (fun () ->
+              match Hashtbl.find_opt table cur_lease.(w) with
+              | Some cell -> better cell node v
+              | None -> Hashtbl.replace table cur_lease.(w) (ref d))
+      in
+      let pending () = locked (fun () -> Hashtbl.length table > 0) in
+      let encode = function
+        | None -> Marshal.to_string (None : (int * string) option) []
+        | Some (v, node) ->
+          Marshal.to_string
+            (Some (v, codec.Codec.encode node) : (int * string) option)
+            []
+      in
+      let retire () =
+        locked (fun () ->
+            let rs =
+              Hashtbl.fold
+                (fun id cell acc -> (id, encode !cell) :: acc)
+                table []
+            in
+            Hashtbl.reset table;
+            rs)
+      in
+      let residual () =
+        match Atomic.get best_cell with
+        | _, None -> encode None
+        | v, Some node -> encode (Some (v, node))
+      in
+      (views, { register; begin_task; end_task; pending; retire; residual })
+    | Problem.Decide { objective = obj; target } ->
+      let table : (int, (int * n) option ref) Hashtbl.t = Hashtbl.create 64 in
+      let scratch : (int * n) option ref array =
+        Array.init workers (fun _ -> ref None)
+      in
+      let better cell node v =
+        match !cell with
+        | Some (bv, _) when bv >= v -> ()
+        | _ -> cell := Some (v, node)
+      in
+      let views =
+        Array.init workers (fun w ->
+            let keep =
+              match obj.Problem.bound with
+              | None -> fun _ -> true
+              | Some bound -> fun c -> bound c >= target
+            in
+            let sc = scratch.(w) in
+            let process node =
+              let v = obj.Problem.value node in
+              if v >= target then begin
+                better sc node v;
+                ignore (submit_acct w node v);
+                false
+              end
+              else true
+            in
+            {
+              Ops.process;
+              keep;
+              prune_siblings = obj.Problem.monotone && obj.Problem.bound <> None;
+              priority =
+                (match obj.Problem.bound with
+                | Some b -> b
+                | None -> obj.Problem.value);
+            })
+      in
+      let register lease =
+        locked (fun () ->
+            if not (Hashtbl.mem table lease) then
+              Hashtbl.replace table lease (ref None))
+      in
+      let begin_task w lease = cur_lease.(w) <- lease in
+      let end_task w =
+        let d = !(scratch.(w)) in
+        scratch.(w) := None;
+        match d with
+        | None -> ()
+        | Some (v, node) ->
+          locked (fun () ->
+              match Hashtbl.find_opt table cur_lease.(w) with
+              | Some cell -> better cell node v
+              | None -> Hashtbl.replace table cur_lease.(w) (ref d))
+      in
+      let pending () = locked (fun () -> Hashtbl.length table > 0) in
+      let encode = function
+        | None -> Marshal.to_string (None : (int * string) option) []
+        | Some (v, node) ->
+          Marshal.to_string
+            (Some (v, codec.Codec.encode node) : (int * string) option)
+            []
+      in
+      let retire () =
+        locked (fun () ->
+            let rs =
+              Hashtbl.fold
+                (fun id cell acc -> (id, encode !cell) :: acc)
+                table []
+            in
+            Hashtbl.reset table;
+            rs)
+      in
+      let residual () =
+        match Atomic.get best_cell with
+        | _, None -> encode None
+        | v, Some node -> encode (Some (v, node))
+      in
+      (views, { register; begin_task; end_task; pending; retire; residual })
   in
   let task_priority =
     match coordination with
@@ -178,7 +425,12 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
   let spill r task =
     Recorder.instant r Recorder.Spill ~arg:(Atomic.get pool.size);
     outbox_add
-      (Wire.Task { depth = task.depth; payload = codec.Codec.encode task.node })
+      (Wire.Task
+         {
+           parent = task.lease;
+           depth = task.depth;
+           payload = codec.Codec.encode task.node;
+         })
   in
   let push r prof task =
     Atomic.incr c_tasks;
@@ -228,21 +480,24 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
   (* Stack-Stealing work pushing, extended with the distributed hunger
      signal: shed when local thieves wait on a dry pool, or when the
      coordinator relayed another locality's starvation. *)
-  let maybe_split_for_thieves r prof view ~chunked e =
+  let maybe_split_for_thieves r prof view ~chunked ~lease e =
     let local_thieves = Atomic.get waiting > 0 && Atomic.get pool.size = 0 in
     if local_thieves || Atomic.get global_hungry then
       if chunked then begin
         let cs, depth = Engine.split_lowest e in
-        List.iter (fun node -> push r prof { node; depth }) (filter_chunk view cs)
+        List.iter
+          (fun node -> push r prof { lease; node; depth })
+          (filter_chunk view cs)
       end
       else
         match Engine.split_one e with
         | Some (node, depth) ->
-          if view.Ops.keep node then push r prof { node; depth }
+          if view.Ops.keep node then push r prof { lease; node; depth }
         | None -> ()
   in
   let exec_task r prof dcell (view : n Ops.view) task =
     let started = Recorder.now r in
+    let lease = task.lease in
     dcell := task.depth;
     (if not (view.Ops.keep task.node) then begin
        Atomic.incr c_pruned;
@@ -264,7 +519,7 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
            | None -> ()
            | Some (c, rest) ->
              if view.Ops.keep c then begin
-               push r prof { node = c; depth = task.depth + 1 };
+               push r prof { lease; node = c; depth = task.depth + 1 };
                spawn_children rest
              end
              else if not view.Ops.prune_siblings then spawn_children rest
@@ -294,7 +549,7 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
                if view.Ops.process n then begin
                  (match coordination with
                  | Coordination.Stack_stealing { chunked } ->
-                   maybe_split_for_thieves r prof view ~chunked e
+                   maybe_split_for_thieves r prof view ~chunked ~lease e
                  | _ -> ());
                  go ()
                end
@@ -309,14 +564,14 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
                  when Engine.backtracks e - !last_bt >= budget ->
                  let cs, depth = Engine.split_lowest e in
                  List.iter
-                   (fun node -> push r prof { node; depth })
+                   (fun node -> push r prof { lease; node; depth })
                    (filter_chunk view cs);
                  last_bt := Engine.backtracks e
                | Coordination.Random_spawn { mean_interval }
                  when Yewpar_util.Splitmix.int rng mean_interval = 0 -> (
                  match Engine.split_one e with
                  | Some (node, depth) when view.Ops.keep node ->
-                   push r prof { node; depth }
+                   push r prof { lease; node; depth }
                  | Some _ | None -> ())
                | _ -> ());
                go ()
@@ -341,10 +596,14 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
       match take r with
       | None -> ()
       | Some t ->
+        ledger.begin_task i t.lease;
         (try exec_task r prof dcell view t
          with e ->
            ignore (Atomic.compare_and_set failure None (Some e));
            request_stop ());
+        (* Flush the delta before the task counts finished, so a
+           communicator seeing zero outstanding also sees the delta. *)
+        ledger.end_task i;
         finish_task ();
         Atomic.incr c_done;
         loop ()
@@ -354,9 +613,9 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
   let domains = Array.init workers (fun i -> Domain.spawn (worker i)) in
 
   (* ------------- communicator (this thread) ------------- *)
-  let taken = ref 0 in
   let steal_inflight = ref false in
   let steal_sent_at = ref 0. in
+  let steal_sent_wall = ref 0. in
   let steal_attempts = ref 0 in
   let steals = ref 0 in
   let last_bound_sent = ref min_int in
@@ -371,8 +630,16 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
     | Problem.Decide { target; _ } -> Some target
     | _ -> None
   in
+  (* All outbound traffic funnels through here so chaos link delay
+     applies uniformly. *)
+  let send_out m =
+    (match chaos with
+    | Some c when c.Chaos.delay > 0. -> Unix.sleepf c.Chaos.delay
+    | _ -> ());
+    Transport.send conn m
+  in
 
-  let receive_task depth payload =
+  let receive_task lease depth payload =
     if !steal_inflight then begin
       steal_inflight := false;
       (* Wire-level steal latency: request sent to task in hand. *)
@@ -380,8 +647,8 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
         ~arg:depth
     end;
     incr steals;
-    incr taken;
-    enqueue_local comms_r { node = codec.Codec.decode payload; depth }
+    ledger.register lease;
+    enqueue_local comms_r { lease; node = codec.Codec.decode payload; depth }
   in
   (* The coordinator asked for work on behalf of a starving locality:
      give back half of our queue, shallowest-first (the biggest
@@ -408,12 +675,11 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
         (List.rev !shed)
   in
   let handle = function
-    | Wire.Task { depth; payload } -> receive_task depth payload
-    | Wire.Steal_reply { task = Some (depth, payload) } ->
-      receive_task depth payload
+    | Wire.Steal_reply { task = Some (lease, depth, payload) } ->
+      receive_task lease depth payload
     | Wire.Steal_reply { task = None } -> steal_inflight := false
     | Wire.Steal_request -> shed_from_pool ()
-    | Wire.Bound_update { value } ->
+    | Wire.Bound_update { value; witness = _ } ->
       if value > Atomic.get floor then begin
         Atomic.set floor value;
         (* Adopting a broadcast floor is an applied incumbent
@@ -423,13 +689,19 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
         Depth_profile.note_bound profs.(workers) 0;
         Recorder.instant comms_r Recorder.Bound_update ~arg:value
       end
+    | Wire.Ping -> send_out Wire.Pong
     | Wire.Shutdown ->
       shutdown := true;
       request_stop ()
     (* Coordinator-bound messages; never sent to a locality. *)
-    | Wire.Witness _ | Wire.Idle _ | Wire.Heartbeat _ | Wire.Result _
-    | Wire.Stats _ | Wire.Telemetry _ | Wire.Failed _ ->
+    | Wire.Task _ | Wire.Witness _ | Wire.Idle _ | Wire.Pong | Wire.Heartbeat _
+    | Wire.Result _ | Wire.Stats _ | Wire.Telemetry _ | Wire.Failed _ ->
       ()
+  in
+  let handle_inbound m =
+    match chaos with
+    | Some plan when Chaos.should_drop plan m -> ()
+    | _ -> handle m
   in
   let all_dropped () =
     Array.fold_left (fun acc r -> acc + Recorder.dropped r) 0 recorders
@@ -451,7 +723,7 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
               (Atomic.get idle_acc /. (float_of_int workers *. uptime))
           else 0.
         in
-        Transport.send conn
+        send_out
           (Wire.Heartbeat
              {
                clock = now;
@@ -465,21 +737,33 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
       end
   in
   let communicator_tick () =
+    (match kill_deadline with
+    | Some t when Unix.gettimeofday () >= t ->
+      (* Chaos crash: no cleanup, no goodbye frame — the coordinator
+         must notice via EOF or heartbeat silence. *)
+      Unix.kill (Unix.getpid ()) Sys.sigkill
+    | _ -> ());
     (match Transport.poll ~timeout:tick [ conn ] with
     | [] -> ()
-    | _ -> List.iter handle (Transport.pump conn));
-    List.iter (Transport.send conn) (outbox_take_all ());
+    | _ -> List.iter handle_inbound (Transport.pump conn));
+    List.iter send_out (outbox_take_all ());
     (match Atomic.get failure with
     | Some e when not !failed_sent ->
       failed_sent := true;
-      Transport.send conn (Wire.Failed { message = Printexc.to_string e })
+      send_out (Wire.Failed { message = Printexc.to_string e })
     | _ -> ());
     maybe_heartbeat ();
     if is_optimise then begin
-      let b = local.Knowledge.best_obj () in
+      (* One atomic read so the witness really achieves the value. *)
+      let b, node = Atomic.get best_cell in
       if b > !last_bound_sent && b > Atomic.get floor then begin
         last_bound_sent := b;
-        Transport.send conn (Wire.Bound_update { value = b })
+        send_out
+          (Wire.Bound_update
+             {
+               value = b;
+               witness = Option.map (fun n -> codec.Codec.encode n) node;
+             })
       end
     end;
     (match decide_target with
@@ -488,7 +772,7 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
       match local.Knowledge.best_node () with
       | Some node ->
         witness_sent := true;
-        Transport.send conn
+        send_out
           (Wire.Witness
              {
                value = local.Knowledge.best_obj ();
@@ -496,6 +780,13 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
              })
       | None -> ())
     | _ -> ());
+    (* A lost steal reply (dropped frame, failed-over coordinator state)
+       would otherwise leave us starving forever: time the request out
+       and ask again. *)
+    if
+      !steal_inflight
+      && Unix.gettimeofday () -. !steal_sent_wall > steal_retry
+    then steal_inflight := false;
     if
       (not !steal_inflight)
       && (not (Atomic.get stop))
@@ -504,18 +795,21 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
     then begin
       steal_inflight := true;
       steal_sent_at := Recorder.now comms_r;
+      steal_sent_wall := Unix.gettimeofday ();
       incr steal_attempts;
       Recorder.instant comms_r Recorder.Steal_attempt ~arg:0;
-      Transport.send conn Wire.Steal_request
+      send_out Wire.Steal_request
     end;
     (* Quiescence ack: ordering matters — outstanding is read before the
        outbox, so a last-instant spill is either seen queued (we skip
-       this tick) or was already flushed above. *)
-    if !taken > 0 && Atomic.get local_outstanding = 0 && outbox_is_empty ()
-    then begin
-      Transport.send conn (Wire.Idle { completed = !taken });
-      taken := 0
-    end
+       this tick) or was already flushed above. Retiring only at full
+       quiescence guarantees every spill of a retired lease was sent
+       (FIFO) before the retirement. *)
+    if
+      Atomic.get local_outstanding = 0
+      && outbox_is_empty ()
+      && ledger.pending ()
+    then send_out (Wire.Idle { retired = ledger.retire () })
   in
   let rec loop () =
     if not !shutdown then begin
@@ -532,26 +826,10 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
      raise e);
   Array.iter Domain.join domains;
 
-  (* Report: partial result + counters. On Optimise/Decide only locally
-     witnessed incumbents are reported (the floor has no node here). *)
-  let payload =
-    match p.Problem.kind with
-    | Problem.Enumerate _ -> Marshal.to_string (harness.Ops.result knowledge) []
-    | Problem.Optimise _ ->
-      let v =
-        match local.Knowledge.best_node () with
-        | None -> None
-        | Some node -> Some (local.Knowledge.best_obj (), codec.Codec.encode node)
-      in
-      Marshal.to_string (v : (int * string) option) []
-    | Problem.Decide _ ->
-      let v =
-        match local.Knowledge.best_node () with
-        | None -> None
-        | Some node -> Some (local.Knowledge.best_obj (), codec.Codec.encode node)
-      in
-      Marshal.to_string (v : (int * string) option) []
-  in
+  (* Report: residual result + counters. Results flow primarily through
+     per-lease deltas; the residual is an extra idempotent candidate
+     for Optimise/Decide (the locality's overall best pair). *)
+  let payload = ledger.residual () in
   let st = Stats.create () in
   st.Stats.nodes <- Atomic.get c_nodes;
   st.Stats.pruned <- Atomic.get c_pruned;
@@ -563,15 +841,15 @@ let run (type s n r) ?(trace = false) ?heartbeat ~conn ~workers ~coordination
   st.Stats.bound_updates <- Atomic.get c_bound_updates;
   st.Stats.trace_dropped <- all_dropped ();
   Array.iter (fun p -> Depth_profile.merge st.Stats.depths p) profs;
-  Transport.send conn (Wire.Result { payload });
+  send_out (Wire.Result { payload });
   (* Telemetry travels before Stats on the same FIFO socket, so the
      coordinator always has the buffers by the time the locality counts
      as done. *)
   if trace then
-    Transport.send conn
+    send_out
       (Wire.Telemetry
          {
            clock = Recorder.clock ();
            buffers = Array.to_list (Array.map Recorder.export recorders);
          });
-  Transport.send conn (Wire.Stats st)
+  send_out (Wire.Stats st)

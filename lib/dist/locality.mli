@@ -5,15 +5,21 @@
     runtime ({!Yewpar_par.Shm}); the process's main thread acts as the
     communicator, speaking {!Wire} to the coordinator on a short tick:
 
-    - drains inbound tasks / bound updates / steal requests / shutdown;
+    - drains inbound tasks / bound updates / steal requests / pings /
+      shutdown;
     - flushes spilled tasks (spawned work the locality sheds when the
-      cluster is hungry or its own pool is saturated);
-    - publishes local incumbent improvements (and, for Decide
-      searches, the witness) upward for rebroadcast;
-    - requests a steal when its workers starve, and acks completed
-      coordinator-issued tasks with [Idle] once fully quiescent —
-      always after the matching spills, so the coordinator's active
-      count never drops early.
+      cluster is hungry or its own pool is saturated), each tagged
+      with the lease it was spawned under;
+    - publishes local incumbent improvements upward with their witness
+      node (and, for Decide searches, the witness frame) for
+      rebroadcast;
+    - requests a steal when its workers starve (retrying if the reply
+      never arrives), and — once fully quiescent — retires every lease
+      taken since the last retirement with an [Idle] frame carrying
+      the per-lease result deltas. A lease's delta is its subtree's
+      contribution minus what it spilled back; spills travel on the
+      same FIFO socket before the retirement, so the coordinator's
+      lease forest never loses coverage.
 
     Pruning reads [max local_incumbent global_floor], the PGAS
     bound-register reading of the paper: a stale floor only costs
@@ -27,6 +33,7 @@
 val run :
   ?trace:bool ->
   ?heartbeat:float ->
+  ?chaos:Chaos.plan ->
   conn:Transport.t ->
   workers:int ->
   coordination:Yewpar_core.Coordination.t ->
@@ -37,11 +44,15 @@ val run :
     return. With [trace] (default [false]) every worker domain and the
     communicator thread (worker id = [workers]) record into
     preallocated {!Yewpar_telemetry.Recorder} ring buffers, shipped
-    upward in the [Telemetry] frame. With [heartbeat] (seconds; off by
-    default) the communicator additionally emits a [Wire.Heartbeat]
-    progress snapshot at that interval — the first tick always sends
-    one — and workers accumulate wall-clock idle time for its
-    idle-fraction field. The shipped [Stats] carry per-depth profiles
-    and the recorders' ring-overflow drop count. The problem must
-    carry a task codec.
+    upward in the [Telemetry] frame. With [heartbeat] (seconds; the
+    distributed runtime always passes it) the communicator emits a
+    [Wire.Heartbeat] progress snapshot at that interval — the first
+    tick always sends one — feeding both live monitoring and the
+    coordinator's failure detector; workers accumulate wall-clock idle
+    time for its idle-fraction field. With [chaos] the locality runs
+    its slice of a fault-injection plan: self-SIGKILL at a deadline,
+    probabilistic inbound frame drops, outbound link delay (see
+    {!Chaos}). The shipped [Stats] carry per-depth profiles and the
+    recorders' ring-overflow drop count. The problem must carry a task
+    codec.
     @raise Transport.Closed if the coordinator disappears mid-run. *)

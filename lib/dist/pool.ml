@@ -1,6 +1,6 @@
 module Workpool = Yewpar_core.Workpool
 
-type task = { depth : int; payload : string }
+type task = { id : int; parent : int; depth : int; payload : string }
 
 type t = task Workpool.t
 
@@ -8,3 +8,19 @@ let create () = Workpool.create ~policy:Workpool.Depth ()
 let push t task = Workpool.push t ~depth:task.depth task
 let pop t = Workpool.pop_steal t
 let size t = Workpool.size t
+
+let remove_by t pred =
+  (* Drain-and-refill: the pool is small (spilled tasks only) and
+     revocation is rare, so O(n) with re-push is fine and keeps the
+     depth-ordering discipline intact. *)
+  let rec drain acc =
+    match Workpool.pop_steal t with
+    | Some task -> drain (task :: acc)
+    | None -> acc
+  in
+  let all = drain [] in
+  let removed, kept = List.partition pred all in
+  (* [drain] reversed the pop order; re-push in pop order to preserve
+     FIFO within each depth bucket. *)
+  List.iter (fun task -> push t task) (List.rev kept);
+  removed

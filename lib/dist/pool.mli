@@ -7,9 +7,14 @@
     remaining subtrees ship across process boundaries, amortising the
     encode/frame/decode cost, exactly as the in-process pool serves
     thieves. Single-threaded: only the coordinator's event loop
-    touches it. *)
+    touches it.
 
-type task = { depth : int; payload : string }
+    Every task is keyed by its lease [id] (unique per run) and records
+    the [parent] lease it was spilled from, so failure handling can
+    revoke a dead locality's whole lease subtree (see
+    {!Coordinator}). *)
+
+type task = { id : int; parent : int; depth : int; payload : string }
 
 type t
 
@@ -20,3 +25,8 @@ val pop : t -> task option
 (** Shallowest-first, FIFO within a depth. *)
 
 val size : t -> int
+
+val remove_by : t -> (task -> bool) -> task list
+(** [remove_by t pred] removes and returns every queued task matching
+    [pred], preserving the order of the rest. O(size); used only on
+    the rare failure-handling path. *)

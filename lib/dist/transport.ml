@@ -1,4 +1,5 @@
 exception Closed
+exception Timeout
 
 type t = {
   fd : Unix.file_descr;
@@ -9,32 +10,65 @@ type t = {
 }
 
 let create fd =
+  (* Non-blocking so a wedged peer shows up as EAGAIN (and a deadline)
+     instead of a write(2) that never returns. *)
+  (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
   { fd; dec = Wire.decoder (); scratch = Bytes.create 65536;
     eof = false; closed = false }
 
 let fd t = t.fd
 
-let rec write_all fd b off len =
-  if len > 0 then begin
-    let n =
-      try Unix.write fd b off len with
-      | Unix.Unix_error (Unix.EINTR, _, _) -> 0
-      | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
-        raise Closed
-    in
-    write_all fd b (off + n) (len - n)
-  end
+(* Bounded exponential backoff for transient send stalls: first retry
+   waits [backoff_min] seconds in select, doubling up to [backoff_max].
+   Progress (any byte written) resets the wait. *)
+let backoff_min = 0.001
+let backoff_max = 0.1
 
-let send t m =
+let write_all ?deadline fd b off len =
+  let rec go off len wait =
+    if len > 0 then begin
+      match Unix.write fd b off len with
+      | n -> go (off + n) (len - n) backoff_min
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len wait
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        let slice =
+          match deadline with
+          | None -> wait
+          | Some d ->
+            let left = d -. Unix.gettimeofday () in
+            if left <= 0. then raise Timeout;
+            Float.min wait left
+        in
+        (match Unix.select [] [ fd ] [] slice with
+        | _, [], _ -> ()
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        go off len (Float.min (2. *. wait) backoff_max)
+      | exception
+          Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+        ->
+        raise Closed
+    end
+  in
+  go off len backoff_min
+
+let send ?timeout t m =
   if t.closed || t.eof then raise Closed;
+  let deadline =
+    match timeout with None -> None | Some s -> Some (Unix.gettimeofday () +. s)
+  in
   let b = Wire.to_bytes m in
-  write_all t.fd b 0 (Bytes.length b)
+  write_all ?deadline t.fd b 0 (Bytes.length b)
 
 let poll ~timeout conns =
   let eofs, live = List.partition (fun t -> t.eof) conns in
   let fds = List.map (fun t -> t.fd) live in
   let readable =
-    if fds = [] then []
+    if fds = [] then begin
+      if eofs = [] && timeout > 0. then ignore (Unix.select [] [] [] timeout);
+      []
+    end
     else
       match Unix.select fds [] [] timeout with
       | rs, _, _ -> List.filter (fun t -> List.memq t.fd rs) live
@@ -77,7 +111,7 @@ let recv ?timeout t =
         | None -> 1.0
         | Some d ->
           let left = d -. Unix.gettimeofday () in
-          if left <= 0. then failwith "Transport.recv: timeout";
+          if left <= 0. then raise Timeout;
           min left 1.0
       in
       (match poll ~timeout:wait [ t ] with

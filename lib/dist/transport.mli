@@ -1,28 +1,41 @@
 (** Message transport over a connected socket (or pipe-like fd).
 
     One {!t} wraps one end of a Unix-domain socket pair and owns a
-    {!Wire.decoder} for reassembling the inbound byte stream. Sends
-    are blocking write-alls; receives are event-loop friendly: callers
-    {!poll} a set of connections and {!pump} the readable ones.
+    {!Wire.decoder} for reassembling the inbound byte stream.
+    Descriptors are switched to non-blocking mode so a wedged peer
+    shows up as a retry (with bounded exponential backoff) or a
+    {!Timeout}, never as a [write(2)] that hangs the event loop.
+    Receives are event-loop friendly: callers {!poll} a set of
+    connections and {!pump} the readable ones.
 
     A peer's disappearance — EOF on read, or [EPIPE]/[ECONNRESET] on
     write — surfaces as {!Closed}. This is how localities detect a
-    dead coordinator (and self-reap) and how the coordinator detects a
-    crashed locality. *)
+    dead coordinator (and self-reap) and one of the two ways the
+    coordinator detects a crashed locality (the other being the
+    heartbeat-silence timeout, see {!Coordinator}). *)
 
 exception Closed
 (** The peer closed its end or died. *)
 
+exception Timeout
+(** A [?timeout] deadline expired before the operation completed. *)
+
 type t
 
 val create : Unix.file_descr -> t
-(** Wrap a connected descriptor. The transport takes ownership:
-    release it with {!close}. *)
+(** Wrap a connected descriptor (set non-blocking). The transport
+    takes ownership: release it with {!close}. *)
 
 val fd : t -> Unix.file_descr
 
-val send : t -> Wire.msg -> unit
-(** Frame and write the whole message, retrying short writes.
+val send : ?timeout:float -> t -> Wire.msg -> unit
+(** Frame and write the whole message, retrying short writes. On
+    [EAGAIN] (full socket buffer) waits for writability with bounded
+    exponential backoff (1ms doubling to 100ms); [EINTR] retries
+    immediately.
+    @raise Timeout if [timeout] seconds elapse before the frame is
+    fully written (the frame may be partially sent — treat the
+    connection as poisoned).
     @raise Closed if the peer is gone. *)
 
 val poll : timeout:float -> t list -> t list
@@ -39,8 +52,10 @@ val pump : t -> Wire.msg list
 
 val recv : ?timeout:float -> t -> Wire.msg
 (** Block until one message arrives (mainly for tests).
-    @raise Failure on [timeout] (default: wait forever).
-    @raise Closed at end of stream. *)
+    @raise Timeout on [timeout] (default: wait forever).
+    @raise Closed at end of stream, including mid-frame: a peer that
+    dies after sending a truncated length prefix or a partial payload
+    surfaces here as [Closed], not as a stuck wait. *)
 
 val close : t -> unit
 (** Close the descriptor; idempotent. *)

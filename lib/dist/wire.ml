@@ -1,10 +1,12 @@
 type msg =
-  | Task of { depth : int; payload : string }
+  | Task of { parent : int; depth : int; payload : string }
   | Steal_request
-  | Steal_reply of { task : (int * string) option }
-  | Bound_update of { value : int }
+  | Steal_reply of { task : (int * int * string) option }
+  | Bound_update of { value : int; witness : string option }
   | Witness of { value : int; payload : string }
-  | Idle of { completed : int }
+  | Idle of { retired : (int * string) list }
+  | Ping
+  | Pong
   | Heartbeat of {
       clock : float;
       tasks_done : int;

@@ -14,32 +14,49 @@
     even single bytes — and {!next} yields each completed message. *)
 
 type msg =
-  | Task of { depth : int; payload : string }
-      (** A spawned task spilled to the coordinator's distributed
-          workpool (locality → coordinator), or dispatched to a
-          locality (coordinator → locality). [payload] is the
-          codec-encoded node. *)
+  | Task of { parent : int; depth : int; payload : string }
+      (** Locality → coordinator: a spawned task spilled to the
+          coordinator's distributed workpool. [payload] is the
+          codec-encoded node; [parent] is the lease the spilling
+          locality was executing under, so the coordinator can place
+          the new task in the lease forest (a spill's subtree is
+          {e not} part of its parent lease's result delta, and must be
+          revoked with the parent when the parent is replayed). *)
   | Steal_request
       (** Locality → coordinator: a worker is starving, send work.
           Coordinator → locality: another locality is starving, shed
           queued work back (the steal channel). *)
-  | Steal_reply of { task : (int * string) option }
-      (** Coordinator → locality: a stolen [(depth, payload)] task.
-          The coordinator defers the reply until work exists, so
-          [None] never occurs on the live protocol path; it is kept
-          for protocol completeness. *)
-  | Bound_update of { value : int }
+  | Steal_reply of { task : (int * int * string) option }
+      (** Coordinator → locality: a stolen [(lease, depth, payload)]
+          task. The lease id keys the locality's result delta for this
+          task and its retirement ack; the coordinator records the
+          lease as outstanding until it is retired by an [Idle] or
+          revoked by failure handling. The coordinator defers the
+          reply until work exists, so [None] never occurs on the live
+          protocol path; it is kept for protocol completeness. *)
+  | Bound_update of { value : int; witness : string option }
       (** An incumbent improvement. Locality → coordinator on local
-          improvement; coordinator → every other locality on global
-          improvement (the PGAS bound-register broadcast). *)
+          improvement, with the codec-encoded witness node so the
+          incumbent survives its finder's death; coordinator → every
+          other locality on global improvement (the PGAS
+          bound-register broadcast, [witness = None]). *)
   | Witness of { value : int; payload : string }
       (** Locality → coordinator: a Decide search found its witness;
           triggers a global shutdown broadcast. *)
-  | Idle of { completed : int }
-      (** Locality → coordinator: the locality went fully idle, acking
-          [completed] coordinator-issued tasks (its spills for their
-          unfinished subtrees were sent earlier on this same ordered
-          socket). Drives distributed termination detection. *)
+  | Idle of { retired : (int * string) list }
+      (** Locality → coordinator: the locality went fully idle,
+          retiring every lease taken since the previous [Idle], each
+          with its marshalled result delta — the contribution of that
+          lease's subtree {e minus} the subtrees it spilled back (the
+          spills were sent earlier on this same ordered socket, so the
+          coordinator already holds them as child leases). Drives
+          distributed termination detection: the search has quiesced
+          when the distributed pool is empty and no lease is
+          outstanding. *)
+  | Ping
+      (** Coordinator → locality: liveness probe, sent when a locality
+          has been silent for a while; answered with [Pong]. *)
+  | Pong  (** Locality → coordinator: answer to [Ping]. *)
   | Heartbeat of {
       clock : float;  (** The locality's monotonic clock at emission. *)
       tasks_done : int;  (** Tasks finished since startup. *)
@@ -52,16 +69,19 @@ type msg =
       trace_dropped : int;
           (** Spans dropped by full recorder ring buffers so far. *)
     }
-      (** Locality → coordinator, periodically while monitoring is
-          enabled ([--monitor-port]): a best-effort progress snapshot
-          the coordinator folds into its live metrics registry so
-          [GET /metrics] and [GET /status] reflect the running search.
-          Purely informational — never acked, never affects
-          termination. *)
+      (** Locality → coordinator, periodically: a best-effort progress
+          snapshot. When monitoring is enabled ([--monitor-port]) the
+          coordinator folds it into its live metrics registry so
+          [GET /metrics] and [GET /status] reflect the running search;
+          it also refreshes the sender's liveness clock for
+          heartbeat-timeout failure detection. Never acked, never
+          affects termination. *)
   | Result of { payload : string }
-      (** Locality → coordinator after shutdown: the locality's
-          contribution to the final result (kind-dependent encoding,
-          see {!Locality}). *)
+      (** Locality → coordinator after shutdown: the locality's local
+          residual result (kind-dependent encoding, see {!Locality}).
+          Since results flow primarily through per-lease deltas in
+          [Idle] frames, this is an extra idempotent candidate for
+          Optimise/Decide and ignored for Enumerate. *)
   | Stats of Yewpar_core.Stats.t
       (** Locality → coordinator after shutdown: the locality's search
           counters, aggregated by the coordinator. *)

@@ -6,6 +6,7 @@ module Wire = Yewpar_dist.Wire
 module Transport = Yewpar_dist.Transport
 module Locality = Yewpar_dist.Locality
 module Dist = Yewpar_dist.Dist
+module Chaos = Yewpar_dist.Chaos
 module Problem = Yewpar_core.Problem
 module Codec = Yewpar_core.Codec
 module Sequential = Yewpar_core.Sequential
@@ -48,13 +49,17 @@ let sample_heartbeat () =
 
 let all_msgs () =
   [
-    Wire.Task { depth = 3; payload = "abc" };
+    Wire.Task { parent = 7; depth = 3; payload = "abc" };
     Wire.Steal_request;
-    Wire.Steal_reply { task = Some (1, "x") };
+    Wire.Steal_reply { task = Some (12, 1, "x") };
     Wire.Steal_reply { task = None };
-    Wire.Bound_update { value = 42 };
+    Wire.Bound_update { value = 42; witness = Some "node" };
+    Wire.Bound_update { value = 42; witness = None };
     Wire.Witness { value = 9; payload = "w" };
-    Wire.Idle { completed = 17 };
+    Wire.Idle { retired = [ (12, "d1"); (13, "") ] };
+    Wire.Idle { retired = [] };
+    Wire.Ping;
+    Wire.Pong;
     sample_heartbeat ();
     Wire.Result { payload = "r" };
     Wire.Stats (sample_stats ());
@@ -149,6 +154,121 @@ let transport_roundtrip () =
   | exception Transport.Closed -> ()
   | _ -> Alcotest.fail "expected Closed after peer close");
   Transport.close cb
+
+let transport_recv_timeout () =
+  (* A silent peer must surface as Timeout near the deadline — not hang
+     and not spin. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let cb = Transport.create b in
+  let t0 = Unix.gettimeofday () in
+  (match Transport.recv ~timeout:0.2 cb with
+  | exception Transport.Timeout -> ()
+  | _ -> Alcotest.fail "expected Timeout from a silent peer");
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "timed out near the deadline" true
+    (elapsed >= 0.15 && elapsed < 5.);
+  Transport.close cb;
+  Unix.close a
+
+let transport_midframe_close () =
+  (* Peer dies after shipping only part of a frame's payload: recv must
+     raise Closed, not wait forever for bytes that will never come. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let cb = Transport.create b in
+  let frame = Wire.to_bytes (Wire.Result { payload = "partial-frame-payload" }) in
+  ignore (Unix.write a frame 0 (Bytes.length frame - 5));
+  Unix.close a;
+  (match Transport.recv ~timeout:5. cb with
+  | exception Transport.Closed -> ()
+  | _ -> Alcotest.fail "expected Closed on mid-frame EOF");
+  Transport.close cb
+
+let transport_truncated_prefix () =
+  (* Even the 4-byte length prefix can be cut short by a crash. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let cb = Transport.create b in
+  let frame = Wire.to_bytes Wire.Steal_request in
+  ignore (Unix.write a frame 0 2);
+  Unix.close a;
+  (match Transport.recv ~timeout:5. cb with
+  | exception Transport.Closed -> ()
+  | _ -> Alcotest.fail "expected Closed on truncated length prefix");
+  Transport.close cb
+
+let transport_send_timeout () =
+  (* A peer that never drains: once the socket buffers fill, send must
+     back off on EAGAIN and raise Timeout at the deadline instead of
+     blocking forever. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.setsockopt_int a Unix.SO_SNDBUF 4096;
+  Unix.setsockopt_int b Unix.SO_RCVBUF 4096;
+  let ca = Transport.create a in
+  let big = Wire.Result { payload = String.make (1 lsl 22) 'x' } in
+  let t0 = Unix.gettimeofday () in
+  (match Transport.send ~timeout:0.3 ca big with
+  | exception Transport.Timeout -> ()
+  | () -> Alcotest.fail "expected Timeout against a stalling peer");
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "respected the deadline" true
+    (elapsed >= 0.25 && elapsed < 5.);
+  Transport.close ca;
+  Unix.close b
+
+(* ----------------------------- chaos ----------------------------- *)
+
+let fault_spec s =
+  match Chaos.parse s with
+  | Ok f -> f
+  | Error e -> Alcotest.fail e
+
+let chaos_parse_spec () =
+  let faults =
+    fault_spec "kill-locality:1@0.2s, drop-frame:Steal_reply:0.25, delay:5ms"
+  in
+  Alcotest.(check int) "three faults" 3 (List.length faults);
+  (match Chaos.plan faults ~seed:7 ~locality:1 with
+  | None -> Alcotest.fail "locality 1 must have a plan"
+  | Some plan ->
+    Alcotest.(check (option (float 1e-9))) "kill time" (Some 0.2)
+      plan.Chaos.kill_after;
+    Alcotest.(check (float 1e-9)) "delay in seconds" 0.005 plan.Chaos.delay;
+    Alcotest.(check bool) "drop spec lowercased" true
+      (List.mem_assoc "steal_reply" plan.Chaos.drops));
+  (match Chaos.plan faults ~seed:7 ~locality:0 with
+  | None -> Alcotest.fail "drops and delay apply to every locality"
+  | Some plan ->
+    Alcotest.(check (option (float 1e-9))) "kill targets locality 1 only" None
+      plan.Chaos.kill_after);
+  (* No fault applying to a locality means no plan at all: chaos must
+     cost nothing when absent. *)
+  (match Chaos.plan (fault_spec "kill-locality:1@0.2s") ~seed:7 ~locality:0 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "kill-only spec must not plan other localities");
+  List.iter
+    (fun bad ->
+      match Chaos.parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "bad spec %S accepted" bad))
+    [ ""; "explode"; "kill-locality:x@1s"; "kill-locality:1"; "drop-frame:task:1.5";
+      "delay:-3ms" ]
+
+let chaos_never_drops_shutdown () =
+  (* Even at probability 1.0 Shutdown survives: dropping it would only
+     wedge the harness, not exercise the protocol. *)
+  match
+    Chaos.plan
+      (fault_spec "drop-frame:shutdown:1.0,drop-frame:task:1.0")
+      ~seed:3 ~locality:0
+  with
+  | None -> Alcotest.fail "drop spec must produce a plan"
+  | Some plan ->
+    for _ = 1 to 100 do
+      Alcotest.(check bool) "shutdown never dropped" false
+        (Chaos.should_drop plan Wire.Shutdown)
+    done;
+    Alcotest.(check bool) "other frames do drop at p=1" true
+      (Chaos.should_drop plan
+         (Wire.Task { parent = -1; depth = 0; payload = "x" }))
 
 (* ------------------------- end-to-end runs ------------------------ *)
 
@@ -351,6 +471,82 @@ let orphan_self_reaps () =
     Alcotest.(check bool) "orphan exited reporting failure" true
       (status = Unix.WEXITED 1)
 
+(* ------------------------- fault tolerance ----------------------- *)
+
+let no_chaos_clean_counters () =
+  (* A healthy run must report a clean bill: no deaths, no replays. *)
+  let p = queens_n 10 in
+  let expected = Sequential.search p in
+  let stats = Stats.create () in
+  let r = dist ~stats ~coordination:(Coordination.Depth_bounded { dcutoff = 2 }) p in
+  Alcotest.(check int) "queens-10" expected r;
+  Alcotest.(check int) "no localities lost" 0 stats.Stats.localities_lost;
+  Alcotest.(check int) "no leases reissued" 0 stats.Stats.leases_reissued;
+  Alcotest.(check int) "no respawns" 0 stats.Stats.respawns
+
+let chaos_kill_enumerate () =
+  (* The tentpole acceptance test: SIGKILL one of three localities
+     mid-run; the survivors replay its leases and the count is exact —
+     nothing lost, nothing double-counted. *)
+  let stats = Stats.create () in
+  let r =
+    Dist.run ~stats ~watchdog:120. ~localities:3 ~workers:2
+      ~chaos:(fault_spec "kill-locality:1@0.15s")
+      ~coordination:(Coordination.Depth_bounded { dcutoff = 2 })
+      (queens_n 12)
+  in
+  Alcotest.(check int) "queens-12 exact despite the crash" 14200 r;
+  Alcotest.(check int) "one locality lost" 1 stats.Stats.localities_lost;
+  Alcotest.(check bool) "leases were replayed" true
+    (stats.Stats.leases_reissued >= 1)
+
+let chaos_kill_optimise () =
+  (* Same crash under optimisation: the incumbent (and its witness)
+     must survive the finder's death via Bound_update replication. *)
+  let g = Gen.uniform ~seed:47 110 0.8 in
+  let p = Mc.max_clique g in
+  let expected = (Sequential.search p).Mc.size in
+  let stats = Stats.create () in
+  let node =
+    Dist.run ~stats ~watchdog:120. ~localities:3 ~workers:2
+      ~chaos:(fault_spec "kill-locality:1@0.1s")
+      ~coordination:(Coordination.Depth_bounded { dcutoff = 2 })
+      p
+  in
+  Alcotest.(check int) "maxclique exact despite the crash" expected node.Mc.size;
+  Alcotest.(check bool) "clique is valid" true
+    (Yewpar_graph.Graph.is_clique g (Mc.vertices_of node));
+  Alcotest.(check int) "one locality lost" 1 stats.Stats.localities_lost
+
+let chaos_respawn () =
+  (* With a standby spare the cluster heals back to full strength. *)
+  let stats = Stats.create () in
+  let r =
+    Dist.run ~stats ~watchdog:120. ~localities:3 ~workers:2 ~max_respawns:1
+      ~chaos:(fault_spec "kill-locality:1@0.15s")
+      ~coordination:(Coordination.Depth_bounded { dcutoff = 2 })
+      (queens_n 12)
+  in
+  Alcotest.(check int) "queens-12 exact with respawn" 14200 r;
+  Alcotest.(check int) "one locality lost" 1 stats.Stats.localities_lost;
+  Alcotest.(check int) "standby promoted" 1 stats.Stats.respawns
+
+let chaos_drop_frames () =
+  (* Lost steal replies leave the thief empty-handed and the lease
+     outstanding; the steal retry plus the lease timeout must recover
+     both without double counting. *)
+  let p = queens_n 10 in
+  let expected = Sequential.search p in
+  let stats = Stats.create () in
+  let r =
+    Dist.run ~stats ~watchdog:120. ~localities:2 ~workers:2 ~lease_timeout:0.5
+      ~chaos:(fault_spec "drop-frame:steal_reply:0.3") ~chaos_seed:5
+      ~coordination:(Coordination.Depth_bounded { dcutoff = 2 })
+      p
+  in
+  Alcotest.(check int) "queens-10 exact under frame loss" expected r;
+  Alcotest.(check int) "no locality died" 0 stats.Stats.localities_lost
+
 let contains haystack needle =
   let re = Str.regexp_string needle in
   match Str.search_forward re haystack 0 with
@@ -441,7 +637,19 @@ let () =
           Alcotest.test_case "chunked stream" `Quick concatenated_stream;
           Alcotest.test_case "corrupt length" `Quick corrupt_length_rejected;
         ] );
-      ("transport", [ Alcotest.test_case "roundtrip + EOF" `Quick transport_roundtrip ]);
+      ( "transport",
+        [
+          Alcotest.test_case "roundtrip + EOF" `Quick transport_roundtrip;
+          Alcotest.test_case "recv timeout" `Quick transport_recv_timeout;
+          Alcotest.test_case "mid-frame close" `Quick transport_midframe_close;
+          Alcotest.test_case "truncated prefix" `Quick transport_truncated_prefix;
+          Alcotest.test_case "send timeout" `Quick transport_send_timeout;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "spec parsing" `Quick chaos_parse_spec;
+          Alcotest.test_case "shutdown immune" `Quick chaos_never_drops_shutdown;
+        ] );
       ( "agreement",
         [
           Alcotest.test_case "queens" `Quick queens_matches;
@@ -459,6 +667,15 @@ let () =
           Alcotest.test_case "exception safety" `Quick generator_exceptions_propagate;
           Alcotest.test_case "children reaped" `Quick children_reaped;
           Alcotest.test_case "orphan self-reaps" `Quick orphan_self_reaps;
+        ] );
+      ( "fault tolerance",
+        [
+          Alcotest.test_case "clean counters without chaos" `Quick
+            no_chaos_clean_counters;
+          Alcotest.test_case "crash mid-enumeration" `Quick chaos_kill_enumerate;
+          Alcotest.test_case "crash mid-optimisation" `Quick chaos_kill_optimise;
+          Alcotest.test_case "standby respawn" `Quick chaos_respawn;
+          Alcotest.test_case "frame loss + lease timeout" `Quick chaos_drop_frames;
         ] );
       (* Last: this test starts an HTTP-server domain inside the test
          process, and no fork may happen after a domain has existed. *)
