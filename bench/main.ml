@@ -4,6 +4,7 @@
      dune exec bench/main.exe                 -- everything (quick scale)
      dune exec bench/main.exe -- table1       -- Table 1 only
      dune exec bench/main.exe -- figure4      -- Figure 4 only
+     dune exec bench/main.exe -- shm          -- real shared-memory runs
      dune exec bench/main.exe -- table2       -- Table 2 only
      dune exec bench/main.exe -- ablations    -- ablation studies
      dune exec bench/main.exe -- micro        -- Bechamel micro-benchmarks
@@ -264,6 +265,67 @@ let figure4 () =
        (List.map
           (fun (s, ms) -> s :: List.map (fun m -> Table.fspeedup (seq /. m)) ms)
           results))
+
+(* ------------------------------------------------------------------ *)
+(* Shared-memory runtime: real domains, wall-clock.                    *)
+(* ------------------------------------------------------------------ *)
+
+module Shm = Yewpar_par.Shm
+module Stats = Yewpar_core.Stats
+
+let shm_runtime () =
+  section "Shared-memory runtime: real Shm.run wall-clock";
+  let workers = 2 in
+  let reps = 3 in
+  Printf.printf
+    "Real [Shm.run] on %d domains, mean of %d runs, this machine.\n\
+     One configuration per coordination family the simulator gate does\n\
+     not already cover end to end (stack-stealing and budget on the\n\
+     actual worker core). Wall-clock varies across machines, so the CI\n\
+     gate compares these records at a deliberately loose threshold: it\n\
+     catches deadlocks and order-of-magnitude regressions, not\n\
+     percent-level drift.\n\n" workers reps;
+  let configs =
+    [ ("queens-10", Coordination.Stack_stealing { chunked = false });
+      ("knap-ss-20", Coordination.Budget { budget = 1_000 }) ]
+  in
+  let rows =
+    List.map
+      (fun (name, coordination) ->
+        let inst = Instances.find name in
+        let (Instances.Packed (p, show)) = Lazy.force inst.Instances.problem in
+        let stats = Stats.create () in
+        let result = ref "" in
+        let times =
+          List.init reps (fun _ ->
+              let st = Stats.create () in
+              let r, t =
+                wall (fun () -> Shm.run ~workers ~stats:st ~coordination p)
+              in
+              result := show r;
+              Stats.add stats st;
+              t)
+        in
+        let elapsed = Summary.mean times in
+        json_record
+          [ ("experiment", jstr "shm"); ("problem", jstr name);
+            ("skeleton", jstr (Coordination.to_string coordination));
+            ("runtime", jstr "shm"); ("localities", jint 1);
+            ("workers", jint workers); ("elapsed", jfloat elapsed);
+            ("nodes", jint (stats.Stats.nodes / reps));
+            ("tasks", jint (stats.Stats.tasks / reps));
+            ("steals", jint (stats.Stats.steals / reps)) ];
+        Printf.eprintf "  [shm] %s / %s done\n%!" name
+          (Coordination.to_string coordination);
+        [ name; Coordination.to_string coordination; !result;
+          Printf.sprintf "%.4f" elapsed;
+          string_of_int (stats.Stats.tasks / reps) ])
+      configs
+  in
+  print_endline
+    (Table.render
+       ~header:[ "Instance"; "Skeleton"; "Result"; "Wall (s)"; "Tasks" ]
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: 18 alternate parallelisations on 120 workers.              *)
@@ -594,6 +656,7 @@ let () =
   let t0 = Unix.gettimeofday () in
   if want "table1" then table1 ~reps ();
   if want "figure4" then figure4 ();
+  if want "shm" then shm_runtime ();
   if want "table2" then table2 ~dcutoffs ~budgets ();
   if want "ablations" || want "ablation-budget" then ablation_budget ();
   if want "ablations" || want "ablation-pool" then ablation_pool ();

@@ -18,6 +18,7 @@ type outcome = {
 type lease = {
   lease_parent : int;  (* parent lease id, -1 for the root *)
   lease_depth : int;
+  lease_priority : int;
   lease_payload : string;
   holder : int;
   issued_at : float;
@@ -45,7 +46,8 @@ let watchdog_grace = 5.0
 let send_timeout = 5.0
 
 let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
-    ?(standby_from = max_int) ~conns ~root_payload () =
+    ?(standby_from = max_int) ?(pool_policy = Yewpar_core.Workpool.Depth)
+    ~conns ~root_payload () =
   let l = Array.length conns in
   let standby_from = min standby_from l in
   let failure_timeout =
@@ -54,7 +56,7 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
   let lease_timeout =
     match lease_timeout with Some t when t > 0. -> Some t | _ -> None
   in
-  let pool = Pool.create () in
+  let pool = Pool.create ~policy:pool_policy () in
   (* ---- the lease forest ----
      [outstanding]: issued, unretired. [retired]: id -> result delta.
      [revoked]: ids whose subtree coverage was voided (dead holder, or
@@ -66,13 +68,16 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
   let revoked : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   let parent_of : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let next_id = ref 1 in
-  let fresh_task ~parent ~depth ~payload =
+  let fresh_task ~parent ~depth ~priority ~payload =
     let id = !next_id in
     incr next_id;
     if parent >= 0 then Hashtbl.replace parent_of id parent;
-    { Pool.id; parent; depth; payload }
+    { Pool.id; parent; depth; priority; payload }
   in
-  Pool.push pool (fresh_task ~parent:(-1) ~depth:0 ~payload:root_payload);
+  (* The root's heuristic value is unknown here (the coordinator never
+     decodes nodes); 0 is fine — it is the only task in the pool. *)
+  Pool.push pool
+    (fresh_task ~parent:(-1) ~depth:0 ~priority:0 ~payload:root_payload);
   let hungry = Array.make l false in
   let shed_inflight = Array.make l false in
   let alive = Array.make l true in
@@ -317,7 +322,7 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
           incr reissued;
           Pool.push pool
             (fresh_task ~parent ~depth:lease.lease_depth
-               ~payload:lease.lease_payload)
+               ~priority:lease.lease_priority ~payload:lease.lease_payload)
         end)
       roots
 
@@ -386,6 +391,7 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
         {
           lease_parent = t.Pool.parent;
           lease_depth = t.Pool.depth;
+          lease_priority = t.Pool.priority;
           lease_payload = t.Pool.payload;
           holder = i;
           issued_at = Unix.gettimeofday ();
@@ -421,12 +427,12 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
     end
   in
   let handle i = function
-    | Wire.Task { parent; depth; payload } ->
+    | Wire.Task { parent; depth; priority; payload } ->
       shed_inflight.(i) <- false;
       (* A spill whose parent lease was revoked describes work already
          re-covered by the replay of a dead ancestor: drop it. *)
       if not (Hashtbl.mem revoked parent) then
-        Pool.push pool (fresh_task ~parent ~depth ~payload)
+        Pool.push pool (fresh_task ~parent ~depth ~priority ~payload)
     | Wire.Steal_request ->
       if standby.(i) then hungry.(i) <- true else serve i
     | Wire.Idle { retired = rs } ->

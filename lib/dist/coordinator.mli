@@ -72,6 +72,7 @@ val run :
   ?failure_timeout:float ->
   ?lease_timeout:float ->
   ?standby_from:int ->
+  ?pool_policy:Yewpar_core.Workpool.policy ->
   conns:Transport.t array ->
   root_payload:string ->
   unit ->
@@ -87,7 +88,9 @@ val run :
     disables) bounds how long a lease may stay outstanding before it
     is revoked and replayed. Connections with index ≥ [standby_from]
     are standby spares: never served work until promoted after a
-    death.
+    death. [pool_policy] (default [Depth]) orders the distributed
+    workpool; best-first coordination passes [Priority] so the
+    coordinator serves globally best tasks first.
 
     With [monitor_port] the coordinator serves live observability over
     HTTP on [127.0.0.1] for the duration of the run ([0] picks an

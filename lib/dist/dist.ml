@@ -53,8 +53,8 @@ let default_failure_timeout = 10.0
 let distributed_run (type s n r) ?stats ?broadcasts ?telemetry ?watchdog
     ?monitor_port ?(heartbeat = default_heartbeat)
     ?(failure_timeout = default_failure_timeout) ?lease_timeout
-    ?(max_respawns = 0) ?chaos ?(chaos_seed = 0) ?on_monitor ~localities
-    ~workers ~coordination (p : (s, n, r) Problem.t) : r =
+    ?(max_respawns = 0) ?chaos ?(chaos_seed = 0) ?on_monitor ?timing
+    ~localities ~workers ~coordination (p : (s, n, r) Problem.t) : r =
   if localities < 1 then invalid_arg "Dist.run: localities must be >= 1";
   if workers < 1 then invalid_arg "Dist.run: workers must be >= 1";
   if max_respawns < 0 then invalid_arg "Dist.run: max_respawns must be >= 0";
@@ -107,7 +107,7 @@ let distributed_run (type s n r) ?stats ?broadcasts ?telemetry ?watchdog
               (* Heartbeats are always on: they feed the coordinator's
                  failure detector, not just live monitoring. *)
               Locality.run ~trace:(Option.is_some telemetry) ~heartbeat
-                ?chaos:plans.(i) ~conn ~workers ~coordination p;
+                ?chaos:plans.(i) ?config:timing ~conn ~workers ~coordination p;
               Transport.close conn;
               0
             with _ -> 1
@@ -145,8 +145,9 @@ let distributed_run (type s n r) ?stats ?broadcasts ?telemetry ?watchdog
     (fun () ->
       let outcome =
         Coordinator.run ?watchdog ?monitor_port ?on_monitor
-          ~failure_timeout ?lease_timeout ~standby_from:localities ~conns
-          ~root_payload:(codec.Codec.encode p.Problem.root) ()
+          ~failure_timeout ?lease_timeout ~standby_from:localities
+          ~pool_policy:(Yewpar_runtime.Task_pool.policy_for coordination)
+          ~conns ~root_payload:(codec.Codec.encode p.Problem.root) ()
       in
       (match outcome.Coordinator.failure with
       | Some msg -> failwith ("Dist: " ^ msg)
@@ -170,7 +171,7 @@ let distributed_run (type s n r) ?stats ?broadcasts ?telemetry ?watchdog
 
 let run ?stats ?broadcasts ?telemetry ?watchdog ?monitor_port ?heartbeat
     ?failure_timeout ?lease_timeout ?max_respawns ?chaos ?chaos_seed
-    ?on_monitor ~localities ~workers ~coordination p =
+    ?on_monitor ?timing ~localities ~workers ~coordination p =
   match coordination with
   | Coordination.Sequential -> Sequential.search ?stats p
   | Coordination.Depth_bounded _ | Coordination.Stack_stealing _
@@ -178,4 +179,4 @@ let run ?stats ?broadcasts ?telemetry ?watchdog ?monitor_port ?heartbeat
   | Coordination.Random_spawn _ ->
     distributed_run ?stats ?broadcasts ?telemetry ?watchdog ?monitor_port
       ?heartbeat ?failure_timeout ?lease_timeout ?max_respawns ?chaos
-      ?chaos_seed ?on_monitor ~localities ~workers ~coordination p
+      ?chaos_seed ?on_monitor ?timing ~localities ~workers ~coordination p

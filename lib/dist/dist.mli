@@ -41,6 +41,7 @@ val run :
   ?chaos:Chaos.t ->
   ?chaos_seed:int ->
   ?on_monitor:(int -> unit) ->
+  ?timing:Yewpar_runtime.Config.t ->
   localities:int ->
   workers:int ->
   coordination:Yewpar_core.Coordination.t ->
@@ -80,6 +81,10 @@ val run :
     injects faults for testing — crash a locality on schedule, drop
     frames, delay the link — deterministically under [chaos_seed]
     (see {!Chaos.parse} for the [--chaos] grammar).
+
+    [timing] (default {!Yewpar_runtime.Config.default}) sets the
+    localities' communicator tick and steal-retry timeout — the
+    [--comm-tick]/[--steal-retry] CLI knobs.
 
     [monitor_port] serves live observability for the duration of the
     run: heartbeats fold into a gauge registry answering

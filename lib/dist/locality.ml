@@ -1,34 +1,14 @@
-module Engine = Yewpar_core.Engine
 module Recorder = Yewpar_telemetry.Recorder
-module Workpool = Yewpar_core.Workpool
 module Knowledge = Yewpar_core.Knowledge
 module Ops = Yewpar_core.Ops
-module Coordination = Yewpar_core.Coordination
 module Problem = Yewpar_core.Problem
 module Codec = Yewpar_core.Codec
 module Stats = Yewpar_core.Stats
 module Depth_profile = Yewpar_core.Depth_profile
-
-(* Every locally queued task descends from a coordinator-issued lease;
-   [lease] names it so results and spills can be attributed. *)
-type 'n task = { lease : int; node : 'n; depth : int }
-
-(* Same mutex/condition pool as the shared-memory runtime: deepest-first
-   local pops, atomic size mirror for lock-free emptiness polls. *)
-type 'n pool = {
-  mutex : Mutex.t;
-  nonempty : Condition.t;
-  tasks : 'n task Workpool.t;
-  size : int Atomic.t;
-}
-
-(* Communicator granularity: how long the main thread sleeps in select
-   when nothing is happening. *)
-let tick = 0.002
-
-(* A steal reply lost in transit (fault injection, coordinator hiccup)
-   must not starve us forever: re-request after this long. *)
-let steal_retry = 0.5
+module Config = Yewpar_runtime.Config
+module Counters = Yewpar_runtime.Counters
+module Task_pool = Yewpar_runtime.Task_pool
+module Worker = Yewpar_runtime.Worker
 
 (* The per-lease result ledger. Workers accumulate each task's
    contribution in a private scratch cell and fold it into the lease's
@@ -45,23 +25,19 @@ type ledger = {
   residual : unit -> string;  (** Final [Result] payload. *)
 }
 
-let run (type s n r) ?(trace = false) ?heartbeat ?chaos ~conn ~workers
-    ~coordination (p : (s, n, r) Problem.t) : unit =
+let run (type s n r) ?(trace = false) ?heartbeat ?chaos
+    ?(config = Config.default) ~conn ~workers ~coordination
+    (p : (s, n, r) Problem.t) : unit =
   let codec =
     match p.Problem.codec with
     | Some c -> c
     | None -> invalid_arg "Locality.run: problem has no task codec"
   in
-  (* Cross-domain counters, folded into the Stats message at the end. *)
-  let c_nodes = Atomic.make 0 in
-  let c_pruned = Atomic.make 0 in
-  let c_tasks = Atomic.make 0 in
-  let c_backtracks = Atomic.make 0 in
-  let c_max_depth = Atomic.make 0 in
-  let c_bound_updates = Atomic.make 0 in
-  (* One span recorder per worker domain plus one for the communicator
-     thread (worker id [workers]); shipped to the coordinator in a
-     [Wire.Telemetry] frame at shutdown. *)
+  (* One counter bundle shared with the worker core; one slot per
+     worker domain plus one for the communicator thread (slot
+     [workers]: its recorder ships in the Telemetry frame and floor
+     adoptions land in its depth profile at depth 0). *)
+  let counters = Counters.create ~slots:(workers + 1) () in
   let recorders =
     if trace then Array.init (workers + 1) (fun i -> Recorder.create ~worker:i ())
     else Array.make (workers + 1) Recorder.null
@@ -76,7 +52,6 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos ~conn ~workers
       Option.map (fun after -> started_wall +. after) c.Chaos.kill_after
     | None -> None
   in
-  let c_done = Atomic.make 0 in
   (* Cumulative worker idle seconds for the heartbeat's idle fraction;
      only touched on wakeup, and only when monitoring is on. *)
   let idle_acc = Atomic.make 0. in
@@ -87,29 +62,7 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos ~conn ~workers
     in
     go ()
   in
-  (* One depth profile per worker domain plus one for the communicator
-     (floor adoptions land at depth 0); merged into the Stats frame. *)
-  let profs = Array.init (workers + 1) (fun _ -> Depth_profile.create ()) in
-  (* The depth each worker's engine currently sits at, so the submit
-     wrapper can bucket bound improvements without an engine query. *)
-  let cur_depth = Array.init (workers + 1) (fun _ -> ref 0) in
-  let rec bump_max cell v =
-    let cur = Atomic.get cell in
-    if v > cur && not (Atomic.compare_and_set cell cur v) then bump_max cell v
-  in
-  let pool_policy =
-    match coordination with
-    | Coordination.Best_first _ -> Workpool.Priority
-    | _ -> Workpool.Depth
-  in
-  let pool =
-    {
-      mutex = Mutex.create ();
-      nonempty = Condition.create ();
-      tasks = Workpool.create ~policy:pool_policy ();
-      size = Atomic.make 0;
-    }
-  in
+  let pool = Task_pool.create ~policy:(Task_pool.policy_for coordination) () in
   (* Tasks queued or executing here; 0 means the locality is drained
      (workers may only block, never spawn, at 0). *)
   let local_outstanding = Atomic.make 0 in
@@ -174,13 +127,8 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos ~conn ~workers
      raises are accounted by the communicator when it adopts a
      broadcast). *)
   let submit_acct w n v =
-    let improved = knowledge.Knowledge.submit n v in
-    if improved then begin
-      Atomic.incr c_bound_updates;
-      Depth_profile.note_bound profs.(w) !(cur_depth.(w));
-      Recorder.instant recorders.(w) Recorder.Bound_update ~arg:v
-    end;
-    improved
+    Counters.accounted_submit counters ~slot:w ~recorder:recorders.(w)
+      knowledge.Knowledge.submit n v
   in
 
   (* ------------- per-lease result ledger + worker views -------------
@@ -394,223 +342,69 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos ~conn ~workers
       in
       (views, { register; begin_task; end_task; pending; retire; residual })
   in
-  let task_priority =
-    match coordination with
-    | Coordination.Best_first _ -> (views.(0)).Ops.priority
-    | _ -> fun _ -> 0
-  in
+  let task_priority = Worker.task_priority ~coordination views in
   (* Keep roughly a task per worker queued locally; beyond that, new
      spawns ship to the coordinator's distributed pool. *)
   let spill_threshold = max 4 (2 * workers) in
 
-  let wake_all () =
-    Mutex.lock pool.mutex;
-    Condition.broadcast pool.nonempty;
-    Mutex.unlock pool.mutex
-  in
-  let request_stop () =
-    Atomic.set stop true;
-    wake_all ()
-  in
-  let enqueue_local r task =
+  let enqueue_local r (task : n Task_pool.task) =
     Atomic.incr local_outstanding;
-    Mutex.lock pool.mutex;
-    Workpool.push pool.tasks ~depth:task.depth
-      ~priority:(task_priority task.node) task;
-    Atomic.incr pool.size;
-    Condition.signal pool.nonempty;
-    Mutex.unlock pool.mutex;
-    Recorder.instant r Recorder.Pool ~arg:(Atomic.get pool.size)
+    Task_pool.push pool ~recorder:r
+      ~priority:(task_priority task.Task_pool.node) task
   in
-  let spill r task =
-    Recorder.instant r Recorder.Spill ~arg:(Atomic.get pool.size);
+  let spill r (task : n Task_pool.task) =
+    Recorder.instant r Recorder.Spill ~arg:(Task_pool.size pool);
     outbox_add
       (Wire.Task
          {
-           parent = task.lease;
-           depth = task.depth;
-           payload = codec.Codec.encode task.node;
+           parent = task.Task_pool.tag;
+           depth = task.Task_pool.depth;
+           priority = task_priority task.Task_pool.node;
+           payload = codec.Codec.encode task.Task_pool.node;
          })
   in
-  let push r prof task =
-    Atomic.incr c_tasks;
-    Depth_profile.note_spawn prof task.depth;
-    if Atomic.compare_and_set global_hungry true false then spill r task
-    else if Atomic.get pool.size >= spill_threshold then spill r task
-    else enqueue_local r task
+  (* The scheduler facet handed to the worker core: spawn destinations
+     (local queue vs. spill upward), blocking acquisition (a dry pool
+     does not end the search — more work may arrive over the wire, so
+     workers sleep until the coordinator says otherwise), lease
+     attribution, and the distributed hunger signal extending
+     stack-stealing's local one. *)
+  let scheduler =
+    {
+      Worker.enqueue =
+        (fun r task ->
+          if Atomic.compare_and_set global_hungry true false then spill r task
+          else if Task_pool.size pool >= spill_threshold then spill r task
+          else enqueue_local r task);
+      take =
+        (fun ~slot ->
+          Task_pool.take pool ~recorder:recorders.(slot) ~stop ~waiting
+            ?on_idle:(if monitored then Some add_idle else None)
+            ());
+      finish = (fun () -> Atomic.decr local_outstanding);
+      should_shed =
+        (fun () ->
+          (Atomic.get waiting > 0 && Task_pool.size pool = 0)
+          || Atomic.get global_hungry);
+      begin_task = (fun ~slot t -> ledger.begin_task slot t.Task_pool.tag);
+      end_task = (fun ~slot -> ledger.end_task slot);
+    }
   in
-  (* Blocking task acquisition; unlike the shared-memory runtime a dry
-     pool does not end the search — more work may arrive over the wire,
-     so workers sleep until the coordinator says otherwise. *)
-  let take r =
-    Mutex.lock pool.mutex;
-    let rec wait () =
-      if Atomic.get stop then None
-      else
-        match Workpool.pop_local pool.tasks with
-        | Some t ->
-          Atomic.decr pool.size;
-          Some t
-        | None ->
-          Atomic.incr waiting;
-          let idle_from = Recorder.now r in
-          let wall_from = if monitored then Recorder.clock () else 0. in
-          Condition.wait pool.nonempty pool.mutex;
-          Atomic.decr waiting;
-          Recorder.span r Recorder.Idle ~start:idle_from ~arg:0;
-          if monitored then add_idle (Recorder.clock () -. wall_from);
-          wait ()
-    in
-    let t = wait () in
-    Mutex.unlock pool.mutex;
-    t
+  let ctx =
+    {
+      Worker.space = p.Problem.space;
+      children = p.Problem.children;
+      coordination;
+      counters;
+      recorders;
+      views;
+      scheduler;
+      pool;
+      stop;
+      failure = Atomic.make None;
+    }
   in
-  let finish_task () = Atomic.decr local_outstanding in
-
-  let filter_chunk (view : n Ops.view) cs =
-    let rec go acc = function
-      | [] -> List.rev acc
-      | c :: rest ->
-        if view.Ops.keep c then go (c :: acc) rest
-        else if view.Ops.prune_siblings then List.rev acc
-        else go acc rest
-    in
-    go [] cs
-  in
-  (* Stack-Stealing work pushing, extended with the distributed hunger
-     signal: shed when local thieves wait on a dry pool, or when the
-     coordinator relayed another locality's starvation. *)
-  let maybe_split_for_thieves r prof view ~chunked ~lease e =
-    let local_thieves = Atomic.get waiting > 0 && Atomic.get pool.size = 0 in
-    if local_thieves || Atomic.get global_hungry then
-      if chunked then begin
-        let cs, depth = Engine.split_lowest e in
-        List.iter
-          (fun node -> push r prof { lease; node; depth })
-          (filter_chunk view cs)
-      end
-      else
-        match Engine.split_one e with
-        | Some (node, depth) ->
-          if view.Ops.keep node then push r prof { lease; node; depth }
-        | None -> ()
-  in
-  let exec_task r prof dcell (view : n Ops.view) task =
-    let started = Recorder.now r in
-    let lease = task.lease in
-    dcell := task.depth;
-    (if not (view.Ops.keep task.node) then begin
-       Atomic.incr c_pruned;
-       Depth_profile.note_prune prof task.depth
-     end
-     else if not (view.Ops.process task.node) then begin
-       Atomic.incr c_nodes;
-       Depth_profile.note_node prof task.depth;
-       request_stop ()
-     end
-     else begin
-       Atomic.incr c_nodes;
-       Depth_profile.note_node prof task.depth;
-       match coordination with
-       | (Coordination.Depth_bounded { dcutoff } | Coordination.Best_first { dcutoff })
-         when task.depth < dcutoff ->
-         let rec spawn_children seq =
-           match Seq.uncons seq with
-           | None -> ()
-           | Some (c, rest) ->
-             if view.Ops.keep c then begin
-               push r prof { lease; node = c; depth = task.depth + 1 };
-               spawn_children rest
-             end
-             else if not view.Ops.prune_siblings then spawn_children rest
-         in
-         spawn_children (p.Problem.children p.Problem.space task.node)
-       | Coordination.Sequential | Coordination.Depth_bounded _
-       | Coordination.Stack_stealing _ | Coordination.Budget _
-       | Coordination.Best_first _ | Coordination.Random_spawn _ ->
-         let e =
-           Engine.make ~space:p.Problem.space ~children:p.Problem.children
-             ~root_depth:task.depth task.node
-         in
-         let last_bt = ref 0 in
-         let rng =
-           Yewpar_util.Splitmix.of_seed (Hashtbl.hash task.depth lxor 0x5e1f)
-         in
-         let rec go () =
-           if Atomic.get stop then ()
-           else
-             match
-               Engine.step ~prune_rest:view.Ops.prune_siblings ~keep:view.Ops.keep
-                 e
-             with
-             | Engine.Enter n ->
-               incr dcell;
-               Depth_profile.note_node prof !dcell;
-               if view.Ops.process n then begin
-                 (match coordination with
-                 | Coordination.Stack_stealing { chunked } ->
-                   maybe_split_for_thieves r prof view ~chunked ~lease e
-                 | _ -> ());
-                 go ()
-               end
-               else request_stop ()
-             | Engine.Pruned _ ->
-               Depth_profile.note_prune prof (!dcell + 1);
-               go ()
-             | Engine.Leave ->
-               decr dcell;
-               (match coordination with
-               | Coordination.Budget { budget }
-                 when Engine.backtracks e - !last_bt >= budget ->
-                 let cs, depth = Engine.split_lowest e in
-                 List.iter
-                   (fun node -> push r prof { lease; node; depth })
-                   (filter_chunk view cs);
-                 last_bt := Engine.backtracks e
-               | Coordination.Random_spawn { mean_interval }
-                 when Yewpar_util.Splitmix.int rng mean_interval = 0 -> (
-                 match Engine.split_one e with
-                 | Some (node, depth) when view.Ops.keep node ->
-                   push r prof { lease; node; depth }
-                 | Some _ | None -> ())
-               | _ -> ());
-               go ()
-             | Engine.Exhausted -> ()
-         in
-         go ();
-         ignore (Atomic.fetch_and_add c_nodes (Engine.nodes_entered e));
-         ignore (Atomic.fetch_and_add c_pruned (Engine.nodes_pruned e));
-         ignore (Atomic.fetch_and_add c_backtracks (Engine.backtracks e));
-         bump_max c_max_depth (Engine.max_depth e)
-     end);
-    Recorder.span r Recorder.Task ~start:started ~arg:task.depth
-  in
-
-  let failure : exn option Atomic.t = Atomic.make None in
-  let worker i () =
-    let view = views.(i) in
-    let r = recorders.(i) in
-    let prof = profs.(i) in
-    let dcell = cur_depth.(i) in
-    let rec loop () =
-      match take r with
-      | None -> ()
-      | Some t ->
-        ledger.begin_task i t.lease;
-        (try exec_task r prof dcell view t
-         with e ->
-           ignore (Atomic.compare_and_set failure None (Some e));
-           request_stop ());
-        (* Flush the delta before the task counts finished, so a
-           communicator seeing zero outstanding also sees the delta. *)
-        ledger.end_task i;
-        finish_task ();
-        Atomic.incr c_done;
-        loop ()
-    in
-    loop ()
-  in
-  let domains = Array.init workers (fun i -> Domain.spawn (worker i)) in
+  let handle = Worker.start ctx ~workers in
 
   (* ------------- communicator (this thread) ------------- *)
   let steal_inflight = ref false in
@@ -639,6 +433,8 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos ~conn ~workers
     Transport.send conn m
   in
 
+  (* Coordinator task arrivals bypass the spawn accounting on purpose:
+     the spiller already counted the task when it was spawned. *)
   let receive_task lease depth payload =
     if !steal_inflight then begin
       steal_inflight := false;
@@ -648,33 +444,23 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos ~conn ~workers
     end;
     incr steals;
     ledger.register lease;
-    enqueue_local comms_r { lease; node = codec.Codec.decode payload; depth }
+    enqueue_local comms_r
+      { Task_pool.tag = lease; node = codec.Codec.decode payload; depth }
   in
   (* The coordinator asked for work on behalf of a starving locality:
      give back half of our queue, shallowest-first (the biggest
      subtrees), or arm the spill flag if we have nothing queued. *)
   let shed_from_pool () =
-    Mutex.lock pool.mutex;
-    let n = Workpool.size pool.tasks in
-    let to_shed = (n + 1) / 2 in
-    let shed = ref [] in
-    for _ = 1 to to_shed do
-      match Workpool.pop_steal pool.tasks with
-      | Some t ->
-        Atomic.decr pool.size;
-        shed := t :: !shed
-      | None -> ()
-    done;
-    Mutex.unlock pool.mutex;
-    if !shed = [] then Atomic.set global_hungry true
-    else
+    match Task_pool.shed_half pool with
+    | [] -> Atomic.set global_hungry true
+    | shed ->
       List.iter
         (fun t ->
           Atomic.decr local_outstanding;
           spill comms_r t)
-        (List.rev !shed)
+        shed
   in
-  let handle = function
+  let handle_msg = function
     | Wire.Steal_reply { task = Some (lease, depth, payload) } ->
       receive_task lease depth payload
     | Wire.Steal_reply { task = None } -> steal_inflight := false
@@ -685,14 +471,14 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos ~conn ~workers
         (* Adopting a broadcast floor is an applied incumbent
            improvement here, even though it was found elsewhere; it has
            no tree position, so the profile books it at depth 0. *)
-        Atomic.incr c_bound_updates;
-        Depth_profile.note_bound profs.(workers) 0;
+        Atomic.incr counters.Counters.bound_updates;
+        Depth_profile.note_bound counters.Counters.profs.(workers) 0;
         Recorder.instant comms_r Recorder.Bound_update ~arg:value
       end
     | Wire.Ping -> send_out Wire.Pong
     | Wire.Shutdown ->
       shutdown := true;
-      request_stop ()
+      Worker.request_stop ctx
     (* Coordinator-bound messages; never sent to a locality. *)
     | Wire.Task _ | Wire.Witness _ | Wire.Idle _ | Wire.Pong | Wire.Heartbeat _
     | Wire.Result _ | Wire.Stats _ | Wire.Telemetry _ | Wire.Failed _ ->
@@ -701,7 +487,7 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos ~conn ~workers
   let handle_inbound m =
     match chaos with
     | Some plan when Chaos.should_drop plan m -> ()
-    | _ -> handle m
+    | _ -> handle_msg m
   in
   let all_dropped () =
     Array.fold_left (fun acc r -> acc + Recorder.dropped r) 0 recorders
@@ -727,8 +513,8 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos ~conn ~workers
           (Wire.Heartbeat
              {
                clock = now;
-               tasks_done = Atomic.get c_done;
-               pool_depth = Atomic.get pool.size;
+               tasks_done = Atomic.get counters.Counters.tasks_done;
+               pool_depth = Task_pool.size pool;
                idle_workers = Atomic.get waiting;
                idle_frac;
                best = knowledge.Knowledge.best_obj ();
@@ -743,11 +529,11 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos ~conn ~workers
          must notice via EOF or heartbeat silence. *)
       Unix.kill (Unix.getpid ()) Sys.sigkill
     | _ -> ());
-    (match Transport.poll ~timeout:tick [ conn ] with
+    (match Transport.poll ~timeout:config.Config.comm_tick [ conn ] with
     | [] -> ()
     | _ -> List.iter handle_inbound (Transport.pump conn));
     List.iter send_out (outbox_take_all ());
-    (match Atomic.get failure with
+    (match Worker.failure handle with
     | Some e when not !failed_sent ->
       failed_sent := true;
       send_out (Wire.Failed { message = Printexc.to_string e })
@@ -785,13 +571,13 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos ~conn ~workers
        and ask again. *)
     if
       !steal_inflight
-      && Unix.gettimeofday () -. !steal_sent_wall > steal_retry
+      && Unix.gettimeofday () -. !steal_sent_wall > config.Config.steal_retry
     then steal_inflight := false;
     if
       (not !steal_inflight)
       && (not (Atomic.get stop))
       && Atomic.get waiting > 0
-      && Atomic.get pool.size = 0
+      && Task_pool.size pool = 0
     then begin
       steal_inflight := true;
       steal_sent_at := Recorder.now comms_r;
@@ -821,26 +607,23 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos ~conn ~workers
    with e ->
      (* Coordinator death (Transport.Closed) or a transport error: stop
         the domains and let the process exit nonzero. *)
-     request_stop ();
-     Array.iter Domain.join domains;
+     Worker.request_stop ctx;
+     ignore (Worker.join handle);
      raise e);
-  Array.iter Domain.join domains;
+  (* A worker exception was already reported through the [Failed]
+     frame; the residual/stats below still ship so the coordinator's
+     accounting stays whole. *)
+  ignore (Worker.join handle);
 
   (* Report: residual result + counters. Results flow primarily through
      per-lease deltas; the residual is an extra idempotent candidate
      for Optimise/Decide (the locality's overall best pair). *)
   let payload = ledger.residual () in
   let st = Stats.create () in
-  st.Stats.nodes <- Atomic.get c_nodes;
-  st.Stats.pruned <- Atomic.get c_pruned;
-  st.Stats.backtracks <- Atomic.get c_backtracks;
-  st.Stats.max_depth <- Atomic.get c_max_depth;
-  st.Stats.tasks <- Atomic.get c_tasks;
+  Counters.fold_into counters ~dropped:(all_dropped ()) st;
+  (* Distributed steals are counted at the wire, not at the pool. *)
   st.Stats.steal_attempts <- !steal_attempts;
   st.Stats.steals <- !steals;
-  st.Stats.bound_updates <- Atomic.get c_bound_updates;
-  st.Stats.trace_dropped <- all_dropped ();
-  Array.iter (fun p -> Depth_profile.merge st.Stats.depths p) profs;
   send_out (Wire.Result { payload });
   (* Telemetry travels before Stats on the same FIFO socket, so the
      coordinator always has the buffers by the time the locality counts

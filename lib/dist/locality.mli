@@ -34,6 +34,7 @@ val run :
   ?trace:bool ->
   ?heartbeat:float ->
   ?chaos:Chaos.plan ->
+  ?config:Yewpar_runtime.Config.t ->
   conn:Transport.t ->
   workers:int ->
   coordination:Yewpar_core.Coordination.t ->
@@ -52,7 +53,8 @@ val run :
     time for its idle-fraction field. With [chaos] the locality runs
     its slice of a fault-injection plan: self-SIGKILL at a deadline,
     probabilistic inbound frame drops, outbound link delay (see
-    {!Chaos}). The shipped [Stats] carry per-depth profiles and the
+    {!Chaos}). [config] (default {!Yewpar_runtime.Config.default})
+    sets the communicator tick and the steal-retry timeout. The shipped [Stats] carry per-depth profiles and the
     recorders' ring-overflow drop count. The problem must carry a task
     codec.
     @raise Transport.Closed if the coordinator disappears mid-run. *)

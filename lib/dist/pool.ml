@@ -1,18 +1,24 @@
 module Workpool = Yewpar_core.Workpool
 
-type task = { id : int; parent : int; depth : int; payload : string }
+type task = {
+  id : int;
+  parent : int;
+  depth : int;
+  priority : int;
+  payload : string;
+}
 
 type t = task Workpool.t
 
-let create () = Workpool.create ~policy:Workpool.Depth ()
-let push t task = Workpool.push t ~depth:task.depth task
+let create ~policy () = Workpool.create ~policy ()
+let push t task = Workpool.push t ~depth:task.depth ~priority:task.priority task
 let pop t = Workpool.pop_steal t
 let size t = Workpool.size t
 
 let remove_by t pred =
   (* Drain-and-refill: the pool is small (spilled tasks only) and
      revocation is rare, so O(n) with re-push is fine and keeps the
-     depth-ordering discipline intact. *)
+     ordering discipline intact. *)
   let rec drain acc =
     match Workpool.pop_steal t with
     | Some task -> drain (task :: acc)

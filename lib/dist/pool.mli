@@ -1,28 +1,37 @@
 (** The coordinator's distributed workpool.
 
     Holds codec-encoded tasks spilled by localities, in the same
-    depth-ordered discipline as the in-process
-    {!Yewpar_core.Workpool}: tasks are bucketed by spawn depth, FIFO
-    within a bucket, and handed out shallowest-first — the biggest
-    remaining subtrees ship across process boundaries, amortising the
-    encode/frame/decode cost, exactly as the in-process pool serves
-    thieves. Single-threaded: only the coordinator's event loop
-    touches it.
+    ordering discipline as the in-process {!Yewpar_core.Workpool}.
+    Under the default [Depth] policy tasks are bucketed by spawn
+    depth, FIFO within a bucket, and handed out shallowest-first —
+    the biggest remaining subtrees ship across process boundaries,
+    amortising the encode/frame/decode cost, exactly as the
+    in-process pool serves thieves. Under [Priority] (best-first
+    coordination) tasks are handed out best-heuristic-first instead,
+    making the coordinator's pool the distributed ordered pool.
+    Single-threaded: only the coordinator's event loop touches it.
 
     Every task is keyed by its lease [id] (unique per run) and records
     the [parent] lease it was spilled from, so failure handling can
     revoke a dead locality's whole lease subtree (see
     {!Coordinator}). *)
 
-type task = { id : int; parent : int; depth : int; payload : string }
+type task = {
+  id : int;
+  parent : int;
+  depth : int;
+  priority : int;  (** Spiller-computed heuristic; 0 outside best-first. *)
+  payload : string;
+}
 
 type t
 
-val create : unit -> t
+val create : policy:Yewpar_core.Workpool.policy -> unit -> t
 val push : t -> task -> unit
 
 val pop : t -> task option
-(** Shallowest-first, FIFO within a depth. *)
+(** Shallowest-first, FIFO within a depth ([Depth] policy), or best
+    priority first ([Priority]). *)
 
 val size : t -> int
 

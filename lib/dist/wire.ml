@@ -1,5 +1,5 @@
 type msg =
-  | Task of { parent : int; depth : int; payload : string }
+  | Task of { parent : int; depth : int; priority : int; payload : string }
   | Steal_request
   | Steal_reply of { task : (int * int * string) option }
   | Bound_update of { value : int; witness : string option }

@@ -14,14 +14,17 @@
     even single bytes — and {!next} yields each completed message. *)
 
 type msg =
-  | Task of { parent : int; depth : int; payload : string }
+  | Task of { parent : int; depth : int; priority : int; payload : string }
       (** Locality → coordinator: a spawned task spilled to the
           coordinator's distributed workpool. [payload] is the
           codec-encoded node; [parent] is the lease the spilling
           locality was executing under, so the coordinator can place
           the new task in the lease forest (a spill's subtree is
           {e not} part of its parent lease's result delta, and must be
-          revoked with the parent when the parent is replayed). *)
+          revoked with the parent when the parent is replayed).
+          [priority] is the spiller's heuristic value for the node
+          (0 outside best-first coordination), so the coordinator's
+          pool can hand out globally best tasks first. *)
   | Steal_request
       (** Locality → coordinator: a worker is starving, send work.
           Coordinator → locality: another locality is starving, shed

@@ -1,59 +1,20 @@
-module Deque = Yewpar_util.Deque
 module Recorder = Yewpar_telemetry.Recorder
 module Telemetry = Yewpar_telemetry.Telemetry
 module Metrics = Yewpar_telemetry.Metrics
 module Http_export = Yewpar_telemetry.Http_export
-module Engine = Yewpar_core.Engine
-module Depth_profile = Yewpar_core.Depth_profile
-module Workpool = Yewpar_core.Workpool
 module Knowledge = Yewpar_core.Knowledge
 module Ops = Yewpar_core.Ops
 module Coordination = Yewpar_core.Coordination
 module Problem = Yewpar_core.Problem
 module Sequential = Yewpar_core.Sequential
-
-type 'n task = { node : 'n; depth : int }
-
-(* A mutex/condition-protected depth-aware order-preserving pool
-   (deepest-first pops keep the shared-memory search depth-first), with
-   an atomic size mirror so busy workers can poll emptiness without
-   taking the lock. *)
-type 'n pool = {
-  mutex : Mutex.t;
-  nonempty : Condition.t;
-  tasks : 'n task Workpool.t;
-  size : int Atomic.t;
-}
-
-let pool_create ~policy () =
-  {
-    mutex = Mutex.create ();
-    nonempty = Condition.create ();
-    tasks = Workpool.create ~policy ();
-    size = Atomic.make 0;
-  }
+module Counters = Yewpar_runtime.Counters
+module Task_pool = Yewpar_runtime.Task_pool
+module Worker = Yewpar_runtime.Worker
 
 let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?monitor_port
     ?on_monitor ~coordination (p : (s, n, r) Problem.t) : r =
-  (* Cross-domain counters; folded into [stats] after the join. *)
-  let c_nodes = Atomic.make 0 in
-  let c_pruned = Atomic.make 0 in
-  let c_tasks = Atomic.make 0 in
-  let c_backtracks = Atomic.make 0 in
-  let c_max_depth = Atomic.make 0 in
-  let c_steal_attempts = Atomic.make 0 in
-  let c_steals = Atomic.make 0 in
-  let c_bound_updates = Atomic.make 0 in
-  let c_done = Atomic.make 0 in
-  (* Per-worker depth profiles (single-writer, merged after the join)
-     and the depth each worker's engine currently sits at, so the
-     submit wrapper can bucket bound improvements without an engine
-     query. Disabled — one branch per note — when stats are off. *)
-  let profs =
-    Array.init n_workers (fun _ ->
-        if stats = None then Depth_profile.null else Depth_profile.create ())
-  in
-  let cur_depth = Array.init n_workers (fun _ -> ref 0) in
+  (* The shared counter bundle; folded into [stats] after the join. *)
+  let counters = Counters.create ~profiled:(stats <> None) ~slots:n_workers () in
   (* One span recorder per worker domain (all ring buffers preallocated
      here, before any domain spawns); [Recorder.null] turns every
      recording site into a single branch when telemetry is off. *)
@@ -63,16 +24,7 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?monitor_port
     | Some tl ->
       Array.init n_workers (fun i -> Telemetry.recorder tl ~locality:0 ~worker:i)
   in
-  let rec bump_max cell v =
-    let cur = Atomic.get cell in
-    if v > cur && not (Atomic.compare_and_set cell cur v) then bump_max cell v
-  in
-  let pool_policy =
-    match coordination with
-    | Coordination.Best_first _ -> Workpool.Priority
-    | _ -> Workpool.Depth
-  in
-  let pool = pool_create ~policy:pool_policy () in
+  let pool = Task_pool.create ~policy:(Task_pool.policy_for coordination) () in
   let outstanding = Atomic.make 0 in
   let waiting = Atomic.make 0 in
   let stop = Atomic.make false in
@@ -84,235 +36,62 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?monitor_port
      improvements; reads go straight to the shared store. *)
   let views =
     Array.init n_workers (fun i ->
-        let r = recorders.(i) in
-        let prof = profs.(i) in
-        let depth_cell = cur_depth.(i) in
-        let submit n v =
-          let improved = knowledge.Knowledge.submit n v in
-          if improved then begin
-            Atomic.incr c_bound_updates;
-            Depth_profile.note_bound prof !depth_cell;
-            Recorder.instant r Recorder.Bound_update ~arg:v
-          end;
-          improved
+        let submit =
+          Counters.accounted_submit counters ~slot:i ~recorder:recorders.(i)
+            knowledge.Knowledge.submit
         in
         harness.Ops.view { knowledge with Knowledge.submit })
   in
-
-  let task_priority =
-    match coordination with
-    | Coordination.Best_first _ -> (views.(0)).Ops.priority
-    | _ -> fun _ -> 0
+  let task_priority = Worker.task_priority ~coordination views in
+  (* The in-process scheduler: one shared pool is both the local queue
+     and the steal base; a pool handoff after a dry poll is a steal.
+     Termination is the classic outstanding-task count hitting zero. *)
+  let scheduler =
+    {
+      Worker.enqueue =
+        (fun r task ->
+          Atomic.incr outstanding;
+          Task_pool.push pool ~recorder:r
+            ~priority:(task_priority task.Task_pool.node)
+            task);
+      take =
+        (fun ~slot ->
+          Task_pool.take pool ~recorder:recorders.(slot) ~stop ~waiting
+            ~steal_counters:counters
+            ~drained:(fun () -> Atomic.get outstanding = 0)
+            ());
+      finish =
+        (fun () ->
+          if Atomic.fetch_and_add outstanding (-1) = 1 then
+            Task_pool.broadcast pool);
+      should_shed =
+        (fun () -> Atomic.get waiting > 0 && Task_pool.size pool = 0);
+      begin_task = (fun ~slot:_ _ -> ());
+      end_task = (fun ~slot:_ -> ());
+    }
   in
-  let push r prof task =
-    Atomic.incr c_tasks;
-    Depth_profile.note_spawn prof task.depth;
-    Atomic.incr outstanding;
-    Mutex.lock pool.mutex;
-    Workpool.push pool.tasks ~depth:task.depth ~priority:(task_priority task.node)
-      task;
-    Atomic.incr pool.size;
-    Condition.signal pool.nonempty;
-    Mutex.unlock pool.mutex;
-    Recorder.instant r Recorder.Pool ~arg:(Atomic.get pool.size)
-  in
-  let wake_all () =
-    Mutex.lock pool.mutex;
-    Condition.broadcast pool.nonempty;
-    Mutex.unlock pool.mutex
-  in
-  let finish_task () =
-    if Atomic.fetch_and_add outstanding (-1) = 1 then wake_all ()
-  in
-  let request_stop () =
-    Atomic.set stop true;
-    wake_all ()
-  in
-
-  (* Blocking task acquisition; [None] means the search is over. A
-     worker that finds the pool dry has attempted a steal; obtaining a
-     task after having waited is the successful case (its recorded
-     duration is the steal latency: first dry poll to task in hand). *)
-  let take r =
-    Mutex.lock pool.mutex;
-    let attempted = ref false in
-    let dry_since = ref 0. in
-    let rec wait () =
-      if Atomic.get stop then None
-      else
-        match Workpool.pop_local pool.tasks with
-        | Some t ->
-          Atomic.decr pool.size;
-          if !attempted then begin
-            Atomic.incr c_steals;
-            Recorder.span r Recorder.Steal_success ~start:!dry_since ~arg:0
-          end;
-          Some t
-        | None ->
-          if not !attempted then begin
-            attempted := true;
-            dry_since := Recorder.now r;
-            Atomic.incr c_steal_attempts;
-            Recorder.instant r Recorder.Steal_attempt ~arg:0
-          end;
-          if Atomic.get outstanding = 0 then None
-          else begin
-            Atomic.incr waiting;
-            let idle_from = Recorder.now r in
-            Condition.wait pool.nonempty pool.mutex;
-            Atomic.decr waiting;
-            Recorder.span r Recorder.Idle ~start:idle_from ~arg:0;
-            wait ()
-          end
-    in
-    let t = wait () in
-    Mutex.unlock pool.mutex;
-    t
-  in
-
-  (* Bound-filter a split chunk with the engine's sibling-cut semantics
-     so dead tasks are never spawned. *)
-  let filter_chunk (view : n Ops.view) cs =
-    let rec go acc = function
-      | [] -> List.rev acc
-      | c :: rest ->
-        if view.Ops.keep c then go (c :: acc) rest
-        else if view.Ops.prune_siblings then List.rev acc
-        else go acc rest
-    in
-    go [] cs
-  in
-
-  (* Stack-Stealing work pushing: a running worker sheds work when the
-     pool is dry and someone is waiting for it. *)
-  let maybe_split_for_thieves r prof view ~chunked e =
-    if Atomic.get waiting > 0 && Atomic.get pool.size = 0 then
-      if chunked then begin
-        let cs, depth = Engine.split_lowest e in
-        List.iter (fun node -> push r prof { node; depth }) (filter_chunk view cs)
-      end
-      else
-        match Engine.split_one e with
-        | Some (node, depth) ->
-          if view.Ops.keep node then push r prof { node; depth }
-        | None -> ()
-  in
-
-  let exec_task r prof dcell (view : n Ops.view) task =
-    let started = Recorder.now r in
-    dcell := task.depth;
-    (if not (view.Ops.keep task.node) then begin
-       Atomic.incr c_pruned;
-       Depth_profile.note_prune prof task.depth
-     end
-     else if not (view.Ops.process task.node) then begin
-       Atomic.incr c_nodes;
-       Depth_profile.note_node prof task.depth;
-       request_stop ()
-     end
-     else begin
-       Atomic.incr c_nodes;
-       Depth_profile.note_node prof task.depth;
-       match coordination with
-       | (Coordination.Depth_bounded { dcutoff } | Coordination.Best_first { dcutoff })
-         when task.depth < dcutoff ->
-         let rec spawn_children seq =
-           match Seq.uncons seq with
-           | None -> ()
-           | Some (c, rest) ->
-             if view.Ops.keep c then begin
-               push r prof { node = c; depth = task.depth + 1 };
-               spawn_children rest
-             end
-             else if not view.Ops.prune_siblings then spawn_children rest
-         in
-         spawn_children (p.Problem.children p.Problem.space task.node)
-       | Coordination.Sequential | Coordination.Depth_bounded _
-       | Coordination.Stack_stealing _ | Coordination.Budget _
-       | Coordination.Best_first _ | Coordination.Random_spawn _ ->
-         let e =
-           Engine.make ~space:p.Problem.space ~children:p.Problem.children
-             ~root_depth:task.depth task.node
-         in
-         let last_bt = ref 0 in
-         let rng = Yewpar_util.Splitmix.of_seed (Hashtbl.hash task.depth lxor 0x5e1f) in
-         let rec go () =
-           if Atomic.get stop then ()
-           else
-             match
-               Engine.step ~prune_rest:view.Ops.prune_siblings ~keep:view.Ops.keep e
-             with
-             | Engine.Enter n ->
-               incr dcell;
-               Depth_profile.note_node prof !dcell;
-               if view.Ops.process n then begin
-                 (match coordination with
-                 | Coordination.Stack_stealing { chunked } ->
-                   maybe_split_for_thieves r prof view ~chunked e
-                 | _ -> ());
-                 go ()
-               end
-               else request_stop ()
-             | Engine.Pruned _ ->
-               Depth_profile.note_prune prof (!dcell + 1);
-               go ()
-             | Engine.Leave ->
-               decr dcell;
-               (match coordination with
-               | Coordination.Budget { budget }
-                 when Engine.backtracks e - !last_bt >= budget ->
-                 let cs, depth = Engine.split_lowest e in
-                 List.iter
-                   (fun node -> push r prof { node; depth })
-                   (filter_chunk view cs);
-                 last_bt := Engine.backtracks e
-               | Coordination.Random_spawn { mean_interval }
-                 when Yewpar_util.Splitmix.int rng mean_interval = 0 -> (
-                 match Engine.split_one e with
-                 | Some (node, depth) when view.Ops.keep node ->
-                   push r prof { node; depth }
-                 | Some _ | None -> ())
-               | _ -> ());
-               go ()
-             | Engine.Exhausted -> ()
-         in
-         go ();
-         ignore (Atomic.fetch_and_add c_nodes (Engine.nodes_entered e));
-         ignore (Atomic.fetch_and_add c_pruned (Engine.nodes_pruned e));
-         ignore (Atomic.fetch_and_add c_backtracks (Engine.backtracks e));
-         bump_max c_max_depth (Engine.max_depth e)
-     end);
-    Recorder.span r Recorder.Task ~start:started ~arg:task.depth
-  in
-
-  (* A user exception (e.g. a raising generator) must not deadlock the
-     pool: record it, short-circuit every worker, and re-raise after the
-     join. *)
-  let failure : exn option Atomic.t = Atomic.make None in
-  let worker i () =
-    let view = views.(i) in
-    let r = recorders.(i) in
-    let prof = profs.(i) in
-    let dcell = cur_depth.(i) in
-    let rec loop () =
-      match take r with
-      | None -> ()
-      | Some t ->
-        (try exec_task r prof dcell view t
-         with e ->
-           ignore (Atomic.compare_and_set failure None (Some e));
-           request_stop ());
-        finish_task ();
-        Atomic.incr c_done;
-        loop ()
-    in
-    loop ()
+  let ctx =
+    {
+      Worker.space = p.Problem.space;
+      children = p.Problem.children;
+      coordination;
+      counters;
+      recorders;
+      views;
+      scheduler;
+      pool;
+      stop;
+      failure = Atomic.make None;
+    }
   in
 
   (* Live monitoring: the /metrics gauges are computed from the shared
      atomics on each scrape, so the handler (which runs on the server's
      domain, concurrently with the workers) only ever does word-sized
      reads — a snapshot can be slightly stale but never torn. *)
+  let all_dropped () =
+    Array.fold_left (fun a r -> a + Recorder.dropped r) 0 recorders
+  in
   let monitor =
     match monitor_port with
     | None -> None
@@ -339,19 +118,20 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?monitor_port
       let g_uptime = g "uptime_seconds" "Seconds since the search started" in
       let refresh () =
         Metrics.set g_workers (float_of_int n_workers);
-        Metrics.set g_nodes (float_of_int (Atomic.get c_nodes));
-        Metrics.set g_pruned (float_of_int (Atomic.get c_pruned));
-        Metrics.set g_tasks (float_of_int (Atomic.get c_tasks));
-        Metrics.set g_done (float_of_int (Atomic.get c_done));
-        Metrics.set g_pool (float_of_int (Atomic.get pool.size));
+        Metrics.set g_nodes (float_of_int (Atomic.get counters.Counters.nodes));
+        Metrics.set g_pruned (float_of_int (Atomic.get counters.Counters.pruned));
+        Metrics.set g_tasks (float_of_int (Atomic.get counters.Counters.tasks));
+        Metrics.set g_done
+          (float_of_int (Atomic.get counters.Counters.tasks_done));
+        Metrics.set g_pool (float_of_int (Task_pool.size pool));
         Metrics.set g_outstanding (float_of_int (Atomic.get outstanding));
         Metrics.set g_idle (float_of_int (Atomic.get waiting));
-        Metrics.set g_steals (float_of_int (Atomic.get c_steals));
-        Metrics.set g_attempts (float_of_int (Atomic.get c_steal_attempts));
-        Metrics.set g_bounds (float_of_int (Atomic.get c_bound_updates));
-        Metrics.set g_dropped
-          (float_of_int
-             (Array.fold_left (fun a r -> a + Recorder.dropped r) 0 recorders));
+        Metrics.set g_steals (float_of_int (Atomic.get counters.Counters.steals));
+        Metrics.set g_attempts
+          (float_of_int (Atomic.get counters.Counters.steal_attempts));
+        Metrics.set g_bounds
+          (float_of_int (Atomic.get counters.Counters.bound_updates));
+        Metrics.set g_dropped (float_of_int (all_dropped ()));
         Metrics.set g_uptime (Unix.gettimeofday () -. started)
       in
       let status_json () =
@@ -362,14 +142,18 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?monitor_port
            \"idle_workers\":%d,\"steals\":%d,\"steal_attempts\":%d,\
            \"bound_updates\":%d,\"best\":%s,\"trace_dropped\":%d}"
           (Unix.gettimeofday () -. started)
-          n_workers (Atomic.get c_nodes) (Atomic.get c_pruned)
-          (Atomic.get c_tasks) (Atomic.get c_done) (Atomic.get pool.size)
-          (Atomic.get outstanding) (Atomic.get waiting) (Atomic.get c_steals)
-          (Atomic.get c_steal_attempts)
-          (Atomic.get c_bound_updates)
+          n_workers
+          (Atomic.get counters.Counters.nodes)
+          (Atomic.get counters.Counters.pruned)
+          (Atomic.get counters.Counters.tasks)
+          (Atomic.get counters.Counters.tasks_done)
+          (Task_pool.size pool) (Atomic.get outstanding) (Atomic.get waiting)
+          (Atomic.get counters.Counters.steals)
+          (Atomic.get counters.Counters.steal_attempts)
+          (Atomic.get counters.Counters.bound_updates)
           (let b = knowledge.Knowledge.best_obj () in
            if b > min_int then string_of_int b else "null")
-          (Array.fold_left (fun a r -> a + Recorder.dropped r) 0 recorders)
+          (all_dropped ())
       in
       let s =
         Http_export.start ~port
@@ -388,35 +172,15 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?monitor_port
       Some s
   in
 
-  push recorders.(0) profs.(0) { node = p.Problem.root; depth = 0 };
+  Worker.spawn ctx ~slot:0 { Task_pool.tag = 0; node = p.Problem.root; depth = 0 };
   Fun.protect
     ~finally:(fun () -> Option.iter Http_export.stop monitor)
   @@ fun () ->
-  let domains = Array.init n_workers (fun i -> Domain.spawn (worker i)) in
-  Array.iter Domain.join domains;
-  (match Atomic.get failure with Some e -> raise e | None -> ());
+  let handle = Worker.start ctx ~workers:n_workers in
+  (match Worker.join handle with Some e -> raise e | None -> ());
   (match stats with
   | None -> ()
-  | Some st ->
-    st.Yewpar_core.Stats.nodes <- st.Yewpar_core.Stats.nodes + Atomic.get c_nodes;
-    st.Yewpar_core.Stats.pruned <- st.Yewpar_core.Stats.pruned + Atomic.get c_pruned;
-    st.Yewpar_core.Stats.backtracks <-
-      st.Yewpar_core.Stats.backtracks + Atomic.get c_backtracks;
-    st.Yewpar_core.Stats.max_depth <-
-      max st.Yewpar_core.Stats.max_depth (Atomic.get c_max_depth);
-    st.Yewpar_core.Stats.tasks <- st.Yewpar_core.Stats.tasks + Atomic.get c_tasks;
-    st.Yewpar_core.Stats.steal_attempts <-
-      st.Yewpar_core.Stats.steal_attempts + Atomic.get c_steal_attempts;
-    st.Yewpar_core.Stats.steals <-
-      st.Yewpar_core.Stats.steals + Atomic.get c_steals;
-    st.Yewpar_core.Stats.bound_updates <-
-      st.Yewpar_core.Stats.bound_updates + Atomic.get c_bound_updates;
-    st.Yewpar_core.Stats.trace_dropped <-
-      st.Yewpar_core.Stats.trace_dropped
-      + Array.fold_left (fun a r -> a + Recorder.dropped r) 0 recorders;
-    Array.iter
-      (fun prof -> Depth_profile.merge st.Yewpar_core.Stats.depths prof)
-      profs);
+  | Some st -> Counters.fold_into counters ~dropped:(all_dropped ()) st);
   harness.Ops.result knowledge
 
 let run ?workers ?stats ?telemetry ?monitor_port ?on_monitor ~coordination p =

@@ -1,0 +1,10 @@
+type t = { comm_tick : float; steal_retry : float }
+
+let default = { comm_tick = 0.002; steal_retry = 0.5 }
+
+let create ?(comm_tick = default.comm_tick)
+    ?(steal_retry = default.steal_retry) () =
+  if comm_tick <= 0. then invalid_arg "Runtime.Config: comm_tick must be > 0";
+  if steal_retry <= 0. then
+    invalid_arg "Runtime.Config: steal_retry must be > 0";
+  { comm_tick; steal_retry }

@@ -1,0 +1,25 @@
+(** Runtime timing knobs.
+
+    These were once hardcoded constants inside the distributed
+    locality; they are a record so the CLI can expose them
+    ([--comm-tick], [--steal-retry]) and tests can shrink them to
+    provoke races quickly. *)
+
+type t = {
+  comm_tick : float;
+      (** Communicator granularity: how long the locality's main
+          thread sleeps in [select] when nothing is happening,
+          seconds. Smaller means snappier steal routing and bound
+          propagation at the price of more wakeups. *)
+  steal_retry : float;
+      (** A steal reply lost in transit (fault injection, coordinator
+          hiccup) must not starve the thief forever: re-request after
+          this many seconds. *)
+}
+
+val default : t
+(** [{ comm_tick = 0.002; steal_retry = 0.5 }]. *)
+
+val create : ?comm_tick:float -> ?steal_retry:float -> unit -> t
+(** [create ()] is {!default} with any given field overridden.
+    @raise Invalid_argument if a given value is not positive. *)

@@ -1,0 +1,55 @@
+(** The shared counter bundle every runtime keeps while a parallel
+    search is in flight.
+
+    One instance is created per run, before any worker spawns. The
+    scalar counters are atomics so the workers, the live monitor and a
+    distributed communicator thread can all touch them concurrently
+    with word-sized operations; the per-slot depth profiles and
+    current-depth cells are single-writer (one slot per worker, plus
+    any extra slots the runtime reserves, e.g. the dist communicator)
+    and are only merged after the join. *)
+
+type t = {
+  nodes : int Atomic.t;  (** Nodes processed. *)
+  pruned : int Atomic.t;  (** Subtrees pruned. *)
+  tasks : int Atomic.t;  (** Tasks spawned. *)
+  tasks_done : int Atomic.t;  (** Tasks finished. *)
+  backtracks : int Atomic.t;
+  max_depth : int Atomic.t;
+  steal_attempts : int Atomic.t;
+  steals : int Atomic.t;
+  bound_updates : int Atomic.t;  (** Applied incumbent improvements. *)
+  profs : Yewpar_core.Depth_profile.t array;
+      (** Per-slot depth profiles; [Depth_profile.null] when profiling
+          is off, so every note is a single branch. *)
+  cur_depth : int ref array;
+      (** The depth each slot's engine currently sits at, so a submit
+          wrapper can bucket bound improvements without an engine
+          query. *)
+}
+
+val create : ?profiled:bool -> slots:int -> unit -> t
+(** [create ~slots ()] makes a bundle with [slots] profile/depth
+    slots. [~profiled:false] (used when the caller collects no stats)
+    replaces every profile with {!Yewpar_core.Depth_profile.null}. *)
+
+val note_max_depth : t -> int -> unit
+(** CAS-maximise the [max_depth] counter. *)
+
+val accounted_submit :
+  t ->
+  slot:int ->
+  recorder:Yewpar_telemetry.Recorder.t ->
+  ('n -> int -> bool) ->
+  'n ->
+  int ->
+  bool
+(** [accounted_submit t ~slot ~recorder submit] wraps a knowledge
+    [submit] function so every applied improvement bumps
+    [bound_updates], lands in slot [slot]'s depth profile at the
+    slot's current depth, and emits a [Bound_update] trace instant. *)
+
+val fold_into : t -> ?dropped:int -> Yewpar_core.Stats.t -> unit
+(** Accumulate every counter and all depth profiles into a [Stats.t]
+    (adding to whatever it already holds; [max_depth] maximises).
+    [dropped] is the runtime's trace-ring drop total. *)

@@ -1,0 +1,102 @@
+module Workpool = Yewpar_core.Workpool
+module Coordination = Yewpar_core.Coordination
+module Recorder = Yewpar_telemetry.Recorder
+
+type 'n task = { tag : int; node : 'n; depth : int }
+
+type 'n t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  tasks : 'n task Workpool.t;
+  size : int Atomic.t;
+}
+
+let create ~policy () =
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    tasks = Workpool.create ~policy ();
+    size = Atomic.make 0;
+  }
+
+let policy_for = function
+  | Coordination.Best_first _ -> Workpool.Priority
+  | Coordination.Sequential | Coordination.Depth_bounded _
+  | Coordination.Stack_stealing _ | Coordination.Budget _
+  | Coordination.Random_spawn _ ->
+    Workpool.Depth
+
+let size t = Atomic.get t.size
+
+let push t ~recorder ~priority task =
+  Mutex.lock t.mutex;
+  Workpool.push t.tasks ~depth:task.depth ~priority task;
+  Atomic.incr t.size;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex;
+  Recorder.instant recorder Recorder.Pool ~arg:(Atomic.get t.size)
+
+let broadcast t =
+  Mutex.lock t.mutex;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex
+
+let take t ~recorder ~stop ~waiting ?steal_counters ?(drained = fun () -> false)
+    ?on_idle () =
+  Mutex.lock t.mutex;
+  let attempted = ref false in
+  let dry_since = ref 0. in
+  let rec wait () =
+    if Atomic.get stop then None
+    else
+      match Workpool.pop_local t.tasks with
+      | Some tk ->
+        Atomic.decr t.size;
+        (match steal_counters with
+        | Some (c : Counters.t) when !attempted ->
+          Atomic.incr c.Counters.steals;
+          Recorder.span recorder Recorder.Steal_success ~start:!dry_since ~arg:0
+        | Some _ | None -> ());
+        Some tk
+      | None ->
+        (match steal_counters with
+        | Some (c : Counters.t) when not !attempted ->
+          attempted := true;
+          dry_since := Recorder.now recorder;
+          Atomic.incr c.Counters.steal_attempts;
+          Recorder.instant recorder Recorder.Steal_attempt ~arg:0
+        | Some _ | None -> ());
+        if drained () then None
+        else begin
+          Atomic.incr waiting;
+          let idle_from = Recorder.now recorder in
+          let wall_from =
+            match on_idle with Some _ -> Recorder.clock () | None -> 0.
+          in
+          Condition.wait t.nonempty t.mutex;
+          Atomic.decr waiting;
+          Recorder.span recorder Recorder.Idle ~start:idle_from ~arg:0;
+          (match on_idle with
+          | Some f -> f (Recorder.clock () -. wall_from)
+          | None -> ());
+          wait ()
+        end
+  in
+  let tk = wait () in
+  Mutex.unlock t.mutex;
+  tk
+
+let shed_half t =
+  Mutex.lock t.mutex;
+  let n = Workpool.size t.tasks in
+  let to_shed = (n + 1) / 2 in
+  let shed = ref [] in
+  for _ = 1 to to_shed do
+    match Workpool.pop_steal t.tasks with
+    | Some tk ->
+      Atomic.decr t.size;
+      shed := tk :: !shed
+    | None -> ()
+  done;
+  Mutex.unlock t.mutex;
+  List.rev !shed

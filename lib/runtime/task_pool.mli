@@ -1,0 +1,68 @@
+(** The runtime-local task pool: a mutex/condition-protected
+    depth-aware order-preserving workpool with an atomic size mirror,
+    shared by the shm workers of one process and the workers of one
+    distributed locality.
+
+    Deepest-first local pops keep the parallel search depth-first;
+    under a [Priority] policy (best-first coordination) pops follow
+    the heuristic instead. The size mirror lets busy workers poll
+    emptiness without taking the lock. *)
+
+type 'n task = {
+  tag : int;
+      (** Substrate-specific task identity: [0] on the shm runtime,
+          the owning coordinator lease id on dist. Spawned subtasks
+          inherit their parent's tag. *)
+  node : 'n;
+  depth : int;
+}
+
+type 'n t
+
+val create : policy:Yewpar_core.Workpool.policy -> unit -> 'n t
+
+val policy_for : Yewpar_core.Coordination.t -> Yewpar_core.Workpool.policy
+(** The pool policy a coordination wants: [Priority] for best-first,
+    [Depth] otherwise. *)
+
+val size : 'n t -> int
+(** Lock-free read of the size mirror. *)
+
+val push :
+  'n t -> recorder:Yewpar_telemetry.Recorder.t -> priority:int -> 'n task -> unit
+(** Queue a task, wake one waiter, and record a pool-depth trace
+    instant. *)
+
+val broadcast : 'n t -> unit
+(** Wake every waiter (stop requests, termination, external work
+    arrival). *)
+
+val take :
+  'n t ->
+  recorder:Yewpar_telemetry.Recorder.t ->
+  stop:bool Atomic.t ->
+  waiting:int Atomic.t ->
+  ?steal_counters:Counters.t ->
+  ?drained:(unit -> bool) ->
+  ?on_idle:(float -> unit) ->
+  unit ->
+  'n task option
+(** Blocking task acquisition; [None] means the search is over for
+    this worker. A worker that finds the pool dry sleeps on the
+    condition (bumping [waiting] while it does) and retries on
+    wakeup, until [stop] is set or [drained ()] holds with the pool
+    empty ([drained] defaults to never: on a distributed locality a
+    dry pool does not end the search — more work may arrive over the
+    wire).
+
+    With [steal_counters], a dry first poll counts as a steal attempt
+    and obtaining a task after having waited counts as a success (its
+    recorded span is the steal latency: first dry poll to task in
+    hand) — the shm accounting, where pool handoffs between workers
+    are the steals. [on_idle], when given, receives each wait's
+    wall-clock duration (the dist heartbeat's idle fraction). *)
+
+val shed_half : 'n t -> 'n task list
+(** Atomically remove half the queued tasks (rounded up),
+    shallowest-first — the biggest subtrees, for shipping to a remote
+    thief. Returns them in pop order. *)

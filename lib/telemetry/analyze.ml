@@ -12,8 +12,9 @@ type span = {
 
 (* Just enough JSON for the two formats we produce ourselves (Chrome
    trace events, bench records): objects, arrays, strings, numbers,
-   literals. Escapes are decoded naively; \uXXXX collapses to '?',
-   which never occurs in our own exports. *)
+   literals. \uXXXX escapes decode to UTF-8, pairing surrogates, so
+   non-ASCII worker labels survive a round trip through an exporter
+   that escapes them. *)
 type json =
   | Obj of (string * json) list
   | Arr of json list
@@ -48,6 +49,47 @@ let parse_json s =
     end
     else fail "bad literal"
   in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated escape";
+    let digit c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail "bad hex digit in \\u escape"
+    in
+    let v =
+      (digit s.[!pos] lsl 12)
+      lor (digit s.[!pos + 1] lsl 8)
+      lor (digit s.[!pos + 2] lsl 4)
+      lor digit s.[!pos + 3]
+    in
+    pos := !pos + 4;
+    v
+  in
+  (* One \uXXXX escape (the 'u' already consumed), possibly the high
+     half of a surrogate pair; emits UTF-8. A lone or mismatched
+     surrogate becomes U+FFFD, like every lenient JSON decoder. *)
+  let parse_unicode_escape b =
+    let add u = Buffer.add_utf_8_uchar b (Uchar.of_int u) in
+    let u = hex4 () in
+    if u >= 0xD800 && u <= 0xDBFF then
+      if !pos + 6 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u' then begin
+        pos := !pos + 2;
+        let lo = hex4 () in
+        if lo >= 0xDC00 && lo <= 0xDFFF then
+          add (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+        else begin
+          (* High half followed by a non-low escape: replace the
+             orphan, keep the second escape's character. *)
+          add 0xFFFD;
+          if lo >= 0xD800 && lo <= 0xDFFF then add 0xFFFD else add lo
+        end
+      end
+      else add 0xFFFD
+    else if u >= 0xDC00 && u <= 0xDFFF then add 0xFFFD
+    else add u
+  in
   let parse_string () =
     expect '"';
     let b = Buffer.create 16 in
@@ -59,9 +101,7 @@ let parse_json s =
         (match peek () with
         | 'u' ->
           advance ();
-          if !pos + 4 > n then fail "truncated escape";
-          pos := !pos + 4;
-          Buffer.add_char b '?'
+          parse_unicode_escape b
         | c ->
           advance ();
           Buffer.add_char b

@@ -80,6 +80,40 @@ let empty_report () =
   Alcotest.(check string) "empty trace" "empty trace: nothing to analyze\n"
     (Analyze.load_balance_report [])
 
+let unicode_escapes () =
+  (* Non-ASCII worker labels escaped as \uXXXX must decode to UTF-8,
+     including astral characters split into surrogate pairs. *)
+  let trace names =
+    let events =
+      List.map
+        (fun name ->
+          Printf.sprintf
+            "{\"name\": \"%s\", \"ph\": \"X\", \"pid\": 0, \"tid\": 0, \
+             \"ts\": 0, \"dur\": 1000000}"
+            name)
+        names
+    in
+    Printf.sprintf "{\"traceEvents\": [%s]}" (String.concat ", " events)
+  in
+  let names spans = List.map (fun (s : Analyze.span) -> s.Analyze.name) spans in
+  Alcotest.(check (list string))
+    "BMP and astral escapes decode"
+    [ "t\xc3\xa2che"; "\xe6\x8e\xa2\xe7\xb4\xa2"; "\xf0\x9f\x98\x80-worker" ]
+    (names
+       (Analyze.load_trace
+          (trace [ "t\\u00e2che"; "\\u63a2\\u7d22"; "\\ud83d\\ude00-worker" ])));
+  (* Lone or mismatched surrogate halves become U+FFFD instead of
+     corrupting the span name. *)
+  Alcotest.(check (list string))
+    "lone surrogates are replaced"
+    [ "\xef\xbf\xbd"; "\xef\xbf\xbdA"; "\xef\xbf\xbd\xef\xbf\xbd" ]
+    (names
+       (Analyze.load_trace
+          (trace [ "\\udc00"; "\\ud800\\u0041"; "\\ud800\\udbff" ])));
+  match Analyze.load_trace (trace [ "\\uZZZZ" ]) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "invalid hex in \\u escape accepted"
+
 (* ----------------------------- bench ------------------------------ *)
 
 let record ?(experiment = "figure4") ?(problem = "queens-12")
@@ -189,6 +223,7 @@ let () =
           Alcotest.test_case "junk rejected" `Quick junk_rejected;
           Alcotest.test_case "golden report" `Quick golden_report;
           Alcotest.test_case "empty report" `Quick empty_report;
+          Alcotest.test_case "unicode escapes" `Quick unicode_escapes;
         ] );
       ( "bench",
         [

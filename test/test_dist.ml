@@ -49,7 +49,7 @@ let sample_heartbeat () =
 
 let all_msgs () =
   [
-    Wire.Task { parent = 7; depth = 3; payload = "abc" };
+    Wire.Task { parent = 7; depth = 3; priority = 0; payload = "abc" };
     Wire.Steal_request;
     Wire.Steal_reply { task = Some (12, 1, "x") };
     Wire.Steal_reply { task = None };
@@ -268,7 +268,7 @@ let chaos_never_drops_shutdown () =
     done;
     Alcotest.(check bool) "other frames do drop at p=1" true
       (Chaos.should_drop plan
-         (Wire.Task { parent = -1; depth = 0; payload = "x" }))
+         (Wire.Task { parent = -1; depth = 0; priority = 0; payload = "x" }))
 
 (* ------------------------- end-to-end runs ------------------------ *)
 
