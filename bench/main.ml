@@ -5,6 +5,7 @@
      dune exec bench/main.exe -- table1       -- Table 1 only
      dune exec bench/main.exe -- figure4      -- Figure 4 only
      dune exec bench/main.exe -- shm          -- real shared-memory runs
+     dune exec bench/main.exe -- serve        -- job-server latency/throughput
      dune exec bench/main.exe -- table2       -- Table 2 only
      dune exec bench/main.exe -- ablations    -- ablation studies
      dune exec bench/main.exe -- micro        -- Bechamel micro-benchmarks
@@ -326,6 +327,116 @@ let shm_runtime () =
     (Table.render
        ~header:[ "Instance"; "Skeleton"; "Result"; "Wall (s)"; "Tasks" ]
        rows)
+
+(* ------------------------------------------------------------------ *)
+(* Job server: throughput and tail latency under concurrent jobs.      *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Yewpar_server.Server
+module Http = Yewpar_telemetry.Http_export
+module J = Yewpar_telemetry.Analyze
+
+(* Must run before any section that spawns a domain: [Server.start]
+   forks the fleet, and OCaml 5 forbids forking once a domain exists
+   (the main driver below calls this first for that reason). *)
+let serve_bench () =
+  section "Job server: concurrent jobs on one persistent fleet";
+  let localities = 2 and workers = 2 in
+  let jobs =
+    [ ("queens-10", "depthbounded:2"); ("knap-ss-20", "budget:1000");
+      ("queens-8", "stacksteal"); ("queens-10", "budget:1000");
+      ("knap-ss-20", "depthbounded:2"); ("queens-8", "depthbounded:2") ]
+  in
+  Printf.printf
+    "%d jobs submitted at once to [yewpar serve] (%d localities x %d\n\
+     workers, max 2 running): per-job latency is submission to\n\
+     completion, so queueing shows up in the tail. Real wall-clock;\n\
+     the CI gate compares at the same loose threshold as shm.\n\n"
+    (List.length jobs) localities workers;
+  let registry =
+    List.filter_map
+      (fun i ->
+        let (Instances.Packed (p, show)) = Lazy.force i.Instances.problem in
+        match Server.servable p ~show with
+        | Ok sv -> Some (i.Instances.name, sv)
+        | Error _ -> None)
+      (Instances.all ())
+  in
+  let config =
+    { Server.default_config with
+      Server.localities; workers; max_jobs = 2; queue_depth = 64 }
+  in
+  let t = Server.start ~config ~registry () in
+  let port = Server.port t in
+  let t0 = Unix.gettimeofday () in
+  let ids =
+    List.map
+      (fun (problem, skeleton) ->
+        let body =
+          Printf.sprintf {|{"problem": %s, "skeleton": %s}|} (jstr problem)
+            (jstr skeleton)
+        in
+        let status, body = Http.request ~meth:"POST" ~body ~port "/jobs" in
+        if status <> 202 then
+          failwith (Printf.sprintf "POST /jobs -> %d: %s" status body);
+        int_of_float (J.num_or (-1.) (J.member "id" (J.parse_json body))))
+      jobs
+  in
+  let rec poll id =
+    let _, body = Http.request ~port (Printf.sprintf "/jobs/%d" id) in
+    let doc = J.parse_json body in
+    match J.str_or "" (J.member "state" doc) with
+    | "done" | "failed" | "cancelled" -> doc
+    | _ ->
+      Unix.sleepf 0.05;
+      poll id
+  in
+  let docs = List.map poll ids in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Server.stop t;
+  let latencies =
+    List.map
+      (fun doc ->
+        J.num_or nan (J.member "finished" doc)
+        -. J.num_or nan (J.member "submitted" doc))
+      docs
+  in
+  let rows =
+    List.mapi
+      (fun i ((problem, skeleton), (doc, latency)) ->
+        let state = J.str_or "?" (J.member "state" doc) in
+        json_record
+          [ ("experiment", jstr "serve"); ("problem", jstr problem);
+            ("skeleton", jstr skeleton); ("runtime", jstr "serve");
+            ("localities", jint localities); ("workers", jint workers);
+            ("elapsed", jfloat latency); ("job", jint i) ];
+        if state <> "done" then
+          failwith
+            (Printf.sprintf "job %d (%s/%s) ended %s, expected done" i problem
+               skeleton state);
+        [ string_of_int i; problem; skeleton; state;
+          Printf.sprintf "%.4f" latency ])
+      (List.combine jobs (List.combine docs latencies))
+  in
+  let throughput = float_of_int (List.length jobs) /. elapsed in
+  json_record
+    [ ("experiment", jstr "serve-summary"); ("problem", jstr "all");
+      ("skeleton", jstr "mixed"); ("runtime", jstr "serve");
+      ("localities", jint localities); ("workers", jint workers);
+      ("elapsed", jfloat elapsed); ("jobs", jint (List.length jobs));
+      ("throughput", jfloat throughput) ];
+  print_endline
+    (Table.render
+       ~header:[ "Job"; "Instance"; "Skeleton"; "State"; "Latency (s)" ]
+       rows);
+  let sorted = Array.of_list latencies in
+  Array.sort compare sorted;
+  Printf.printf
+    "\nwall %.3fs  throughput %.2f jobs/s  p50 %.4fs  p95 %.4fs  p99 %.4fs\n"
+    elapsed throughput
+    (J.percentile 50. sorted)
+    (J.percentile 95. sorted)
+    (J.percentile 99. sorted)
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: 18 alternate parallelisations on 120 workers.              *)
@@ -654,6 +765,10 @@ let () =
   let run_all = sections = [] in
   let want s = run_all || List.mem s sections in
   let t0 = Unix.gettimeofday () in
+  (* First: serve forks its fleet, which must happen before any other
+     section spawns a domain (shm, micro, and the HTTP exporter itself
+     all do). *)
+  if want "serve" then serve_bench ();
   if want "table1" then table1 ~reps ();
   if want "figure4" then figure4 ();
   if want "shm" then shm_runtime ();

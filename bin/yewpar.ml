@@ -537,6 +537,120 @@ let knapsack_cmd =
     Term.(const run $ file_arg $ target_arg $ skeleton_arg $ runtime_arg
           $ localities_arg $ workers_arg $ seed_arg $ obs_term)
 
+let serve_cmd =
+  let module Server = Yewpar_server.Server in
+  let port_arg =
+    Arg.(value & opt int 8080
+         & info [ "port"; "p" ] ~docv:"PORT"
+             ~doc:"HTTP port on 127.0.0.1 (0 binds an ephemeral port, printed \
+                   at startup).")
+  in
+  let serve_localities_arg =
+    Arg.(value & opt int 2
+         & info [ "localities"; "l" ] ~docv:"N"
+             ~doc:"Fleet size: persistent locality processes available to \
+                   jobs, forked once at startup.")
+  in
+  let serve_workers_arg =
+    Arg.(value & opt int 2
+         & info [ "workers"; "w" ] ~docv:"N"
+             ~doc:"Search domains per locality.")
+  in
+  let max_jobs_arg =
+    Arg.(value & opt int 2
+         & info [ "max-jobs" ] ~docv:"N"
+             ~doc:"Run at most $(docv) jobs concurrently; further accepted \
+                   jobs wait in the queue.")
+  in
+  let queue_depth_arg =
+    Arg.(value & opt int 16
+         & info [ "queue-depth" ] ~docv:"N"
+             ~doc:"Admit at most $(docv) waiting jobs; $(b,POST /jobs) \
+                   answers 429 beyond that.")
+  in
+  let serve_respawns_arg =
+    Arg.(value & opt int 0
+         & info [ "max-respawns" ] ~docv:"N"
+             ~doc:"Fork $(docv) spare localities up front: extra fleet \
+                   capacity that absorbs crashed slots, which are retired \
+                   rather than reused.")
+  in
+  let serve_heartbeat_arg =
+    Arg.(value & opt float 0.2
+         & info [ "heartbeat-interval" ] ~docv:"SECONDS"
+             ~doc:"Locality heartbeat period while running a job.")
+  in
+  let serve_failure_arg =
+    Arg.(value & opt float 10.0
+         & info [ "failure-timeout" ] ~docv:"SECONDS"
+             ~doc:"Heartbeat-silence limit before a job declares one of its \
+                   localities dead and replays its leases on survivors; 0 or \
+                   negative disables the detector.")
+  in
+  let serve_lease_arg =
+    Arg.(value & opt (some float) None
+         & info [ "lease-timeout" ] ~docv:"SECONDS"
+             ~doc:"Revoke and replay any task lease still outstanding after \
+                   $(docv) seconds (off by default).")
+  in
+  let job_watchdog_arg =
+    Arg.(value & opt (some float) None
+         & info [ "job-watchdog" ] ~docv:"SECONDS"
+             ~doc:"Fail any single job that has not completed after $(docv) \
+                   seconds; its fleet slots are retired.")
+  in
+  let run port localities workers max_jobs queue_depth max_respawns heartbeat
+      failure_timeout lease_timeout job_watchdog =
+    (* Every registered instance whose problem carries a task codec is
+       servable; the rest are CLI/bench-only. *)
+    let registry =
+      List.filter_map
+        (fun i ->
+          let (Instances.Packed (p, show)) = Lazy.force i.Instances.problem in
+          match Server.servable p ~show with
+          | Ok sv -> Some (i.Instances.name, sv)
+          | Error _ -> None)
+        (Instances.all ())
+    in
+    let config =
+      { Server.port; localities; workers; max_jobs; queue_depth; max_respawns;
+        heartbeat; failure_timeout; lease_timeout; job_watchdog }
+    in
+    let t =
+      match Server.start ~config ~registry () with
+      | t -> t
+      | exception Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    Printf.printf
+      "serve:    http://127.0.0.1:%d (POST /jobs, GET /jobs/:id, GET \
+       /jobs/:id/result, DELETE /jobs/:id, GET /metrics, GET /status)\n"
+      (Server.port t);
+    Printf.printf "fleet:    %d localities x %d workers (+%d spares), %d \
+                   servable problems\n%!"
+      localities workers max_respawns (List.length registry);
+    (* Graceful shutdown: first SIGTERM/SIGINT cancels every job, quits
+       and reaps the whole fleet — no orphan locality survives. *)
+    let stop_requested = ref false in
+    let handler = Sys.Signal_handle (fun _ -> stop_requested := true) in
+    Sys.set_signal Sys.sigterm handler;
+    Sys.set_signal Sys.sigint handler;
+    while not !stop_requested do
+      try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    Printf.printf "serve:    shutting down\n%!";
+    Server.stop t
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run a multi-tenant search job server: a persistent pre-forked \
+             locality fleet accepting concurrent search jobs over HTTP/JSON.")
+    Term.(const run $ port_arg $ serve_localities_arg $ serve_workers_arg
+          $ max_jobs_arg $ queue_depth_arg $ serve_respawns_arg
+          $ serve_heartbeat_arg $ serve_failure_arg $ serve_lease_arg
+          $ job_watchdog_arg)
+
 let analyze_cmd =
   let module Analyze = Yewpar_telemetry.Analyze in
   let trace_arg =
@@ -564,13 +678,19 @@ let analyze_cmd =
              ~doc:"Regression threshold for $(b,--compare): a benchmark fails \
                    when its elapsed time grows by more than $(docv) percent.")
   in
+  let serve_arg =
+    Arg.(value & opt (some file) None
+         & info [ "serve" ] ~docv:"FILE"
+             ~doc:"Report per-job tail latency (p50/p95/p99) and throughput \
+                   from the $(b,serve) section of a $(b,bench --json) file.")
+  in
   let read_file file =
     In_channel.with_open_bin file In_channel.input_all
   in
-  let run trace compare new_file threshold =
+  let run trace compare serve new_file threshold =
     let code =
-      match (trace, compare) with
-      | Some file, None -> (
+      match (trace, compare, serve) with
+      | Some file, None, None -> (
         match Analyze.load_trace (read_file file) with
         | spans ->
           print_string (Analyze.load_balance_report spans);
@@ -578,7 +698,7 @@ let analyze_cmd =
         | exception Failure msg ->
           Printf.eprintf "yewpar analyze: %s: %s\n" file msg;
           2)
-      | None, Some old_file -> (
+      | None, Some old_file, None -> (
         match new_file with
         | None ->
           prerr_endline
@@ -596,22 +716,33 @@ let analyze_cmd =
           | exception Failure msg ->
             Printf.eprintf "yewpar analyze: %s\n" msg;
             2))
-      | Some _, Some _ ->
-        prerr_endline "yewpar analyze: --trace and --compare are exclusive";
-        2
-      | None, None ->
+      | None, None, Some file -> (
+        match Analyze.serve_report (read_file file) with
+        | report ->
+          print_string report;
+          0
+        | exception Failure msg ->
+          Printf.eprintf "yewpar analyze: %s: %s\n" file msg;
+          2)
+      | None, None, None ->
         prerr_endline
-          "yewpar analyze: nothing to do (use --trace FILE, or --compare OLD \
-           NEW)";
+          "yewpar analyze: nothing to do (use --trace FILE, --compare OLD \
+           NEW, or --serve FILE)";
+        2
+      | _ ->
+        prerr_endline
+          "yewpar analyze: --trace, --compare and --serve are exclusive";
         2
     in
     if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "analyze"
-       ~doc:"Analyze a recorded trace (load balance) or compare two bench \
-             JSON files (A/B regression check).")
-    Term.(const run $ trace_arg $ compare_arg $ new_arg $ threshold_arg)
+       ~doc:"Analyze a recorded trace (load balance), compare two bench JSON \
+             files (A/B regression check), or report job-server tail latency \
+             from a bench serve section.")
+    Term.(const run $ trace_arg $ compare_arg $ serve_arg $ new_arg
+          $ threshold_arg)
 
 let () =
   let doc = "YewPar-style parallel search skeletons (OCaml reproduction)" in
@@ -620,4 +751,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; solve_cmd; dimacs_cmd; tsplib_cmd; knapsack_cmd;
-            analyze_cmd ]))
+            serve_cmd; analyze_cmd ]))

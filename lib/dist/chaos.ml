@@ -72,6 +72,8 @@ let frame_name : Wire.msg -> string = function
   | Telemetry _ -> "telemetry"
   | Failed _ -> "failed"
   | Shutdown -> "shutdown"
+  | Job_start _ -> "job_start"
+  | Quit -> "quit"
 
 type plan = {
   kill_after : float option;
@@ -109,7 +111,8 @@ let plan faults ~seed ~locality =
 
 let should_drop p msg =
   match msg with
-  | Wire.Shutdown -> false (* dropping Shutdown would only hang the harness *)
+  (* Dropping job-control frames would only hang the harness. *)
+  | Wire.Shutdown | Wire.Job_start _ | Wire.Quit -> false
   | _ ->
     let name = frame_name msg in
     List.exists

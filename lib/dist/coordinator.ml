@@ -11,6 +11,16 @@ type outcome = {
   broadcasts : int;
   telemetry : (float * Recorder.packed list) option array;
   failure : string option;
+  dead : bool array;
+  abandoned : bool;
+}
+
+type progress = {
+  p_tasks_done : int;
+  p_pool_depth : int;
+  p_outstanding : int;
+  p_best : int;
+  p_alive : int;
 }
 
 (* One coordinator-issued task: everything needed to replay it if its
@@ -47,7 +57,7 @@ let send_timeout = 5.0
 
 let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
     ?(standby_from = max_int) ?(pool_policy = Yewpar_core.Workpool.Depth)
-    ~conns ~root_payload () =
+    ?cancelled ?on_progress ~conns ~root_payload () =
   let l = Array.length conns in
   let standby_from = min standby_from l in
   let failure_timeout =
@@ -246,6 +256,9 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
       Some s
   in
   let monitored = server <> None in
+  (* Heartbeats also feed the per-job progress callback of the job
+     server, which runs many coordinators without monitor ports. *)
+  let observed = monitored || on_progress <> None in
 
   let fail msg = if !failure = None then failure := Some msg in
 
@@ -470,7 +483,7 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
           best;
           trace_dropped;
         } ->
-      if monitored then begin
+      if observed then begin
         live.(i) <-
           Some
             {
@@ -483,7 +496,26 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
               trace_dropped;
             };
         incr heartbeats;
-        refresh_gauges ()
+        if monitored then refresh_gauges ();
+        match on_progress with
+        | None -> ()
+        | Some f ->
+          let sum g =
+            Array.fold_left
+              (fun a -> function Some h -> a + g h | None -> a)
+              0 live
+          in
+          f
+            {
+              p_tasks_done = sum (fun h -> h.tasks_done);
+              p_pool_depth = Pool.size pool + sum (fun h -> h.pool_depth);
+              p_outstanding = Hashtbl.length outstanding;
+              p_best =
+                Array.fold_left
+                  (fun a -> function Some h -> max a h.best | None -> a)
+                  !global_best live;
+              p_alive = alive_count ();
+            }
       end
     | Wire.Failed { message } ->
       fail message;
@@ -498,7 +530,9 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
       telemetry_got.(i) <- Some (Unix.gettimeofday () -. clock, buffers)
     (* Locality-bound messages; never sent to the coordinator. [Pong]
        matters only for the liveness clock, refreshed on any frame. *)
-    | Wire.Pong | Wire.Ping | Wire.Steal_reply _ | Wire.Shutdown -> ()
+    | Wire.Pong | Wire.Ping | Wire.Steal_reply _ | Wire.Shutdown
+    | Wire.Job_start _ | Wire.Quit ->
+      ()
   in
   let locality_done i = (not alive.(i)) || stats_got.(i) <> None in
   let all_done () =
@@ -587,6 +621,19 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
           | exception Transport.Closed ->
             on_death i ~reason:"socket closed")
       !live_conns;
+    (* External cancellation (job server DELETE, CLI signal): behaves
+       like a failure — broadcast Shutdown so every locality stops and
+       reports, then collect as usual. Outstanding leases die with this
+       coordinator invocation; the caller decides what "cancelled"
+       means. *)
+    (match cancelled with
+    | Some f when not !shutdown_sent -> (
+      match f () with
+      | Some reason ->
+        fail reason;
+        broadcast_shutdown ()
+      | None -> ())
+    | _ -> ());
     check_liveness ();
     check_lease_timeouts ();
     serve_hungry ();
@@ -619,4 +666,5 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
   let deltas = Hashtbl.fold (fun _ delta acc -> delta :: acc) retired [] in
   let residuals = Array.to_list results |> List.filter_map Fun.id in
   { deltas; residuals; witness = !witness; stats; broadcasts = !broadcasts;
-    telemetry = telemetry_got; failure = !failure }
+    telemetry = telemetry_got; failure = !failure;
+    dead = Array.map not alive; abandoned = !abandoned }

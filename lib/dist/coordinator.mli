@@ -61,9 +61,31 @@ type outcome = {
           coordinator's timeline. *)
   failure : string option;
       (** A locality's failure message, a watchdog report (with
-          elapsed time and per-locality last-heartbeat ages), or
-          total-loss report. *)
+          elapsed time and per-locality last-heartbeat ages), a
+          cancellation reason, or total-loss report. *)
+  dead : bool array;
+      (** Per-connection post-mortem: [dead.(i)] is true when locality
+          [i] was declared dead during the run (its connection was
+          closed by the coordinator). The job server uses this to
+          retire fleet slots whose process is gone. *)
+  abandoned : bool;
+      (** True when the watchdog expired {e and} collection was
+          abandoned after the grace period: surviving localities may
+          still be mid-job with undrained sockets, so their
+          connections must not be reused for another job. *)
 }
+
+type progress = {
+  p_tasks_done : int;  (** Tasks finished, summed over localities. *)
+  p_pool_depth : int;
+      (** Tasks queued: coordinator pool plus local pools. *)
+  p_outstanding : int;  (** Leases issued and not yet retired. *)
+  p_best : int;
+      (** Best incumbent objective seen ([min_int] when none). *)
+  p_alive : int;  (** Localities still connected. *)
+}
+(** A best-effort snapshot of a running search, derived from the same
+    heartbeats that feed the live monitor. *)
 
 val run :
   ?watchdog:float ->
@@ -73,6 +95,8 @@ val run :
   ?lease_timeout:float ->
   ?standby_from:int ->
   ?pool_policy:Yewpar_core.Workpool.policy ->
+  ?cancelled:(unit -> string option) ->
+  ?on_progress:(progress -> unit) ->
   conns:Transport.t array ->
   root_payload:string ->
   unit ->
@@ -91,6 +115,15 @@ val run :
     death. [pool_policy] (default [Depth]) orders the distributed
     workpool; best-first coordination passes [Priority] so the
     coordinator serves globally best tasks first.
+
+    [cancelled] is polled once per event-loop iteration; returning
+    [Some reason] aborts the run like a failure — [Shutdown] is
+    broadcast, stats are still collected, and [reason] lands in
+    [outcome.failure]. The CLI routes SIGTERM/SIGINT through it and
+    the job server routes [DELETE /jobs/:id], which is how a
+    cancelled job releases its leases. [on_progress] is invoked on
+    every heartbeat receipt with a {!progress} snapshot (it works
+    without [monitor_port]).
 
     With [monitor_port] the coordinator serves live observability over
     HTTP on [127.0.0.1] for the duration of the run ([0] picks an

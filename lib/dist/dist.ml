@@ -103,6 +103,10 @@ let distributed_run (type s n r) ?stats ?broadcasts ?telemetry ?watchdog
                   end
                   else Unix.close coord_fd)
                 pairs;
+              (* Ctrl-C hits the whole foreground process group; let
+                 the coordinator turn it into a Shutdown broadcast
+                 instead of killing localities mid-frame. *)
+              Sys.set_signal Sys.sigint Sys.Signal_ignore;
               let conn = Transport.create (snd pairs.(i)) in
               (* Heartbeats are always on: they feed the coordinator's
                  failure detector, not just live monitoring. *)
@@ -117,8 +121,29 @@ let distributed_run (type s n r) ?stats ?broadcasts ?telemetry ?watchdog
   in
   Array.iter (fun (_, loc_fd) -> Unix.close loc_fd) pairs;
   let conns = Array.map (fun (coord_fd, _) -> Transport.create coord_fd) pairs in
+  (* Graceful shutdown: SIGTERM/SIGINT cancel the run through the
+     coordinator — Shutdown is broadcast, localities report and exit,
+     and the finally block below reaps them, so no orphan survives a
+     ^C. The handlers are installed after the fork (children ignore
+     SIGINT above) and restored on the way out. *)
+  let signalled = ref None in
+  let name_of s = if s = Sys.sigterm then "SIGTERM" else "SIGINT" in
+  let previous =
+    List.map
+      (fun s ->
+        ( s,
+          Sys.signal s
+            (Sys.Signal_handle
+               (fun s -> if !signalled = None then signalled := Some (name_of s)))
+        ))
+      [ Sys.sigterm; Sys.sigint ]
+  in
+  let cancelled () =
+    Option.map (fun s -> "cancelled by " ^ s) !signalled
+  in
   Fun.protect
     ~finally:(fun () ->
+      List.iter (fun (s, h) -> Sys.set_signal s h) previous;
       Array.iter (fun c -> try Transport.close c with _ -> ()) conns;
       (* Reap every locality; kill stragglers so no orphan outlives the
          coordinator. *)
@@ -147,7 +172,8 @@ let distributed_run (type s n r) ?stats ?broadcasts ?telemetry ?watchdog
         Coordinator.run ?watchdog ?monitor_port ?on_monitor
           ~failure_timeout ?lease_timeout ~standby_from:localities
           ~pool_policy:(Yewpar_runtime.Task_pool.policy_for coordination)
-          ~conns ~root_payload:(codec.Codec.encode p.Problem.root) ()
+          ~cancelled ~conns
+          ~root_payload:(codec.Codec.encode p.Problem.root) ()
       in
       (match outcome.Coordinator.failure with
       | Some msg -> failwith ("Dist: " ^ msg)

@@ -28,6 +28,20 @@
     exceptional) every child has been reaped — stragglers are
     killed. *)
 
+val combine :
+  ('s, 'n, 'r) Yewpar_core.Problem.t ->
+  'n Yewpar_core.Codec.t ->
+  Coordinator.outcome ->
+  'r
+(** Fold a coordinator {!Coordinator.outcome} into the problem's
+    answer: enumerations fold the retired lease deltas (an exact
+    partition of the tree), optimisation/decision take the best of
+    deltas, residuals and the coordinator's witness. Exposed for the
+    job server, which runs its own per-job coordinators over a
+    persistent fleet.
+    @raise Failure on an Optimise outcome that never processed the
+    root. *)
+
 val run :
   ?stats:Yewpar_core.Stats.t ->
   ?broadcasts:int ref ->
@@ -91,6 +105,12 @@ val run :
     [GET /metrics] (Prometheus) and [GET /status] (JSON, per-locality
     detail plus fault counters) on [127.0.0.1]. Port [0] binds an
     ephemeral port, reported through [on_monitor] once listening.
+
+    SIGTERM and SIGINT are handled for the duration of the run: the
+    coordinator broadcasts [Shutdown], collects the localities'
+    reports, reaps every child and raises [Failure "Dist: cancelled by
+    SIGTERM"] (or [SIGINT]) — no orphan processes survive a ^C. The
+    previous handlers are restored on return.
 
     [Sequential] coordination runs in-process via
     {!Yewpar_core.Sequential.search}.

@@ -479,9 +479,13 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos
     | Wire.Shutdown ->
       shutdown := true;
       Worker.request_stop ctx
-    (* Coordinator-bound messages; never sent to a locality. *)
+    (* Coordinator-bound messages — never sent to a locality — plus
+       job-control frames that only mean something to the idle serve
+       loop ([Job_start] mid-job is a protocol error; [Quit] is only
+       sent to idle fleet members). *)
     | Wire.Task _ | Wire.Witness _ | Wire.Idle _ | Wire.Pong | Wire.Heartbeat _
-    | Wire.Result _ | Wire.Stats _ | Wire.Telemetry _ | Wire.Failed _ ->
+    | Wire.Result _ | Wire.Stats _ | Wire.Telemetry _ | Wire.Failed _
+    | Wire.Job_start _ | Wire.Quit ->
       ()
   in
   let handle_inbound m =
@@ -636,3 +640,29 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos
            buffers = Array.to_list (Array.map Recorder.export recorders);
          });
   send_out (Wire.Stats st)
+
+let serve ~conn ~resolve =
+  (* Persistent fleet member of the job server: sit idle between jobs,
+     run one job at a time on this connection, exit only on [Quit] (or
+     when the daemon vanishes — EOF). An in-job [Shutdown] ends the job
+     inside [run] and drops us back here; a [Shutdown] seen while idle
+     is the tail of an already-finished job (e.g. the cleanup broadcast
+     after a resolve failure) and is ignored, as are stale in-job
+     frames such as late bound updates. *)
+  let quit = ref false in
+  try
+    while not !quit do
+      match Transport.recv conn with
+      | Wire.Job_start { instance; skeleton } -> (
+        match resolve ~instance ~skeleton with
+        | Ok run_job -> run_job ()
+        | Error message ->
+          (* Fail the job but keep the coordinator's accounting whole:
+             it counts a locality done only once Stats arrive. *)
+          Transport.send conn (Wire.Failed { message });
+          Transport.send conn (Wire.Stats (Stats.create ())))
+      | Wire.Ping -> Transport.send conn Wire.Pong
+      | Wire.Quit -> quit := true
+      | _ -> ()
+    done
+  with Transport.Closed -> ()

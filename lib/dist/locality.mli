@@ -58,3 +58,18 @@ val run :
     recorders' ring-overflow drop count. The problem must carry a task
     codec.
     @raise Transport.Closed if the coordinator disappears mid-run. *)
+
+val serve :
+  conn:Transport.t ->
+  resolve:
+    (instance:string -> skeleton:string -> (unit -> unit, string) result) ->
+  unit
+(** Persistent-fleet main loop ([yewpar serve]): block on the
+    connection, and for each [Wire.Job_start] frame resolve the named
+    instance and skeleton through [resolve] and execute the returned
+    thunk — typically a closure over {!run}, which returns when the
+    job's coordinator broadcasts [Shutdown] — then go back to idle. A
+    resolve failure sends [Failed] plus an empty [Stats] so the job's
+    coordinator can still account this locality as done. Answers
+    [Ping] while idle; returns on [Quit] or when the daemon's end of
+    the socket closes. *)

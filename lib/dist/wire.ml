@@ -24,6 +24,8 @@ type msg =
     }
   | Failed of { message : string }
   | Shutdown
+  | Job_start of { instance : string; skeleton : string }
+  | Quit
 
 let header_size = 4
 

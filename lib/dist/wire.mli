@@ -103,7 +103,22 @@ type msg =
   | Failed of { message : string }
       (** Locality → coordinator: user code (a generator, bound or
           objective) raised; aborts the whole search. *)
-  | Shutdown  (** Coordinator → locality: stop, report and exit. *)
+  | Shutdown
+      (** Coordinator → locality: stop the current search, report and
+          return. A locality forked for a single run exits afterwards;
+          a persistent locality ({!Locality.serve}, the [yewpar serve]
+          fleet) returns to idle and waits for the next [Job_start]. *)
+  | Job_start of { instance : string; skeleton : string }
+      (** Daemon → persistent locality: begin a search job. [instance]
+          names a registered problem (resolved inside the locality —
+          same binary, same registry) and [skeleton] is the
+          coordination in {!Yewpar_core.Coordination.of_string}
+          syntax. Only used by the job server's persistent fleet;
+          never sent on single-run connections. *)
+  | Quit
+      (** Daemon → persistent locality: the fleet is shutting down for
+          good — exit the process. Distinct from [Shutdown], which
+          only ends the current job. *)
 
 val to_bytes : msg -> bytes
 (** Frame one message: 4-byte big-endian length + marshalled payload. *)

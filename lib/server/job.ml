@@ -1,0 +1,140 @@
+module Analyze = Yewpar_telemetry.Analyze
+module Stats = Yewpar_core.Stats
+module Coordinator = Yewpar_dist.Coordinator
+
+type spec = { problem : string; skeleton : string; localities : int }
+
+type state =
+  | Queued
+  | Running
+  | Done
+  | Failed of string
+  | Cancelled of string
+
+type t = {
+  id : int;
+  spec : spec;
+  submitted : float;
+  cancel : string option Atomic.t;
+  mutable state : state;
+  mutable started : float option;
+  mutable finished : float option;
+  mutable result : string option;
+  mutable stats : Stats.t option;
+  mutable progress : Coordinator.progress option;
+  mutable slots : int list;
+}
+
+let create ~id ~spec =
+  {
+    id;
+    spec;
+    submitted = Unix.gettimeofday ();
+    cancel = Atomic.make None;
+    state = Queued;
+    started = None;
+    finished = None;
+    result = None;
+    stats = None;
+    progress = None;
+    slots = [];
+  }
+
+let state_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Failed _ -> "failed"
+  | Cancelled _ -> "cancelled"
+
+let terminal j =
+  match j.state with Done | Failed _ | Cancelled _ -> true | _ -> false
+
+let spec_of_body body =
+  match Analyze.parse_json body with
+  | exception Failure msg -> Error msg
+  | json ->
+    let problem = Analyze.str_or "" (Analyze.member "problem" json) in
+    let skeleton = Analyze.str_or "" (Analyze.member "skeleton" json) in
+    let localities =
+      int_of_float (Analyze.num_or 1. (Analyze.member "localities" json))
+    in
+    if problem = "" then Error {|missing or non-string "problem"|}
+    else if skeleton = "" then Error {|missing or non-string "skeleton"|}
+    else if localities < 1 then Error {|"localities" must be >= 1|}
+    else Ok { problem; skeleton; localities }
+
+let opt_num = function Some f -> Analyze.Num f | None -> Analyze.Null
+
+let fields j =
+  let open Analyze in
+  let error =
+    match j.state with
+    | Failed m | Cancelled m -> [ ("error", Str m) ]
+    | _ -> []
+  in
+  [
+    ("id", Num (float_of_int j.id));
+    ("problem", Str j.spec.problem);
+    ("skeleton", Str j.spec.skeleton);
+    ("localities", Num (float_of_int j.spec.localities));
+    ("state", Str (state_name j.state));
+    ("submitted", Num j.submitted);
+    ("started", opt_num j.started);
+    ("finished", opt_num j.finished);
+  ]
+  @ error
+
+let to_json j =
+  let open Analyze in
+  let num i = Num (float_of_int i) in
+  let progress =
+    match j.progress with
+    | None -> []
+    | Some p ->
+      [
+        ( "progress",
+          Obj
+            [
+              ("tasks_done", num p.Coordinator.p_tasks_done);
+              ("pool_depth", num p.Coordinator.p_pool_depth);
+              ("outstanding", num p.Coordinator.p_outstanding);
+              ("best", num p.Coordinator.p_best);
+              ("alive", num p.Coordinator.p_alive);
+            ] );
+      ]
+  in
+  Obj (fields j @ progress)
+
+let stats_json (st : Stats.t) =
+  let open Analyze in
+  let num i = Num (float_of_int i) in
+  Obj
+    [
+      ("nodes", num st.Stats.nodes);
+      ("pruned", num st.Stats.pruned);
+      ("backtracks", num st.Stats.backtracks);
+      ("max_depth", num st.Stats.max_depth);
+      ("tasks", num st.Stats.tasks);
+      ("steal_attempts", num st.Stats.steal_attempts);
+      ("steals", num st.Stats.steals);
+      ("bound_updates", num st.Stats.bound_updates);
+      ("localities_lost", num st.Stats.localities_lost);
+      ("leases_reissued", num st.Stats.leases_reissued);
+      ("respawns", num st.Stats.respawns);
+    ]
+
+let result_json j =
+  let open Analyze in
+  let result =
+    match j.result with Some r -> [ ("result", Str r) ] | None -> []
+  in
+  let stats =
+    match j.stats with Some st -> [ ("stats", stats_json st) ] | None -> []
+  in
+  let elapsed =
+    match (j.started, j.finished) with
+    | Some a, Some b -> [ ("elapsed", Num (b -. a)) ]
+    | _ -> []
+  in
+  Obj (fields j @ result @ elapsed @ stats)

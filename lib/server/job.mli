@@ -1,0 +1,67 @@
+(** One search job of the multi-tenant server: its submitted spec and
+    its mutable lifecycle record.
+
+    State machine: [Queued] → [Running] → [Done] / [Failed] /
+    [Cancelled] (a queued job can be cancelled before it ever runs).
+    Mutations happen under the server's mutex; the HTTP handler domain
+    reads single mutable fields (each one pointer- or word-sized), so
+    a status scrape sees a best-effort but never malformed snapshot —
+    the same discipline the live monitor uses. *)
+
+type spec = {
+  problem : string;  (** Registered instance name, e.g. [queens-10]. *)
+  skeleton : string;
+      (** Skeleton spec string, e.g. [depthbounded:2] — parsed with
+          {!Yewpar_core.Coordination.of_string}; [seq] is rejected. *)
+  localities : int;  (** Fleet slots this job wants (default 1). *)
+}
+
+type state =
+  | Queued
+  | Running
+  | Done
+  | Failed of string
+  | Cancelled of string
+
+type t = {
+  id : int;
+  spec : spec;
+  submitted : float;
+  cancel : string option Atomic.t;
+      (** Set to [Some reason] to cancel: the job's coordinator polls
+          it every event-loop iteration ([DELETE /jobs/:id]). *)
+  mutable state : state;
+  mutable started : float option;
+  mutable finished : float option;
+  mutable result : string option;  (** Rendered answer, when [Done]. *)
+  mutable stats : Yewpar_core.Stats.t option;
+      (** This job's own aggregate counters — per-job isolation: each
+          locality starts fresh counters per job, and the job's
+          coordinator sums only its own localities' final frames. *)
+  mutable progress : Yewpar_dist.Coordinator.progress option;
+  mutable slots : int list;  (** Fleet slots assigned while running. *)
+}
+
+val create : id:int -> spec:spec -> t
+(** A fresh [Queued] job stamped with the current time. *)
+
+val state_name : state -> string
+(** ["queued"], ["running"], ["done"], ["failed"] or ["cancelled"]. *)
+
+val terminal : t -> bool
+(** True once the job can never change state again. *)
+
+val spec_of_body : string -> (spec, string) result
+(** Parse a [POST /jobs] JSON body:
+    [{"problem": .., "skeleton": .., "localities"?: ..}]. The error
+    string is client-facing (it becomes the 400 body). Registry and
+    capacity validation happen in the server, which knows both. *)
+
+val to_json : t -> Yewpar_telemetry.Analyze.json
+(** Status document ([GET /jobs/:id]): identity, state, timestamps,
+    error if any, and the latest progress snapshot while running. *)
+
+val result_json : t -> Yewpar_telemetry.Analyze.json
+(** Result document ([GET /jobs/:id/result]): the status fields plus
+    the rendered result, elapsed running time and this job's own
+    stats counters. *)

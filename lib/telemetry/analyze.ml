@@ -192,6 +192,54 @@ let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
 let num_or d = function Some (Num f) -> f | _ -> d
 let str_or d = function Some (Str s) -> s | _ -> d
 
+let to_string json =
+  let buf = Buffer.create 256 in
+  let add_escaped s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+  in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.0f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+    | Str s -> add_escaped s
+    | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          go x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_escaped k;
+          Buffer.add_char buf ':';
+          go v)
+        kvs;
+      Buffer.add_char buf '}'
+  in
+  go json;
+  Buffer.contents buf
+
 (* ------------------------- trace loading ------------------------- *)
 
 let spans_of_chrome content =
@@ -474,3 +522,70 @@ let compare_bench ~threshold_pct ~old_ ~new_ =
     (Printf.sprintf "%d/%d compared benchmarks regressed beyond +%.1f%%\n"
        (List.length regressions) (List.length joined) threshold_pct);
   { regressions; report = Buffer.contents buf }
+
+(* ------------------------- serve latency ------------------------- *)
+
+let serve_report content =
+  let json = parse_json content in
+  let records =
+    match json with
+    | Arr rs -> rs
+    | Obj _ -> (
+      match member "records" json with
+      | Some (Arr rs) -> rs
+      | _ -> failwith "bench json: expected schema_version and records")
+    | _ -> failwith "bench json: expected an object or array"
+  in
+  let jobs =
+    List.filter (fun r -> str_or "" (member "experiment" r) = "serve") records
+  in
+  if jobs = [] then
+    "no serve records: run bench --sections serve --json first\n"
+  else begin
+    let lats =
+      Array.of_list (List.map (fun r -> num_or 0. (member "elapsed" r)) jobs)
+    in
+    Array.sort compare lats;
+    let buf = Buffer.create 1024 in
+    let summary =
+      List.find_opt
+        (fun r -> str_or "" (member "experiment" r) = "serve-summary")
+        records
+    in
+    (match summary with
+    | Some s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "serve: %d jobs over %ss wall, %.2f jobs/s (%dx%d fleet)\n\n"
+           (int_of_float (num_or 0. (member "jobs" s)))
+           (fsec (num_or 0. (member "elapsed" s)))
+           (num_or 0. (member "throughput" s))
+           (int_of_float (num_or 0. (member "localities" s)))
+           (int_of_float (num_or 0. (member "workers" s))))
+    | None ->
+      Buffer.add_string buf
+        (Printf.sprintf "serve: %d jobs (no summary record)\n\n"
+           (List.length jobs)));
+    Buffer.add_string buf
+      (Table.render
+         ~header:[ "job"; "problem"; "skeleton"; "latency (s)" ]
+         (List.map
+            (fun r ->
+              [
+                string_of_int (int_of_float (num_or 0. (member "job" r)));
+                str_or "?" (member "problem" r);
+                str_or "?" (member "skeleton" r);
+                fsec (num_or 0. (member "elapsed" r));
+              ])
+            jobs));
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf
+         "job latency (s): n=%d p50=%s p95=%s p99=%s max=%s\n"
+         (Array.length lats)
+         (fsec (percentile 50. lats))
+         (fsec (percentile 95. lats))
+         (fsec (percentile 99. lats))
+         (fsec lats.(Array.length lats - 1)));
+    Buffer.contents buf
+  end

@@ -12,6 +12,7 @@ module Stats = Yewpar_core.Stats
 module Shm = Yewpar_par.Shm
 module Dist = Yewpar_dist.Dist
 module Queens = Yewpar_queens.Queens
+module Http = Yewpar_telemetry.Http_export
 
 let queens_n n = Queens.count_solutions (Queens.instance ~n)
 
@@ -393,6 +394,96 @@ let test_dist_traced () =
   in
   Alcotest.(check (list (float 0.))) "a process per locality" [ 0.; 1. ] pids
 
+(* ------------------------- HTTP exporter ------------------------- *)
+
+(* [Http.start] spawns a domain, so these must stay after the dist
+   end-to-end test (forking is impossible once a domain exists). *)
+
+(* Split a raw HTTP response into status code, header lines and body,
+   and check the invariant every response must satisfy: an exact
+   [Content-Length] and [Connection: close]. *)
+let check_response ~expect_status raw =
+  let hdr_end =
+    try Str.search_forward (Str.regexp_string "\r\n\r\n") raw 0
+    with Not_found -> Alcotest.failf "no header/body split in %S" raw
+  in
+  let headers = String.sub raw 0 hdr_end in
+  let body = String.sub raw (hdr_end + 4) (String.length raw - hdr_end - 4) in
+  let status =
+    match String.split_on_char ' ' headers with
+    | _ :: code :: _ -> int_of_string code
+    | _ -> Alcotest.failf "bad status line in %S" headers
+  in
+  Alcotest.(check int) "status" expect_status status;
+  let header name =
+    let re = Str.regexp_case_fold (name ^ ": *\\([^\r\n]*\\)") in
+    try
+      ignore (Str.search_forward re headers 0);
+      Some (Str.matched_group 1 headers)
+    with Not_found -> None
+  in
+  Alcotest.(check (option string))
+    "content-length matches body"
+    (Some (string_of_int (String.length body)))
+    (header "Content-Length");
+  Alcotest.(check (option string))
+    "connection: close" (Some "close") (header "Connection");
+  body
+
+let test_http_routes_errors () =
+  (* Routes only, no catch-all: unknown paths 404, non-GET 405. *)
+  let t = Http.start ~routes:[ ("/ok", fun () -> ("text/plain", "fine")) ] () in
+  let port = Http.port t in
+  Fun.protect
+    ~finally:(fun () -> Http.stop t)
+    (fun () ->
+      let body = check_response ~expect_status:200 (Http.get ~port "/ok") in
+      Alcotest.(check string) "route body" "fine" body;
+      let body = check_response ~expect_status:404 (Http.get ~port "/nope") in
+      Alcotest.(check bool) "404 has a body" true (String.length body > 0);
+      let raw =
+        Http.raw ~timeout:5.0 ~port
+          "POST /ok HTTP/1.0\r\nContent-Length: 0\r\n\r\n"
+      in
+      ignore (check_response ~expect_status:405 raw);
+      (* An unparsable request line is a 400, not a dropped socket. *)
+      let raw = Http.raw ~timeout:5.0 ~port "NOT-EVEN-HTTP\r\n\r\n" in
+      ignore (check_response ~expect_status:400 raw);
+      (* A Content-Length the server refuses to buffer is a 400 too. *)
+      let raw =
+        Http.raw ~timeout:5.0 ~port
+          "POST /ok HTTP/1.0\r\nContent-Length: 99999999\r\n\r\n"
+      in
+      ignore (check_response ~expect_status:400 raw))
+
+let test_http_handler () =
+  (* A catch-all handler: parsed method and body reach it; exceptions
+     become 500s and the server survives them. *)
+  let t =
+    Http.start
+      ~handler:(fun req ->
+        if req.Http.path = "/boom" then failwith "kaboom"
+        else
+          {
+            Http.status = 200;
+            content_type = "text/plain";
+            body = Printf.sprintf "%s:%s" req.Http.meth req.Http.body;
+          })
+      ()
+  in
+  let port = Http.port t in
+  Fun.protect
+    ~finally:(fun () -> Http.stop t)
+    (fun () ->
+      let status, body = Http.request ~meth:"POST" ~body:"hello" ~port "/echo" in
+      Alcotest.(check int) "handler 200" 200 status;
+      Alcotest.(check string) "method and body parsed" "POST:hello" body;
+      let body = check_response ~expect_status:500 (Http.get ~port "/boom") in
+      Alcotest.(check bool) "500 has a body" true (String.length body > 0);
+      (* Still alive after the 500. *)
+      let status, _ = Http.request ~port "/after" in
+      Alcotest.(check int) "server survived the raise" 200 status)
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -422,5 +513,12 @@ let () =
         [
           Alcotest.test_case "dist traced run" `Quick test_dist_traced;
           Alcotest.test_case "shm traced run" `Quick test_shm_traced;
+        ] );
+      (* After end-to-end: Http.start spawns a domain. *)
+      ( "http",
+        [
+          Alcotest.test_case "routes, 404, 405, 400" `Quick
+            test_http_routes_errors;
+          Alcotest.test_case "handler, POST body, 500" `Quick test_http_handler;
         ] );
     ]
