@@ -19,6 +19,7 @@ module Dist = Yewpar_dist.Dist
 module Mc = Yewpar_maxclique.Maxclique
 module Telemetry = Yewpar_telemetry.Telemetry
 module Recorder = Yewpar_telemetry.Recorder
+module Journal = Yewpar_telemetry.Journal
 
 open Cmdliner
 
@@ -80,6 +81,7 @@ type obs = {
   obs_trace : string option;
   obs_format : trace_format;
   obs_metrics : string option;
+  obs_journal : string option;
   obs_monitor : int option;
   obs_heartbeat : float;
   obs_depths : string option;
@@ -121,6 +123,15 @@ let obs_term =
          & info [ "metrics" ] ~docv:"FILE"
              ~doc:"Write run metrics (counters and duration histograms) to \
                    $(docv) in Prometheus text exposition format.")
+  in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Append a causal event journal to $(docv) as JSONL (seq, \
+                   shm and dist runtimes): job, lease, spill, task, steal, \
+                   bound, idle and fault events, each carrying trace/span/\
+                   parent ids so steals and replays form one causal tree. \
+                   Analyze with $(b,yewpar analyze --journal) $(docv).")
   in
   let trace_csv =
     Arg.(value & opt (some string) None
@@ -221,8 +232,8 @@ let obs_term =
                    after $(docv) seconds (dist runtime) — a lost reply must \
                    not starve the thief forever.")
   in
-  let combine obs_trace obs_format obs_metrics trace_csv obs_monitor
-      obs_heartbeat obs_depths obs_watchdog obs_failure_timeout
+  let combine obs_trace obs_format obs_metrics obs_journal trace_csv
+      obs_monitor obs_heartbeat obs_depths obs_watchdog obs_failure_timeout
       obs_lease_timeout obs_max_respawns obs_chaos obs_chaos_seed comm_tick
       steal_retry =
     let obs_timing =
@@ -233,9 +244,10 @@ let obs_term =
         exit 1
     in
     let rest =
-      { obs_trace; obs_format; obs_metrics; obs_monitor; obs_heartbeat;
-        obs_depths; obs_watchdog; obs_failure_timeout; obs_lease_timeout;
-        obs_max_respawns; obs_chaos; obs_chaos_seed; obs_timing }
+      { obs_trace; obs_format; obs_metrics; obs_journal; obs_monitor;
+        obs_heartbeat; obs_depths; obs_watchdog; obs_failure_timeout;
+        obs_lease_timeout; obs_max_respawns; obs_chaos; obs_chaos_seed;
+        obs_timing }
     in
     match (obs_trace, trace_csv) with
     | None, Some f ->
@@ -244,9 +256,10 @@ let obs_term =
       { rest with obs_trace = Some f; obs_format = Csv }
     | _ -> rest
   in
-  Term.(const combine $ trace $ format $ metrics $ trace_csv $ monitor
-        $ heartbeat $ depths $ watchdog $ failure_timeout $ lease_timeout
-        $ max_respawns $ chaos $ chaos_seed $ comm_tick $ steal_retry)
+  Term.(const combine $ trace $ format $ metrics $ journal $ trace_csv
+        $ monitor $ heartbeat $ depths $ watchdog $ failure_timeout
+        $ lease_timeout $ max_respawns $ chaos $ chaos_seed $ comm_tick
+        $ steal_retry)
 
 let write_file file data =
   Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc data)
@@ -296,7 +309,18 @@ let execute ~runtime ~coordination ~localities ~workers ~seed ~obs
       Some (Telemetry.create ())
     else None
   in
-  match runtime with
+  let journal =
+    Option.map (fun path -> Journal.create ~path ()) obs.obs_journal
+  in
+  let close_journal () =
+    match (journal, obs.obs_journal) with
+    | Some w, Some file ->
+      Printf.printf "journal:  %s (%d events, trace %s)\n" file
+        (Journal.written w) (Journal.trace w);
+      Journal.close w
+    | _ -> ()
+  in
+  (match runtime with
   | Rt_seq ->
     let t0 = Unix.gettimeofday () in
     let (result, stats), elapsed = wall (fun () -> Sequential.search_with_stats p) in
@@ -307,6 +331,16 @@ let execute ~runtime ~coordination ~localities ~workers ~seed ~obs
           { Telemetry.locality = 0; worker = 0; kind = Recorder.Task;
             start = t0; dur = elapsed; arg = stats.Stats.nodes; label = "" })
       telemetry;
+    Option.iter
+      (fun w ->
+        Journal.write w
+          [
+            Journal.event ~locality:0 ~t:t0 ~ev:"job_start" ~span:0 ();
+            Journal.event ~parent:0 ~locality:0 ~worker:0 ~t:t0 ~dur:elapsed
+              ~value:stats.Stats.nodes ~ev:"task" ~span:1 ();
+            Journal.event ~locality:0 ~dur:elapsed ~ev:"job_done" ~span:0 ();
+          ])
+      journal;
     Printf.printf "result:   %s\n" (show result);
     Format.printf "stats:    %a@." Stats.pp stats;
     Printf.printf "walltime: %.3fs\n" elapsed;
@@ -316,8 +350,9 @@ let execute ~runtime ~coordination ~localities ~workers ~seed ~obs
     let stats = Stats.create () in
     let result, elapsed =
       wall (fun () ->
-          Shm.run ~workers ~stats ?telemetry ?monitor_port:obs.obs_monitor
-            ~on_monitor:announce_monitor ~coordination p)
+          Shm.run ~workers ~stats ?telemetry ?journal
+            ?monitor_port:obs.obs_monitor ~on_monitor:announce_monitor
+            ~coordination p)
     in
     stats.Stats.elapsed <- elapsed;
     Printf.printf "result:   %s\n" (show result);
@@ -330,7 +365,7 @@ let execute ~runtime ~coordination ~localities ~workers ~seed ~obs
     let result, elapsed =
       match
         wall (fun () ->
-            Dist.run ~stats ?telemetry ?monitor_port:obs.obs_monitor
+            Dist.run ~stats ?telemetry ?journal ?monitor_port:obs.obs_monitor
               ~heartbeat:obs.obs_heartbeat ?watchdog:obs.obs_watchdog
               ~failure_timeout:obs.obs_failure_timeout
               ?lease_timeout:obs.obs_lease_timeout
@@ -383,7 +418,12 @@ let execute ~runtime ~coordination ~localities ~workers ~seed ~obs
               label = s.Yewpar_sim.Trace.label })
         (Yewpar_sim.Trace.spans t)
     | _ -> ());
-    export_observability obs telemetry
+    if obs.obs_journal <> None then
+      prerr_endline
+        "yewpar: --journal is not supported by the sim runtime (virtual \
+         time); use seq, shm or dist";
+    export_observability obs telemetry);
+  close_journal ()
 
 let list_cmd =
   let run () =
@@ -599,8 +639,16 @@ let serve_cmd =
              ~doc:"Fail any single job that has not completed after $(docv) \
                    seconds; its fleet slots are retired.")
   in
+  let serve_journal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Append every job's causal event journal to $(docv) as \
+                   JSONL, one trace per job id, including \
+                   submitted/scheduled/finished daemon events. Analyze with \
+                   $(b,yewpar analyze --journal) $(docv).")
+  in
   let run port localities workers max_jobs queue_depth max_respawns heartbeat
-      failure_timeout lease_timeout job_watchdog =
+      failure_timeout lease_timeout job_watchdog journal =
     (* Every registered instance whose problem carries a task codec is
        servable; the rest are CLI/bench-only. *)
     let registry =
@@ -614,7 +662,8 @@ let serve_cmd =
     in
     let config =
       { Server.port; localities; workers; max_jobs; queue_depth; max_respawns;
-        heartbeat; failure_timeout; lease_timeout; job_watchdog }
+        heartbeat; failure_timeout; lease_timeout; job_watchdog; journal;
+        log = true }
     in
     let t =
       match Server.start ~config ~registry () with
@@ -630,6 +679,9 @@ let serve_cmd =
     Printf.printf "fleet:    %d localities x %d workers (+%d spares), %d \
                    servable problems\n%!"
       localities workers max_respawns (List.length registry);
+    (match journal with
+    | Some f -> Printf.printf "journal:  %s (jsonl, one trace per job)\n%!" f
+    | None -> ());
     (* Graceful shutdown: first SIGTERM/SIGINT cancels every job, quits
        and reaps the whole fleet — no orphan locality survives. *)
     let stop_requested = ref false in
@@ -649,7 +701,7 @@ let serve_cmd =
     Term.(const run $ port_arg $ serve_localities_arg $ serve_workers_arg
           $ max_jobs_arg $ queue_depth_arg $ serve_respawns_arg
           $ serve_heartbeat_arg $ serve_failure_arg $ serve_lease_arg
-          $ job_watchdog_arg)
+          $ job_watchdog_arg $ serve_journal_arg)
 
 let analyze_cmd =
   let module Analyze = Yewpar_telemetry.Analyze in
@@ -684,13 +736,27 @@ let analyze_cmd =
              ~doc:"Report per-job tail latency (p50/p95/p99) and throughput \
                    from the $(b,serve) section of a $(b,bench --json) file.")
   in
+  let journal_arg =
+    Arg.(value & opt (some file) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Analyze a causal event journal written by $(b,--journal) \
+                   (solve or serve): per-trace critical path through the \
+                   lease tree, overhead breakdown (compute / replay-waste / \
+                   steal-wait / idle), the longest leases and a flame-ordered \
+                   span summary.")
+  in
+  let top_arg =
+    Arg.(value & opt int 5
+         & info [ "top" ] ~docv:"K"
+             ~doc:"How many of the longest leases $(b,--journal) lists.")
+  in
   let read_file file =
     In_channel.with_open_bin file In_channel.input_all
   in
-  let run trace compare serve new_file threshold =
+  let run trace compare serve journal new_file threshold top =
     let code =
-      match (trace, compare, serve) with
-      | Some file, None, None -> (
+      match (trace, compare, serve, journal) with
+      | Some file, None, None, None -> (
         match Analyze.load_trace (read_file file) with
         | spans ->
           print_string (Analyze.load_balance_report spans);
@@ -698,7 +764,7 @@ let analyze_cmd =
         | exception Failure msg ->
           Printf.eprintf "yewpar analyze: %s: %s\n" file msg;
           2)
-      | None, Some old_file, None -> (
+      | None, Some old_file, None, None -> (
         match new_file with
         | None ->
           prerr_endline
@@ -716,7 +782,7 @@ let analyze_cmd =
           | exception Failure msg ->
             Printf.eprintf "yewpar analyze: %s\n" msg;
             2))
-      | None, None, Some file -> (
+      | None, None, Some file, None -> (
         match Analyze.serve_report (read_file file) with
         | report ->
           print_string report;
@@ -724,14 +790,28 @@ let analyze_cmd =
         | exception Failure msg ->
           Printf.eprintf "yewpar analyze: %s: %s\n" file msg;
           2)
-      | None, None, None ->
+      | None, None, None, Some file -> (
+        match Journal.read file with
+        | entries, malformed ->
+          print_string (Journal.report ~top entries);
+          if malformed > 0 then
+            Printf.printf "malformed: %d line(s) skipped\n" malformed;
+          0
+        | exception Sys_error msg ->
+          Printf.eprintf "yewpar analyze: %s\n" msg;
+          2
+        | exception Failure msg ->
+          Printf.eprintf "yewpar analyze: %s: %s\n" file msg;
+          2)
+      | None, None, None, None ->
         prerr_endline
           "yewpar analyze: nothing to do (use --trace FILE, --compare OLD \
-           NEW, or --serve FILE)";
+           NEW, --serve FILE, or --journal FILE)";
         2
       | _ ->
         prerr_endline
-          "yewpar analyze: --trace, --compare and --serve are exclusive";
+          "yewpar analyze: --trace, --compare, --serve and --journal are \
+           exclusive";
         2
     in
     if code <> 0 then exit code
@@ -739,10 +819,142 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Analyze a recorded trace (load balance), compare two bench JSON \
-             files (A/B regression check), or report job-server tail latency \
-             from a bench serve section.")
-    Term.(const run $ trace_arg $ compare_arg $ serve_arg $ new_arg
-          $ threshold_arg)
+             files (A/B regression check), report job-server tail latency \
+             from a bench serve section, or turn a causal event journal into \
+             a critical-path and overhead report.")
+    Term.(const run $ trace_arg $ compare_arg $ serve_arg $ journal_arg
+          $ new_arg $ threshold_arg $ top_arg)
+
+let top_cmd =
+  let module Analyze = Yewpar_telemetry.Analyze in
+  let module Http = Yewpar_telemetry.Http_export in
+  let port_arg =
+    Arg.(value & opt (some int) None
+         & info [ "port"; "p" ] ~docv:"PORT"
+             ~doc:"Poll $(b,GET /status) on 127.0.0.1:$(docv) — a running \
+                   $(b,solve --monitor-port) search or a $(b,serve) daemon.")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Tail a causal journal: re-read $(docv) every frame and \
+                   show its live critical-path report.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 1.0
+         & info [ "interval" ] ~docv:"SECONDS" ~doc:"Seconds between frames.")
+  in
+  let iterations_arg =
+    Arg.(value & opt int 0
+         & info [ "iterations" ] ~docv:"N"
+             ~doc:"Render $(docv) frames then exit (0 = until interrupted).")
+  in
+  (* Generic /status renderer: both the solve monitor and the serve
+     daemon answer JSON objects, with different keys — render scalar
+     fields as "key: value" lines and arrays of objects as tables, so
+     either shape is readable without baking its schema in here. *)
+  let scalar = function
+    | Analyze.Str s -> Some s
+    | Analyze.Num f ->
+      Some
+        (if Float.is_integer f then string_of_int (int_of_float f)
+         else Printf.sprintf "%.3f" f)
+    | Analyze.Bool b -> Some (string_of_bool b)
+    | Analyze.Null -> Some "-"
+    | Analyze.Obj _ | Analyze.Arr _ -> None
+  in
+  let render_json json =
+    let b = Buffer.create 256 in
+    (match json with
+    | Analyze.Obj fields ->
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Analyze.Obj sub ->
+            let parts =
+              List.filter_map
+                (fun (k2, v2) ->
+                  Option.map (fun s -> k2 ^ "=" ^ s) (scalar v2))
+                sub
+            in
+            Buffer.add_string b
+              (Printf.sprintf "%-10s %s\n" (k ^ ":") (String.concat " " parts))
+          | Analyze.Arr (Analyze.Obj first :: _ as rows) ->
+            let header = List.map fst first in
+            let cells = function
+              | Analyze.Obj fs ->
+                List.map
+                  (fun h ->
+                    match List.assoc_opt h fs with
+                    | Some v -> Option.value (scalar v) ~default:"..."
+                    | None -> "")
+                  header
+              | _ -> List.map (fun _ -> "") header
+            in
+            Buffer.add_string b (k ^ ":\n");
+            Buffer.add_string b
+              (Yewpar_util.Table.render ~header (List.map cells rows))
+          | Analyze.Arr [] ->
+            Buffer.add_string b (Printf.sprintf "%-10s (none)\n" (k ^ ":"))
+          | v -> (
+            match scalar v with
+            | Some s ->
+              Buffer.add_string b (Printf.sprintf "%-10s %s\n" (k ^ ":") s)
+            | None -> ()))
+        fields
+    | _ -> Buffer.add_string b (Analyze.to_string json ^ "\n"));
+    Buffer.contents b
+  in
+  let run port journal interval iterations =
+    if port = None && journal = None then begin
+      prerr_endline "yewpar top: nothing to watch (use --port and/or --journal)";
+      exit 2
+    end;
+    let tty = Unix.isatty Unix.stdout in
+    let stop = ref false in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+    let frame = ref 0 in
+    while (not !stop) && (iterations = 0 || !frame < iterations) do
+      incr frame;
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf
+        (Printf.sprintf "yewpar top - frame %d%s\n" !frame
+           (match port with
+           | Some p -> Printf.sprintf " - 127.0.0.1:%d" p
+           | None -> ""));
+      (match port with
+      | None -> ()
+      | Some p -> (
+        match Http.get ~timeout:2.0 ~port:p "/status" with
+        | body -> (
+          match Analyze.parse_json body with
+          | json -> Buffer.add_string buf (render_json json)
+          | exception _ -> Buffer.add_string buf body)
+        | exception _ ->
+          Buffer.add_string buf
+            (Printf.sprintf "status:   127.0.0.1:%d unreachable\n" p)));
+      (match journal with
+      | None -> ()
+      | Some file -> (
+        match Journal.read file with
+        | entries, _ -> Buffer.add_string buf (Journal.report ~top:5 entries)
+        | exception Sys_error _ ->
+          Buffer.add_string buf
+            (Printf.sprintf "journal:  %s not readable yet\n" file)));
+      if tty then print_string "\027[2J\027[H";
+      print_string (Buffer.contents buf);
+      flush stdout;
+      if (not !stop) && (iterations = 0 || !frame < iterations) then
+        try Unix.sleepf interval
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live terminal view of a running search or job server: poll \
+             $(b,GET /status) and/or tail a causal journal, redrawing every \
+             interval.")
+    Term.(const run $ port_arg $ journal_arg $ interval_arg $ iterations_arg)
 
 let () =
   let doc = "YewPar-style parallel search skeletons (OCaml reproduction)" in
@@ -751,4 +963,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; solve_cmd; dimacs_cmd; tsplib_cmd; knapsack_cmd;
-            serve_cmd; analyze_cmd ]))
+            serve_cmd; analyze_cmd; top_cmd ]))

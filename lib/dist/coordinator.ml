@@ -2,6 +2,7 @@ module Stats = Yewpar_core.Stats
 module Recorder = Yewpar_telemetry.Recorder
 module Metrics = Yewpar_telemetry.Metrics
 module Http_export = Yewpar_telemetry.Http_export
+module Journal = Yewpar_telemetry.Journal
 
 type outcome = {
   deltas : string list;
@@ -57,7 +58,7 @@ let send_timeout = 5.0
 
 let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
     ?(standby_from = max_int) ?(pool_policy = Yewpar_core.Workpool.Depth)
-    ?cancelled ?on_progress ~conns ~root_payload () =
+    ?cancelled ?on_progress ?journal ?trace ?label ~conns ~root_payload () =
   let l = Array.length conns in
   let standby_from = min standby_from l in
   let failure_timeout =
@@ -260,7 +261,44 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
      server, which runs many coordinators without monitor ports. *)
   let observed = monitored || on_progress <> None in
 
-  let fail msg = if !failure = None then failure := Some msg in
+  (* Under the job server many coordinators interleave on one daemon's
+     output: [label] ("job N") prefixes failures so they stay
+     attributable. *)
+  let label_prefix = match label with Some lb -> lb ^ ": " | None -> "" in
+  let fail msg = if !failure = None then failure := Some (label_prefix ^ msg) in
+
+  (* ---------------------- the causal journal ----------------------
+     Span ids are lease ids; span 0 is the job itself. Coordinator-side
+     events are written directly; locality events arrive staged in
+     Heartbeat/Telemetry frames and get the sender's index and clock
+     offset stamped here. *)
+  let trace =
+    match trace with
+    | Some t -> t
+    | None -> (
+      match journal with Some w -> Journal.trace w | None -> "run")
+  in
+  let jot ?parent ?locality ?worker ?dur ?value ?note ev span =
+    match journal with
+    | None -> ()
+    | Some w ->
+      Journal.write w ~trace
+        [ Journal.event ?parent ?locality ?worker ?dur ?value ?note ~ev ~span () ]
+  in
+  let write_events i ~clock events =
+    match journal with
+    | None -> ()
+    | Some w ->
+      if events <> [] then
+        let offset = Unix.gettimeofday () -. clock in
+        Journal.write w ~trace ~offset
+          (List.map
+             (fun (e : Journal.event) ->
+               if e.Journal.locality < 0 then { e with Journal.locality = i }
+               else e)
+             events)
+  in
+  jot "job_start" 0 ~note:(Option.value label ~default:"");
 
   (* Death handling is (carefully) reentrant with [send]: [alive] flips
      first, so a send failure discovered while notifying survivors just
@@ -305,16 +343,21 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
         d
     in
     let dropped = Pool.remove_by pool (fun t -> doomed t.Pool.id) in
-    List.iter (fun t -> Hashtbl.replace revoked t.Pool.id ()) dropped;
+    List.iter
+      (fun t ->
+        Hashtbl.replace revoked t.Pool.id ();
+        jot "lease_revoke" t.Pool.id ~note:"queued")
+      dropped;
     let doomed_out =
       Hashtbl.fold
-        (fun id _ acc -> if doomed id then id :: acc else acc)
+        (fun id lease acc -> if doomed id then (id, lease) :: acc else acc)
         outstanding []
     in
     List.iter
-      (fun id ->
+      (fun (id, lease) ->
         Hashtbl.remove outstanding id;
-        Hashtbl.replace revoked id ())
+        Hashtbl.replace revoked id ();
+        jot "lease_revoke" id ~locality:lease.holder ~note:"outstanding")
       doomed_out;
     let doomed_ret =
       Hashtbl.fold
@@ -324,18 +367,25 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
     List.iter
       (fun id ->
         Hashtbl.remove retired id;
-        Hashtbl.replace revoked id ())
+        Hashtbl.replace revoked id ();
+        jot "lease_revoke" id ~note:"retired")
       doomed_ret;
     List.iter
-      (fun (_id, lease) ->
+      (fun (id, lease) ->
         let parent = lease.lease_parent in
         (* A root whose parent is itself doomed is re-covered by the
            parent's replay; reissuing it too would double-count. *)
         if parent < 0 || not (doomed parent) then begin
           incr reissued;
-          Pool.push pool
-            (fresh_task ~parent ~depth:lease.lease_depth
-               ~priority:lease.lease_priority ~payload:lease.lease_payload)
+          let t =
+            fresh_task ~parent ~depth:lease.lease_depth
+              ~priority:lease.lease_priority ~payload:lease.lease_payload
+          in
+          (* The replay's causal parent is the revoked original, not
+             the lease-forest parent: the journal keeps the failed
+             attempt and its redo chained together. *)
+          jot "lease_replay" t.Pool.id ~parent:id ~locality:lease.holder;
+          Pool.push pool t
         end)
       roots
 
@@ -347,6 +397,7 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
     if !chosen >= 0 then begin
       standby.(!chosen) <- false;
       incr respawns;
+      jot "respawn" 0 ~locality:!chosen;
       if !global_best > min_int then begin
         send !chosen (Wire.Bound_update { value = !global_best; witness = None });
         incr broadcasts
@@ -363,6 +414,7 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
       shed_inflight.(i) <- false;
       if not !shutdown_sent then begin
         incr lost;
+        jot "locality_dead" 0 ~locality:i ~note:reason;
         if not standby.(i) then begin
           let held =
             Hashtbl.fold
@@ -409,6 +461,7 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
           holder = i;
           issued_at = Unix.gettimeofday ();
         };
+      jot "lease_issue" t.Pool.id ~parent:(max t.Pool.parent 0) ~locality:i;
       send i
         (Wire.Steal_reply { task = Some (t.Pool.id, t.Pool.depth, t.Pool.payload) })
     | None -> hungry.(i) <- true
@@ -444,8 +497,11 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
       shed_inflight.(i) <- false;
       (* A spill whose parent lease was revoked describes work already
          re-covered by the replay of a dead ancestor: drop it. *)
-      if not (Hashtbl.mem revoked parent) then
-        Pool.push pool (fresh_task ~parent ~depth ~priority ~payload)
+      if not (Hashtbl.mem revoked parent) then begin
+        let t = fresh_task ~parent ~depth ~priority ~payload in
+        jot "spill" t.Pool.id ~parent:(max parent 0) ~locality:i;
+        Pool.push pool t
+      end
     | Wire.Steal_request ->
       if standby.(i) then hungry.(i) <- true else serve i
     | Wire.Idle { retired = rs } ->
@@ -456,13 +512,16 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
             match Hashtbl.find_opt outstanding id with
             | Some lease when lease.holder = i ->
               Hashtbl.remove outstanding id;
-              Hashtbl.replace retired id delta
+              Hashtbl.replace retired id delta;
+              jot "lease_retire" id ~locality:i
+                ~dur:(Unix.gettimeofday () -. lease.issued_at)
             | Some _ | None -> ())
         rs
     | Wire.Bound_update { value; witness = w } ->
       (match w with Some payload -> note_witness value payload | None -> ());
       if value > !global_best then begin
         global_best := value;
+        jot "bound" 0 ~locality:i ~value;
         for j = 0 to l - 1 do
           if j <> i && eligible j then begin
             send j (Wire.Bound_update { value; witness = None });
@@ -472,17 +531,20 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
       end
     | Wire.Witness { value; payload } ->
       note_witness value payload;
+      jot "witness" 0 ~locality:i ~value;
       broadcast_shutdown ()
     | Wire.Heartbeat
         {
-          clock = _;
+          clock;
           tasks_done;
           pool_depth;
           idle_workers;
           idle_frac;
           best;
           trace_dropped;
+          events;
         } ->
+      write_events i ~clock events;
       if observed then begin
         live.(i) <-
           Some
@@ -522,11 +584,12 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
       broadcast_shutdown ()
     | Wire.Result { payload } -> results.(i) <- Some payload
     | Wire.Stats st -> stats_got.(i) <- Some st
-    | Wire.Telemetry { clock; buffers } ->
+    | Wire.Telemetry { clock; buffers; events } ->
       (* Clock-offset estimate: our clock at receipt minus the clock
          sampled when the frame was built — an upper bound off by the
          frame's transit time. Adding it to every span start aligns the
          locality's timeline with ours. *)
+      write_events i ~clock events;
       telemetry_got.(i) <- Some (Unix.gettimeofday () -. clock, buffers)
     (* Locality-bound messages; never sent to the coordinator. [Pong]
        matters only for the liveness clock, refreshed on any frame. *)
@@ -656,6 +719,9 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
     if !watchdog_fired && overdue watchdog_grace then abandoned := true
   done;
 
+  jot "job_done" 0
+    ~dur:(Unix.gettimeofday () -. started)
+    ~note:(Option.value !failure ~default:"");
   let stats = Stats.create () in
   Array.iter
     (function Some st -> Stats.add stats st | None -> ())

@@ -97,6 +97,9 @@ val run :
   ?pool_policy:Yewpar_core.Workpool.policy ->
   ?cancelled:(unit -> string option) ->
   ?on_progress:(progress -> unit) ->
+  ?journal:Yewpar_telemetry.Journal.writer ->
+  ?trace:string ->
+  ?label:string ->
   conns:Transport.t array ->
   root_payload:string ->
   unit ->
@@ -124,6 +127,17 @@ val run :
     cancelled job releases its leases. [on_progress] is invoked on
     every heartbeat receipt with a {!progress} snapshot (it works
     without [monitor_port]).
+
+    With [journal] the coordinator writes the run's causal event
+    journal ({!Yewpar_telemetry.Journal}): job lifecycle and every
+    lease issue/retire/spill/revoke/replay, bound adoption, death and
+    respawn — span ids being lease ids, and a replayed lease's span
+    chained to the revoked original — plus the events localities ship
+    in their [Heartbeat]/[Telemetry] frames, stamped with the sender's
+    index and clock offset. Events are tagged [trace] (default: the
+    writer's trace id). [label] (e.g. ["job 7"]) prefixes failure
+    messages and is recorded on the [job_start] event, keeping
+    interleaved job-server output attributable.
 
     With [monitor_port] the coordinator serves live observability over
     HTTP on [127.0.0.1] for the duration of the run ([0] picks an

@@ -46,6 +46,7 @@ val run :
   ?stats:Yewpar_core.Stats.t ->
   ?broadcasts:int ref ->
   ?telemetry:Yewpar_telemetry.Telemetry.t ->
+  ?journal:Yewpar_telemetry.Journal.writer ->
   ?watchdog:float ->
   ?monitor_port:int ->
   ?heartbeat:float ->
@@ -79,6 +80,12 @@ val run :
     their buffers in a [Wire.Telemetry] frame and the coordinator
     ingests them into the sink with per-locality clock offsets
     aligned, so the merged trace has one process group per locality;
+    [journal] turns on causal tracing ({!Yewpar_telemetry.Journal}):
+    the coordinator writes its lease lifecycle directly and every
+    locality stages task/steal/bound/idle events shipped upward in
+    [Heartbeat]/[Telemetry] frames, producing one JSONL event log
+    whose span ids are lease ids ([yewpar analyze --journal] turns it
+    into a critical-path and overhead report);
     [watchdog] bounds the whole run in seconds (a deadlock safety net
     — on expiry the run raises instead of hanging, naming each
     locality's last-heartbeat age).

@@ -1,4 +1,5 @@
 module Recorder = Yewpar_telemetry.Recorder
+module Journal = Yewpar_telemetry.Journal
 module Knowledge = Yewpar_core.Knowledge
 module Ops = Yewpar_core.Ops
 module Problem = Yewpar_core.Problem
@@ -25,7 +26,7 @@ type ledger = {
   residual : unit -> string;  (** Final [Result] payload. *)
 }
 
-let run (type s n r) ?(trace = false) ?heartbeat ?chaos
+let run (type s n r) ?(trace = false) ?(journal = false) ?heartbeat ?chaos
     ?(config = Config.default) ~conn ~workers ~coordination
     (p : (s, n, r) Problem.t) : unit =
   let codec =
@@ -62,6 +63,27 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos
     in
     go ()
   in
+  (* ---- causal journal staging ----
+     Workers and the communicator push events into a bounded buffer;
+     the heartbeat ships them upward in batches and the final
+     [Telemetry] frame flushes the rest. Span ids are the lease ids the
+     coordinator issued, so everything links into its lease forest; the
+     coordinator stamps our locality index on arrival (we don't know
+     our own). *)
+  let jbuf = if journal then Some (Journal.buffer ~capacity:4096 ()) else None in
+  let jot ?parent ?(worker = -1) ?dur ?value ?note ~t ev span =
+    match jbuf with
+    | None -> ()
+    | Some b ->
+      Journal.push b
+        (Journal.event ?parent ~worker ~t ?dur ?value ?note ~ev ~span ())
+  in
+  (* Which lease each worker is currently executing under — written by
+     [begin_task], read for lease attribution of ledger deltas and
+     journal events alike. *)
+  let cur_lease = Array.make workers (-1) in
+  let task_started = Array.make workers 0. in
+  let idle_per = Array.make workers 0. in
   let pool = Task_pool.create ~policy:(Task_pool.policy_for coordination) () in
   (* Tasks queued or executing here; 0 means the locality is drained
      (workers may only block, never spawn, at 0). *)
@@ -127,8 +149,13 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos
      raises are accounted by the communicator when it adopts a
      broadcast). *)
   let submit_acct w n v =
-    Counters.accounted_submit counters ~slot:w ~recorder:recorders.(w)
-      knowledge.Knowledge.submit n v
+    let applied =
+      Counters.accounted_submit counters ~slot:w ~recorder:recorders.(w)
+        knowledge.Knowledge.submit n v
+    in
+    if applied then
+      jot "bound" cur_lease.(w) ~worker:w ~value:v ~t:(Unix.gettimeofday ());
+    applied
   in
 
   (* ------------- per-lease result ledger + worker views -------------
@@ -141,7 +168,6 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos
     Mutex.lock lease_mutex;
     Fun.protect ~finally:(fun () -> Mutex.unlock lease_mutex) f
   in
-  let cur_lease = Array.make workers (-1) in
   let views, ledger =
     match p.Problem.kind with
     | Problem.Enumerate spec ->
@@ -369,6 +395,18 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos
      workers sleep until the coordinator says otherwise), lease
      attribution, and the distributed hunger signal extending
      stack-stealing's local one. *)
+  (* Per-slot idle hooks, hoisted so [take] allocates nothing per call:
+     the global accumulator feeds the heartbeat's idle fraction, the
+     per-slot one the journal's final per-worker idle events. *)
+  let on_idles =
+    if monitored || journal then
+      Array.init workers (fun slot ->
+          Some
+            (fun d ->
+              add_idle d;
+              if journal then idle_per.(slot) <- idle_per.(slot) +. d))
+    else Array.make workers None
+  in
   let scheduler =
     {
       Worker.enqueue =
@@ -379,15 +417,22 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos
       take =
         (fun ~slot ->
           Task_pool.take pool ~recorder:recorders.(slot) ~stop ~waiting
-            ?on_idle:(if monitored then Some add_idle else None)
-            ());
+            ?on_idle:on_idles.(slot) ());
       finish = (fun () -> Atomic.decr local_outstanding);
       should_shed =
         (fun () ->
           (Atomic.get waiting > 0 && Task_pool.size pool = 0)
           || Atomic.get global_hungry);
-      begin_task = (fun ~slot t -> ledger.begin_task slot t.Task_pool.tag);
-      end_task = (fun ~slot -> ledger.end_task slot);
+      begin_task =
+        (fun ~slot t ->
+          ledger.begin_task slot t.Task_pool.tag;
+          if journal then task_started.(slot) <- Unix.gettimeofday ());
+      end_task =
+        (fun ~slot ->
+          ledger.end_task slot;
+          if journal then
+            jot "task" cur_lease.(slot) ~worker:slot ~t:task_started.(slot)
+              ~dur:(Unix.gettimeofday () -. task_started.(slot)));
     }
   in
   let ctx =
@@ -440,7 +485,9 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos
       steal_inflight := false;
       (* Wire-level steal latency: request sent to task in hand. *)
       Recorder.span comms_r Recorder.Steal_success ~start:!steal_sent_at
-        ~arg:depth
+        ~arg:depth;
+      jot "steal" lease ~worker:workers ~t:!steal_sent_wall
+        ~dur:(Unix.gettimeofday () -. !steal_sent_wall)
     end;
     incr steals;
     ledger.register lease;
@@ -473,7 +520,9 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos
            no tree position, so the profile books it at depth 0. *)
         Atomic.incr counters.Counters.bound_updates;
         Depth_profile.note_bound counters.Counters.profs.(workers) 0;
-        Recorder.instant comms_r Recorder.Bound_update ~arg:value
+        Recorder.instant comms_r Recorder.Bound_update ~arg:value;
+        jot "bound" 0 ~worker:workers ~value ~t:(Unix.gettimeofday ())
+          ~note:"floor"
       end
     | Wire.Ping -> send_out Wire.Pong
     | Wire.Shutdown ->
@@ -523,6 +572,8 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos
                idle_frac;
                best = knowledge.Knowledge.best_obj ();
                trace_dropped = all_dropped ();
+               events =
+                 (match jbuf with Some b -> Journal.drain b | None -> []);
              })
       end
   in
@@ -630,15 +681,43 @@ let run (type s n r) ?(trace = false) ?heartbeat ?chaos
   st.Stats.steals <- !steals;
   send_out (Wire.Result { payload });
   (* Telemetry travels before Stats on the same FIFO socket, so the
-     coordinator always has the buffers by the time the locality counts
-     as done. *)
-  if trace then
+     coordinator always has the buffers (and the journal's final
+     flush) by the time the locality counts as done. *)
+  if trace || journal then begin
+    (* Final journal flush: what's still staged, plus per-worker idle
+       totals and the buffer's overflow count (appended after the
+       drain so they can never be dropped themselves). *)
+    let events =
+      match jbuf with
+      | None -> []
+      | Some b ->
+        let t = Unix.gettimeofday () in
+        let staged = Journal.drain b in
+        let idles =
+          Array.to_list
+            (Array.mapi
+               (fun w d ->
+                 Journal.event ~worker:w ~t ~dur:d ~ev:"idle" ~span:0 ())
+               idle_per)
+          |> List.filter (fun (e : Journal.event) -> e.Journal.dur > 0.)
+        in
+        let drops =
+          match Journal.dropped b with
+          | 0 -> []
+          | n -> [ Journal.event ~t ~value:n ~ev:"journal_drop" ~span:0 () ]
+        in
+        staged @ idles @ drops
+    in
     send_out
       (Wire.Telemetry
          {
            clock = Recorder.clock ();
-           buffers = Array.to_list (Array.map Recorder.export recorders);
-         });
+           buffers =
+             (if trace then Array.to_list (Array.map Recorder.export recorders)
+              else []);
+           events;
+         })
+  end;
   send_out (Wire.Stats st)
 
 let serve ~conn ~resolve =
@@ -653,8 +732,8 @@ let serve ~conn ~resolve =
   try
     while not !quit do
       match Transport.recv conn with
-      | Wire.Job_start { instance; skeleton } -> (
-        match resolve ~instance ~skeleton with
+      | Wire.Job_start { instance; skeleton; job } -> (
+        match resolve ~instance ~skeleton ~job with
         | Ok run_job -> run_job ()
         | Error message ->
           (* Fail the job but keep the coordinator's accounting whole:

@@ -32,6 +32,7 @@
 
 val run :
   ?trace:bool ->
+  ?journal:bool ->
   ?heartbeat:float ->
   ?chaos:Chaos.plan ->
   ?config:Yewpar_runtime.Config.t ->
@@ -41,11 +42,18 @@ val run :
   ('s, 'n, 'r) Yewpar_core.Problem.t ->
   unit
 (** Serve tasks until the coordinator broadcasts [Shutdown], then send
-    [Result] (then, when [trace] is set, [Telemetry]) and [Stats] and
-    return. With [trace] (default [false]) every worker domain and the
-    communicator thread (worker id = [workers]) record into
-    preallocated {!Yewpar_telemetry.Recorder} ring buffers, shipped
-    upward in the [Telemetry] frame. With [heartbeat] (seconds; the
+    [Result] (then, when [trace] or [journal] is set, [Telemetry]) and
+    [Stats] and return. With [trace] (default [false]) every worker
+    domain and the communicator thread (worker id = [workers]) record
+    into preallocated {!Yewpar_telemetry.Recorder} ring buffers,
+    shipped upward in the [Telemetry] frame. With [journal] (default
+    [false]) workers stage causal journal events — per-task spans
+    attributed to the lease being executed, applied bound submissions,
+    wire-steal waits, per-worker idle totals and the staging buffer's
+    overflow count — into a bounded buffer drained into each
+    [Heartbeat] frame and flushed in the final [Telemetry] frame; the
+    coordinator owns the journal file and stamps our locality index
+    and clock offset. With [heartbeat] (seconds; the
     distributed runtime always passes it) the communicator emits a
     [Wire.Heartbeat] progress snapshot at that interval — the first
     tick always sends one — feeding both live monitoring and the
@@ -62,13 +70,18 @@ val run :
 val serve :
   conn:Transport.t ->
   resolve:
-    (instance:string -> skeleton:string -> (unit -> unit, string) result) ->
+    (instance:string ->
+    skeleton:string ->
+    job:int ->
+    (unit -> unit, string) result) ->
   unit
 (** Persistent-fleet main loop ([yewpar serve]): block on the
     connection, and for each [Wire.Job_start] frame resolve the named
-    instance and skeleton through [resolve] and execute the returned
-    thunk — typically a closure over {!run}, which returns when the
-    job's coordinator broadcasts [Shutdown] — then go back to idle. A
+    instance and skeleton through [resolve] — [job] is the daemon's
+    job id, for attributable per-job logging — and execute the
+    returned thunk — typically a closure over {!run}, which returns
+    when the job's coordinator broadcasts [Shutdown] — then go back to
+    idle. A
     resolve failure sends [Failed] plus an empty [Stats] so the job's
     coordinator can still account this locality as done. Answers
     [Ping] while idle; returns on [Quit] or when the daemon's end of

@@ -15,16 +15,18 @@ type msg =
       idle_frac : float;
       best : int;
       trace_dropped : int;
+      events : Yewpar_telemetry.Journal.event list;
     }
   | Result of { payload : string }
   | Stats of Yewpar_core.Stats.t
   | Telemetry of {
       clock : float;
       buffers : Yewpar_telemetry.Recorder.packed list;
+      events : Yewpar_telemetry.Journal.event list;
     }
   | Failed of { message : string }
   | Shutdown
-  | Job_start of { instance : string; skeleton : string }
+  | Job_start of { instance : string; skeleton : string; job : int }
   | Quit
 
 let header_size = 4

@@ -71,6 +71,12 @@ type msg =
       best : int;  (** The locality's current local bound. *)
       trace_dropped : int;
           (** Spans dropped by full recorder ring buffers so far. *)
+      events : Yewpar_telemetry.Journal.event list;
+          (** Causal journal events staged since the last heartbeat
+              ([[]] when the run is not journaled). Span ids are lease
+              ids, so these link into the coordinator's lease forest;
+              the coordinator stamps the sender's locality index and
+              clock offset before writing them out. *)
     }
       (** Locality → coordinator, periodically: a best-effort progress
           snapshot. When monitoring is enabled ([--monitor-port]) the
@@ -91,15 +97,18 @@ type msg =
   | Telemetry of {
       clock : float;
       buffers : Yewpar_telemetry.Recorder.packed list;
+      events : Yewpar_telemetry.Journal.event list;
     }
-      (** Locality → coordinator after shutdown (only when the run is
-          traced), sent {e before} [Stats] so it always precedes the
-          locality's completion: the packed per-worker span ring
-          buffers, plus a sample of the locality's clock taken when
-          the frame was built. The coordinator estimates the
-          per-locality clock offset as [its own clock at receipt -
-          clock] (an upper bound off by the frame's transit time) and
-          shifts the spans onto its own timeline before merging. *)
+      (** Locality → coordinator after shutdown (when the run is
+          traced or journaled), sent {e before} [Stats] so it always
+          precedes the locality's completion: the packed per-worker
+          span ring buffers (empty unless traced), the final flush of
+          staged journal events (empty unless journaled), plus a
+          sample of the locality's clock taken when the frame was
+          built. The coordinator estimates the per-locality clock
+          offset as [its own clock at receipt - clock] (an upper bound
+          off by the frame's transit time) and shifts the spans and
+          events onto its own timeline before merging. *)
   | Failed of { message : string }
       (** Locality → coordinator: user code (a generator, bound or
           objective) raised; aborts the whole search. *)
@@ -108,13 +117,16 @@ type msg =
           return. A locality forked for a single run exits afterwards;
           a persistent locality ({!Locality.serve}, the [yewpar serve]
           fleet) returns to idle and waits for the next [Job_start]. *)
-  | Job_start of { instance : string; skeleton : string }
+  | Job_start of { instance : string; skeleton : string; job : int }
       (** Daemon → persistent locality: begin a search job. [instance]
           names a registered problem (resolved inside the locality —
           same binary, same registry) and [skeleton] is the
           coordination in {!Yewpar_core.Coordination.of_string}
-          syntax. Only used by the job server's persistent fleet;
-          never sent on single-run connections. *)
+          syntax. [job] is the daemon's job id — it doubles as the
+          job's trace id ([job-N]) so every journal event and log line
+          a locality emits is attributable when jobs interleave on the
+          fleet. Only used by the job server's persistent fleet; never
+          sent on single-run connections. *)
   | Quit
       (** Daemon → persistent locality: the fleet is shutting down for
           good — exit the process. Distinct from [Shutdown], which

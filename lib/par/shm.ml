@@ -1,5 +1,6 @@
 module Recorder = Yewpar_telemetry.Recorder
 module Telemetry = Yewpar_telemetry.Telemetry
+module Journal = Yewpar_telemetry.Journal
 module Metrics = Yewpar_telemetry.Metrics
 module Http_export = Yewpar_telemetry.Http_export
 module Knowledge = Yewpar_core.Knowledge
@@ -11,8 +12,8 @@ module Counters = Yewpar_runtime.Counters
 module Task_pool = Yewpar_runtime.Task_pool
 module Worker = Yewpar_runtime.Worker
 
-let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?monitor_port
-    ?on_monitor ~coordination (p : (s, n, r) Problem.t) : r =
+let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?journal
+    ?monitor_port ?on_monitor ~coordination (p : (s, n, r) Problem.t) : r =
   (* The shared counter bundle; folded into [stats] after the join. *)
   let counters = Counters.create ~profiled:(stats <> None) ~slots:n_workers () in
   (* One span recorder per worker domain (all ring buffers preallocated
@@ -28,6 +29,17 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?monitor_port
   let outstanding = Atomic.make 0 in
   let waiting = Atomic.make 0 in
   let stop = Atomic.make false in
+  (* ---- causal journal ----
+     There is no coordinator here, so the runtime allocates its own
+     span ids: every enqueued task gets a fresh span whose parent is
+     the spawning task's span (the root task's parent is span 0, the
+     job). Workers stage into a bounded buffer; a background thread
+     drains it into the writer off the hot path. *)
+  let jbuf = Option.map (fun _ -> Journal.buffer ~capacity:16384 ()) journal in
+  let span_ctr = Atomic.make 1 in
+  let cur_span = Array.make n_workers 0 in
+  let span_started = Array.make n_workers 0. in
+  let idle_per = Array.make n_workers 0. in
   let knowledge = Knowledge.make_atomic () in
   let harness = Ops.harness p.Problem.kind in
   (* Views are created in the main domain (the enumeration harness is
@@ -46,11 +58,31 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?monitor_port
   (* The in-process scheduler: one shared pool is both the local queue
      and the steal base; a pool handoff after a dry poll is a steal.
      Termination is the classic outstanding-task count hitting zero. *)
+  let on_idles =
+    match jbuf with
+    | None -> Array.make n_workers None
+    | Some _ ->
+      Array.init n_workers (fun slot ->
+          Some (fun d -> idle_per.(slot) <- idle_per.(slot) +. d))
+  in
   let scheduler =
     {
       Worker.enqueue =
         (fun r task ->
           Atomic.incr outstanding;
+          let task =
+            match jbuf with
+            | None -> task
+            | Some b ->
+              (* Reallocate the tag as this task's span; the tag it was
+                 spawned with is the spawning task's span, i.e. the
+                 causal parent (0 for the root task: the job span). *)
+              let id = Atomic.fetch_and_add span_ctr 1 in
+              Journal.push b
+                (Journal.event ~parent:task.Task_pool.tag ~locality:0
+                   ~ev:"spawn" ~span:id ());
+              { task with Task_pool.tag = id }
+          in
           Task_pool.push pool ~recorder:r
             ~priority:(task_priority task.Task_pool.node)
             task);
@@ -59,15 +91,29 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?monitor_port
           Task_pool.take pool ~recorder:recorders.(slot) ~stop ~waiting
             ~steal_counters:counters
             ~drained:(fun () -> Atomic.get outstanding = 0)
-            ());
+            ?on_idle:on_idles.(slot) ());
       finish =
         (fun () ->
           if Atomic.fetch_and_add outstanding (-1) = 1 then
             Task_pool.broadcast pool);
       should_shed =
         (fun () -> Atomic.get waiting > 0 && Task_pool.size pool = 0);
-      begin_task = (fun ~slot:_ _ -> ());
-      end_task = (fun ~slot:_ -> ());
+      begin_task =
+        (fun ~slot t ->
+          match jbuf with
+          | None -> ()
+          | Some _ ->
+            cur_span.(slot) <- t.Task_pool.tag;
+            span_started.(slot) <- Unix.gettimeofday ());
+      end_task =
+        (fun ~slot ->
+          match jbuf with
+          | None -> ()
+          | Some b ->
+            Journal.push b
+              (Journal.event ~locality:0 ~worker:slot ~t:span_started.(slot)
+                 ~dur:(Unix.gettimeofday () -. span_started.(slot))
+                 ~ev:"task" ~span:cur_span.(slot) ()));
     }
   in
   let ctx =
@@ -172,9 +218,66 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?monitor_port
       Some s
   in
 
+  let started = Unix.gettimeofday () in
+  (match journal with
+  | None -> ()
+  | Some w ->
+    Journal.write w [ Journal.event ~locality:0 ~t:started ~ev:"job_start" ~span:0 () ]);
+  (* Background drainer: keeps file I/O off the worker domains. Joined
+     (after a final drain) before the journal is considered complete. *)
+  let flusher =
+    match (journal, jbuf) with
+    | Some w, Some b ->
+      let stop_flush = Atomic.make false in
+      let th =
+        Thread.create
+          (fun () ->
+            while not (Atomic.get stop_flush) do
+              (match Journal.drain b with
+              | [] -> ()
+              | events -> Journal.write w events);
+              Unix.sleepf 0.05
+            done)
+          ()
+      in
+      Some (stop_flush, th)
+    | _ -> None
+  in
+  let stop_flusher () =
+    match (flusher, journal, jbuf) with
+    | Some (stop_flush, th), Some w, Some b ->
+      Atomic.set stop_flush true;
+      Thread.join th;
+      let t = Unix.gettimeofday () in
+      let staged = Journal.drain b in
+      let idles =
+        Array.to_list
+          (Array.mapi
+             (fun slot d ->
+               Journal.event ~locality:0 ~worker:slot ~t ~dur:d ~ev:"idle"
+                 ~span:0 ())
+             idle_per)
+        |> List.filter (fun (e : Journal.event) -> e.Journal.dur > 0.)
+      in
+      let drops =
+        match Journal.dropped b with
+        | 0 -> []
+        | n ->
+          [ Journal.event ~locality:0 ~t ~value:n ~ev:"journal_drop" ~span:0 () ]
+      in
+      Journal.write w
+        (staged @ idles @ drops
+        @ [
+            Journal.event ~locality:0 ~t ~dur:(t -. started) ~ev:"job_done"
+              ~span:0 ();
+          ])
+    | _ -> ()
+  in
   Worker.spawn ctx ~slot:0 { Task_pool.tag = 0; node = p.Problem.root; depth = 0 };
   Fun.protect
-    ~finally:(fun () -> Option.iter Http_export.stop monitor)
+    ~finally:(fun () ->
+      stop_flusher ();
+      Option.iter Http_export.stop monitor)
   @@ fun () ->
   let handle = Worker.start ctx ~workers:n_workers in
   (match Worker.join handle with Some e -> raise e | None -> ());
@@ -183,17 +286,35 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?monitor_port
   | Some st -> Counters.fold_into counters ~dropped:(all_dropped ()) st);
   harness.Ops.result knowledge
 
-let run ?workers ?stats ?telemetry ?monitor_port ?on_monitor ~coordination p =
+let run ?workers ?stats ?telemetry ?journal ?monitor_port ?on_monitor
+    ~coordination p =
   match coordination with
-  | Coordination.Sequential -> (
-    match telemetry with
-    | None -> Sequential.search ?stats p
-    | Some tl ->
-      (* One worker, one span covering the whole in-process search. *)
-      let r = Telemetry.recorder tl ~locality:0 ~worker:0 in
-      let started = Recorder.now r in
-      let result = Sequential.search ?stats p in
-      Recorder.span r Recorder.Task ~start:started ~arg:0;
+  | Coordination.Sequential ->
+    let sequential () =
+      match telemetry with
+      | None -> Sequential.search ?stats p
+      | Some tl ->
+        (* One worker, one span covering the whole in-process search. *)
+        let r = Telemetry.recorder tl ~locality:0 ~worker:0 in
+        let started = Recorder.now r in
+        let result = Sequential.search ?stats p in
+        Recorder.span r Recorder.Task ~start:started ~arg:0;
+        result
+    in
+    (match journal with
+    | None -> sequential ()
+    | Some w ->
+      let t0 = Unix.gettimeofday () in
+      Journal.write w
+        [ Journal.event ~locality:0 ~t:t0 ~ev:"job_start" ~span:0 () ];
+      let result = sequential () in
+      let dur = Unix.gettimeofday () -. t0 in
+      Journal.write w
+        [
+          Journal.event ~parent:0 ~locality:0 ~worker:0 ~t:t0 ~dur ~ev:"task"
+            ~span:1 ();
+          Journal.event ~locality:0 ~dur ~ev:"job_done" ~span:0 ();
+        ];
       result)
   | Coordination.Depth_bounded _ | Coordination.Stack_stealing _
   | Coordination.Budget _ | Coordination.Best_first _ | Coordination.Random_spawn _ ->
@@ -203,5 +324,5 @@ let run ?workers ?stats ?telemetry ?monitor_port ?on_monitor ~coordination p =
       | Some _ -> invalid_arg "Shm.run: workers must be >= 1"
       | None -> Domain.recommended_domain_count ()
     in
-    parallel_run ~n_workers ?stats ?telemetry ?monitor_port ?on_monitor
-      ~coordination p
+    parallel_run ~n_workers ?stats ?telemetry ?journal ?monitor_port
+      ?on_monitor ~coordination p

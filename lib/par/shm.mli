@@ -23,6 +23,7 @@
 val run :
   ?workers:int -> ?stats:Yewpar_core.Stats.t ->
   ?telemetry:Yewpar_telemetry.Telemetry.t ->
+  ?journal:Yewpar_telemetry.Journal.writer ->
   ?monitor_port:int ->
   ?on_monitor:(int -> unit) ->
   coordination:Yewpar_core.Coordination.t ->
@@ -42,6 +43,17 @@ val run :
     before the domains spawn, so after [run] returns the sink merges
     and exports them. Tracing never changes the search: the traced and
     untraced runs process the same nodes.
+
+    When [journal] is supplied, the run appends causal events to it
+    ({!Yewpar_telemetry.Journal}): with no coordinator in this
+    runtime, span ids are allocated from an in-process counter — every
+    enqueued task gets a fresh span (a [spawn] event records its
+    parent, the spawning task's span; the root task is span 1 under
+    the job, span 0), workers emit per-task [task] spans, idle time
+    and buffer-overflow drops, and a background thread drains the
+    staging buffer so file I/O stays off the worker domains.
+    [Sequential] coordination writes a three-event journal
+    (job/single task) so baselines land in the same report pipeline.
 
     When [monitor_port] is supplied (parallel coordinations only; [0]
     binds an ephemeral port reported through [on_monitor]), the run

@@ -8,6 +8,7 @@ module Locality = Yewpar_dist.Locality
 module Http = Yewpar_telemetry.Http_export
 module Metrics = Yewpar_telemetry.Metrics
 module Analyze = Yewpar_telemetry.Analyze
+module Journal = Yewpar_telemetry.Journal
 
 let now () = Unix.gettimeofday ()
 
@@ -16,6 +17,7 @@ let now () = Unix.gettimeofday ()
 type servable = {
   sv_run :
     heartbeat:float ->
+    journal:bool ->
     conn:Transport.t ->
     workers:int ->
     coordination:Coordination.t ->
@@ -34,8 +36,8 @@ let servable (type s n r) (p : (s, n, r) Problem.t) ~(show : r -> string) =
     Ok
       {
         sv_run =
-          (fun ~heartbeat ~conn ~workers ~coordination ->
-            Locality.run ~heartbeat ~conn ~workers ~coordination p);
+          (fun ~heartbeat ~journal ~conn ~workers ~coordination ->
+            Locality.run ~heartbeat ~journal ~conn ~workers ~coordination p);
         sv_root = codec.Codec.encode p.Problem.root;
         sv_finish =
           (fun outcome -> show (Yewpar_dist.Dist.combine p codec outcome));
@@ -54,6 +56,8 @@ type config = {
   failure_timeout : float;
   lease_timeout : float option;
   job_watchdog : float option;
+  journal : string option;
+  log : bool;
 }
 
 let default_config =
@@ -68,6 +72,8 @@ let default_config =
     failure_timeout = 10.;
     lease_timeout = None;
     job_watchdog = None;
+    journal = None;
+    log = false;
   }
 
 (* ------------------------------ state ---------------------------- *)
@@ -89,6 +95,7 @@ type t = {
   mutex : Mutex.t;
   cond : Condition.t;
   metrics : Metrics.t;
+  journal : Journal.writer option;
   m_submitted : Metrics.counter;
   m_done : Metrics.counter;
   m_failed : Metrics.counter;
@@ -107,6 +114,26 @@ type t = {
 }
 
 let spec (j : Job.t) = j.Job.spec
+
+(* Daemon-side operational logging, always stamped with the job id so
+   a multi-tenant log remains attributable; off by default so embedded
+   use (tests) stays quiet. *)
+let log t fmt =
+  Printf.ksprintf
+    (fun s -> if t.config.log then Printf.eprintf "serve: %s\n%!" s)
+    fmt
+
+(* Server-level job lifecycle events, written to the same journal the
+   per-job coordinators append to — the trace is the job id, so
+   submission/scheduling latency shows up alongside the job's own
+   lease tree. *)
+let jot t job_id ?dur ?value ?note ev =
+  match t.journal with
+  | None -> ()
+  | Some w ->
+    Journal.write w
+      ~trace:(Printf.sprintf "job-%d" job_id)
+      [ Journal.event ?dur ?value ?note ~ev ~span:0 () ]
 
 let count_slots t state =
   Array.fold_left
@@ -172,7 +199,7 @@ let fork_fleet config registry =
                  it. *)
               Sys.set_signal Sys.sigint Sys.Signal_ignore;
               let conn = Transport.create (snd pairs.(i)) in
-              let resolve ~instance ~skeleton =
+              let resolve ~instance ~skeleton ~job =
                 match List.assoc_opt instance registry with
                 | None ->
                   Error (Printf.sprintf "unknown problem %S" instance)
@@ -184,8 +211,13 @@ let fork_fleet config registry =
                   | Ok coordination ->
                     Ok
                       (fun () ->
-                        sv.sv_run ~heartbeat:config.heartbeat ~conn
-                          ~workers:config.workers ~coordination))
+                        if config.log then
+                          Printf.eprintf
+                            "serve: job %d running on slot %d (%s/%s)\n%!" job
+                            i instance skeleton;
+                        sv.sv_run ~heartbeat:config.heartbeat
+                          ~journal:(config.journal <> None)
+                          ~conn ~workers:config.workers ~coordination))
               in
               Locality.serve ~conn ~resolve;
               Transport.close conn;
@@ -255,6 +287,7 @@ let run_job t (job : Job.t) slots =
                {
                  instance = (spec job).Job.problem;
                  skeleton = (spec job).Job.skeleton;
+                 job = job.Job.id;
                }))
         conns;
       Ok
@@ -264,6 +297,9 @@ let run_job t (job : Job.t) slots =
            ~pool_policy:(Yewpar_runtime.Task_pool.policy_for coordination)
            ~cancelled:(fun () -> Atomic.get job.Job.cancel)
            ~on_progress:(fun p -> job.Job.progress <- Some p)
+           ?journal:t.journal
+           ~trace:(Printf.sprintf "job-%d" job.Job.id)
+           ~label:(Printf.sprintf "job %d" job.Job.id)
            ~conns ~root_payload:sv.sv_root ())
     with e -> Error (Printexc.to_string e)
   in
@@ -295,6 +331,13 @@ let run_job t (job : Job.t) slots =
       | exception e -> job.Job.state <- Job.Failed (Printexc.to_string e))));
   job.Job.finished <- Some (now ());
   Metrics.observe t.m_latency (now () -. job.Job.submitted);
+  log t "job %d %s (%.3fs since submit)" job.Job.id
+    (Job.state_name job.Job.state)
+    (now () -. job.Job.submitted);
+  jot t job.Job.id
+    ~dur:(now () -. job.Job.submitted)
+    ~note:(Job.state_name job.Job.state)
+    "job_finished";
   (match job.Job.state with
   | Job.Done -> Metrics.inc t.m_done
   | Job.Failed _ -> Metrics.inc t.m_failed
@@ -356,6 +399,15 @@ let schedule t =
           job.Job.state <- Job.Running;
           job.Job.started <- Some (now ());
           job.Job.slots <- slots;
+          log t "job %d started on slots [%s] (%s/%s)" id
+            (String.concat ";" (List.map string_of_int slots))
+            (spec job).Job.problem (spec job).Job.skeleton;
+          jot t id
+            ~dur:(now () -. job.Job.submitted)
+            ~note:
+              (Printf.sprintf "slots [%s]"
+                 (String.concat ";" (List.map string_of_int slots)))
+            "job_scheduled";
           t.running <- t.running + 1;
           let th = Thread.create (fun () -> run_job t job slots) () in
           t.job_threads <- th :: t.job_threads;
@@ -431,6 +483,11 @@ let submit t body =
           Hashtbl.add t.jobs id job;
           Queue.push id t.queue;
           Metrics.inc t.m_submitted;
+          log t "job %d submitted (%s/%s on %d localities)" id s.Job.problem
+            s.Job.skeleton s.Job.localities;
+          jot t id
+            ~note:(Printf.sprintf "%s/%s" s.Job.problem s.Job.skeleton)
+            ~value:s.Job.localities "job_submitted";
           Condition.broadcast t.cond;
           json_response 202 (Job.to_json job)
         end)
@@ -509,6 +566,27 @@ let status_json t =
             ("workers", num t.config.workers);
             ("max_respawns", num t.config.max_respawns);
           ] );
+      ( "slots",
+        Arr
+          (Array.to_list
+             (Array.mapi
+                (fun i s ->
+                  Obj
+                    [
+                      ("slot", num i);
+                      ( "state",
+                        Str
+                          (match s.slot_state with
+                          | Free -> "free"
+                          | Busy _ -> "busy"
+                          | Dead -> "dead") );
+                      ( "job",
+                        match s.slot_state with
+                        | Busy id -> num id
+                        | Free | Dead -> Null );
+                      ("pid", num s.pid);
+                    ])
+                t.fleet)) );
       ( "limits",
         Obj
           [
@@ -532,11 +610,13 @@ let start ?(config = default_config) ~registry () =
     invalid_arg "Server.start: max_respawns must be >= 0";
   let fleet = fork_fleet config registry in
   let metrics = Metrics.create () in
+  let journal = Option.map (fun path -> Journal.create ~path ()) config.journal in
   let t =
     {
       config;
       registry;
       fleet;
+      journal;
       jobs = Hashtbl.create 64;
       queue = Queue.create ();
       mutex = Mutex.create ();
@@ -635,5 +715,6 @@ let stop t =
       t.fleet;
     Array.iter (fun s -> try Transport.close s.conn with _ -> ()) t.fleet;
     Array.iter (fun s -> reap s.pid) t.fleet;
-    match t.http with Some h -> Http.stop h | None -> ()
+    (match t.http with Some h -> Http.stop h | None -> ());
+    Option.iter Journal.close t.journal
   end

@@ -67,12 +67,24 @@ type config = {
   job_watchdog : float option;
       (** Wall-clock bound per job; an expired job fails and its
           slots are retired. *)
+  journal : string option;
+      (** Causal journal path ({!Yewpar_telemetry.Journal}). When set,
+          every job's coordinator appends its lease lifecycle (and the
+          fleet's shipped worker events) to this one file under trace
+          id [job-N], and the daemon adds
+          [job_submitted]/[job_scheduled]/[job_finished] events, so
+          queueing latency and the in-search critical path land in the
+          same report. *)
+  log : bool;
+      (** Operational stderr logging ([serve: job N submitted/started
+          on slots [..]/done]), every line stamped with the job id.
+          Off by default so embedded use stays quiet. *)
 }
 
 val default_config : config
 (** Ephemeral port, 2 localities x 1 worker, [max_jobs = 2],
     [queue_depth = 16], no spares, 0.2s heartbeat, 10s failure
-    timeout, no lease timeout, no watchdog. *)
+    timeout, no lease timeout, no watchdog, no journal, no logging. *)
 
 type t
 

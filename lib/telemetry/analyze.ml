@@ -519,8 +519,11 @@ let compare_bench ~threshold_pct ~old_ ~new_ =
     (fun (k, _) -> Buffer.add_string buf (Printf.sprintf "new benchmark: %s\n" k))
     only_new;
   Buffer.add_string buf
-    (Printf.sprintf "%d/%d compared benchmarks regressed beyond +%.1f%%\n"
-       (List.length regressions) (List.length joined) threshold_pct);
+    (Printf.sprintf
+       "%d/%d compared benchmarks regressed beyond +%.1f%% (%d removed, %d \
+        added)\n"
+       (List.length regressions) (List.length joined) threshold_pct
+       (List.length only_old) (List.length only_new));
   { regressions; report = Buffer.contents buf }
 
 (* ------------------------- serve latency ------------------------- *)

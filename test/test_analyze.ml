@@ -182,7 +182,9 @@ let compare_regression () =
   Alcotest.(check bool) "row flagged" true
     (contains "figure4/queens-12/depthbounded/shm/1x4 !");
   Alcotest.(check bool) "summary line" true
-    (contains "1/2 compared benchmarks regressed beyond +10.0%")
+    (contains "1/2 compared benchmarks regressed beyond +10.0%");
+  Alcotest.(check bool) "summary counts churn" true
+    (contains "(0 removed, 0 added)")
 
 let compare_disjoint_keys () =
   let old_ = Analyze.load_bench (envelope [ record 1.0 ]) in
@@ -199,7 +201,12 @@ let compare_disjoint_keys () =
   Alcotest.(check bool) "old-only reported" true
     (contains "missing in new: figure4/queens-12/depthbounded/shm/1x4");
   Alcotest.(check bool) "new-only reported" true
-    (contains "new benchmark: figure4/queens-14/depthbounded/shm/1x4")
+    (contains "new benchmark: figure4/queens-14/depthbounded/shm/1x4");
+  (* Added/removed benchmarks are churn, not regressions: the summary
+     counts them separately and the exit stays clean. *)
+  Alcotest.(check bool) "summary counts churn" true
+    (contains "0/0 compared benchmarks regressed beyond +10.0% (1 removed, 1 \
+               added)")
 
 (* ----------------------------- serve ------------------------------ *)
 

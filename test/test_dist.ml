@@ -45,6 +45,11 @@ let sample_heartbeat () =
       idle_frac = 0.25;
       best = 17;
       trace_dropped = 3;
+      events =
+        [
+          Yewpar_telemetry.Journal.event ~parent:3 ~worker:1 ~t:12.5 ~dur:0.25
+            ~value:2 ~note:"n" ~ev:"task" ~span:9 ();
+        ];
     }
 
 let all_msgs () =
@@ -78,14 +83,20 @@ let heartbeat_roundtrip () =
   | Some
       (Wire.Heartbeat
         { clock; tasks_done; pool_depth; idle_workers; idle_frac; best;
-          trace_dropped }) ->
+          trace_dropped; events }) ->
     Alcotest.(check (float 0.)) "clock" 12.625 clock;
     Alcotest.(check int) "tasks_done" 31 tasks_done;
     Alcotest.(check int) "pool_depth" 4 pool_depth;
     Alcotest.(check int) "idle_workers" 1 idle_workers;
     Alcotest.(check (float 0.)) "idle_frac" 0.25 idle_frac;
     Alcotest.(check int) "best" 17 best;
-    Alcotest.(check int) "trace_dropped" 3 trace_dropped
+    Alcotest.(check int) "trace_dropped" 3 trace_dropped;
+    (match events with
+    | [ e ] ->
+      Alcotest.(check string) "event kind" "task" e.Yewpar_telemetry.Journal.ev;
+      Alcotest.(check int) "event span" 9 e.Yewpar_telemetry.Journal.span;
+      Alcotest.(check int) "event parent" 3 e.Yewpar_telemetry.Journal.parent
+    | _ -> Alcotest.fail "heartbeat events did not survive the roundtrip")
   | _ -> Alcotest.fail "heartbeat did not decode as a heartbeat"
 
 let roundtrip_bytewise () =
@@ -547,6 +558,77 @@ let chaos_drop_frames () =
   Alcotest.(check int) "queens-10 exact under frame loss" expected r;
   Alcotest.(check int) "no locality died" 0 stats.Stats.localities_lost
 
+let chaos_journal_causality () =
+  (* A killed locality must leave a causally closed journal: its
+     outstanding leases are revoked naming the dead holder, every
+     replay names the original (revoked) span as its parent, and every
+     parent reference in the file resolves to an emitted span. *)
+  let module Journal = Yewpar_telemetry.Journal in
+  let path = Filename.temp_file "yewpar_chaos" ".jsonl" in
+  let w = Journal.create ~path () in
+  let stats = Stats.create () in
+  let r =
+    Dist.run ~stats ~journal:w ~watchdog:120. ~localities:3 ~workers:2
+      ~max_respawns:1 ~failure_timeout:2.
+      ~chaos:(fault_spec "kill-locality:1@0.15s")
+      ~coordination:(Coordination.Depth_bounded { dcutoff = 2 })
+      (queens_n 12)
+  in
+  Journal.close w;
+  Alcotest.(check int) "queens-12 exact despite the crash" 14200 r;
+  Alcotest.(check int) "one locality lost" 1 stats.Stats.localities_lost;
+  let entries, malformed = Journal.read path in
+  Sys.remove path;
+  Alcotest.(check int) "no malformed lines" 0 malformed;
+  let spans = Hashtbl.create 64 in
+  Hashtbl.replace spans 0 ();
+  List.iter (fun e -> Hashtbl.replace spans e.Journal.e_span ()) entries;
+  List.iter
+    (fun e ->
+      if e.Journal.e_parent >= 0 && not (Hashtbl.mem spans e.Journal.e_parent)
+      then
+        Alcotest.failf "parent %d of %s span %d does not resolve"
+          e.Journal.e_parent e.Journal.e_ev e.Journal.e_span)
+    entries;
+  let by_kind k =
+    List.filter (fun e -> e.Journal.e_ev = k) entries
+  in
+  let dead =
+    match by_kind "locality_dead" with
+    | e :: _ -> e.Journal.e_locality
+    | [] -> Alcotest.fail "no locality_dead event in the journal"
+  in
+  let revoked_outstanding =
+    by_kind "lease_revoke"
+    |> List.filter (fun e -> e.Journal.e_note = "outstanding")
+  in
+  Alcotest.(check bool) "outstanding leases were revoked" true
+    (revoked_outstanding <> []);
+  List.iter
+    (fun e ->
+      Alcotest.(check int)
+        (Printf.sprintf "revoke of span %d names the dead holder"
+           e.Journal.e_span)
+        dead e.Journal.e_locality)
+    revoked_outstanding;
+  let revoked_spans =
+    List.map (fun e -> e.Journal.e_span) (by_kind "lease_revoke")
+  in
+  let replays = by_kind "lease_replay" in
+  Alcotest.(check bool) "leases were replayed" true (replays <> []);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "replay span %d descends from a revoked span"
+           e.Journal.e_span)
+        true
+        (List.mem e.Journal.e_parent revoked_spans))
+    replays;
+  Alcotest.(check bool) "a respawn was journalled" true
+    (by_kind "respawn" <> []);
+  Alcotest.(check bool) "job_done closes the trace" true
+    (by_kind "job_done" <> [])
+
 let contains haystack needle =
   let re = Str.regexp_string needle in
   match Str.search_forward re haystack 0 with
@@ -676,6 +758,8 @@ let () =
           Alcotest.test_case "crash mid-optimisation" `Quick chaos_kill_optimise;
           Alcotest.test_case "standby respawn" `Quick chaos_respawn;
           Alcotest.test_case "frame loss + lease timeout" `Quick chaos_drop_frames;
+          Alcotest.test_case "journal causality across a crash" `Quick
+            chaos_journal_causality;
         ] );
       (* Last: this test starts an HTTP-server domain inside the test
          process, and no fork may happen after a domain has existed. *)

@@ -9,6 +9,7 @@
 module Server = Yewpar_server.Server
 module Http = Yewpar_telemetry.Http_export
 module J = Yewpar_telemetry.Analyze
+module Journal = Yewpar_telemetry.Journal
 module Instances = Yewpar_instances.Instances
 module Sequential = Yewpar_core.Sequential
 module Stats = Yewpar_core.Stats
@@ -22,6 +23,9 @@ let registry =
       | Error _ -> None)
     (Instances.all ())
 
+let journal_path = Filename.temp_file "yewpar_serve" ".jsonl"
+let () = at_exit (fun () -> try Sys.remove journal_path with Sys_error _ -> ())
+
 let server =
   Server.start
     ~config:
@@ -31,6 +35,7 @@ let server =
         workers = 2;
         max_jobs = 2;
         queue_depth = 2;
+        journal = Some journal_path;
       }
     ~registry ()
 
@@ -266,9 +271,73 @@ let test_introspection () =
      try ignore (Str.search_forward re body 0); true with Not_found -> false);
   let status, body = http "/status" in
   Alcotest.(check int) "/status 200" 200 status;
-  let fleet = sub "fleet" (J.parse_json body) in
+  let doc = J.parse_json body in
+  let fleet = sub "fleet" doc in
   Alcotest.(check int) "2 slots" 2
-    (int_of_float (J.num_or nan (J.member "slots" fleet)))
+    (int_of_float (J.num_or nan (J.member "slots" fleet)));
+  (* Per-slot detail rides alongside the fleet summary. *)
+  let slots =
+    match J.member "slots" doc with Some (J.Arr xs) -> xs | _ -> []
+  in
+  Alcotest.(check int) "slots array has one entry per slot" 2
+    (List.length slots);
+  List.iteri
+    (fun i slot ->
+      Alcotest.(check int)
+        (Printf.sprintf "slot %d: numbered" i)
+        i
+        (int_of_float (J.num_or nan (J.member "slot" slot)));
+      let st = J.str_or "?" (J.member "state" slot) in
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d: known state" i)
+        true
+        (List.mem st [ "free"; "busy"; "dead" ]);
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d: has a pid" i)
+        true
+        (J.member "pid" slot <> None))
+    slots
+
+(* ------------------------------------------------------------------ *)
+(* The serve journal: every job's lifecycle lands in one trace.        *)
+(* ------------------------------------------------------------------ *)
+
+let test_serve_journal () =
+  let id = submitted "queens-8" "depthbounded:2" in
+  let doc = poll_terminal id in
+  Alcotest.(check string) "traced job done" "done" (state doc);
+  drain ();
+  (* The journal writer flushes each write, so the events are on disk
+     by the time the job is terminal. *)
+  let entries, malformed = Journal.read journal_path in
+  Alcotest.(check int) "serve journal has no malformed lines" 0 malformed;
+  let trace = Printf.sprintf "job-%d" id in
+  let mine =
+    List.filter (fun e -> e.Journal.e_trace = trace) entries
+  in
+  Alcotest.(check bool) "job has journal events" true (mine <> []);
+  let evs = List.map (fun e -> e.Journal.e_ev) mine in
+  List.iter
+    (fun ev ->
+      Alcotest.(check bool)
+        (Printf.sprintf "trace %s has %s" trace ev)
+        true (List.mem ev evs))
+    [ "job_submitted"; "job_scheduled"; "job_finished" ];
+  (* The coordinator's lease tree lands under the same per-job trace,
+     so the server journal is analyzable job by job. *)
+  Alcotest.(check bool) "lease events share the job trace" true
+    (List.mem "lease_issue" evs);
+  Alcotest.(check bool) "job_start/job_done bracket the search" true
+    (List.mem "job_start" evs && List.mem "job_done" evs);
+  (* Submission order: submitted before scheduled before finished. *)
+  let first ev =
+    match List.find_opt (fun e -> e.Journal.e_ev = ev) mine with
+    | Some e -> e.Journal.e_ts
+    | None -> nan
+  in
+  Alcotest.(check bool) "lifecycle events are ordered" true
+    (first "job_submitted" <= first "job_scheduled"
+    && first "job_scheduled" <= first "job_finished")
 
 let () =
   Alcotest.run "server"
@@ -288,5 +357,9 @@ let () =
           Alcotest.test_case "result readiness" `Quick test_result_readiness;
         ] );
       ( "introspection",
-        [ Alcotest.test_case "problems, metrics, status" `Quick test_introspection ] );
+        [
+          Alcotest.test_case "problems, metrics, status" `Quick
+            test_introspection;
+          Alcotest.test_case "per-job journal traces" `Quick test_serve_journal;
+        ] );
     ]
