@@ -326,7 +326,55 @@ let shm_runtime () =
   print_endline
     (Table.render
        ~header:[ "Instance"; "Skeleton"; "Result"; "Wall (s)"; "Tasks" ]
-       rows)
+       rows);
+  (* Estimator overhead A/B: the stack-stealing row again, once with
+     the progress estimator on and once off. Two distinct experiment
+     names — not two rows under one key — so `analyze --compare` never
+     averages on and off together, and drift in either is gated like
+     any other shm record. The acceptance bar is <2% on nodes/sec. *)
+  let name, coordination = List.hd configs in
+  let inst = Instances.find name in
+  let (Instances.Packed (p, _)) = Lazy.force inst.Instances.problem in
+  let ab_reps = 5 * reps in
+  let one ~progress =
+    let st = Stats.create () in
+    let _, t =
+      wall (fun () -> Shm.run ~workers ~stats:st ~progress ~coordination p)
+    in
+    (st, t)
+  in
+  (* Interleave the on/off reps so frequency scaling and background
+     load hit both sides alike, and compare best-of rates: scheduling
+     noise only ever slows a run down, so min wall-clock is the
+     cleanest overhead probe these short runs allow. *)
+  let runs = List.init ab_reps (fun _ -> (one ~progress:true, one ~progress:false)) in
+  let summarise ~progress picked =
+    let stats = Stats.create () in
+    List.iter (fun (st, _) -> Stats.add stats st) picked;
+    let times = List.map snd picked in
+    let elapsed = Summary.mean times in
+    let nodes = stats.Stats.nodes / ab_reps in
+    let rate = float_of_int nodes /. List.fold_left min infinity times in
+    let experiment =
+      if progress then "progress-overhead-on" else "progress-overhead-off"
+    in
+    json_record
+      [ ("experiment", jstr experiment); ("problem", jstr name);
+        ("skeleton", jstr (Coordination.to_string coordination));
+        ("runtime", jstr "shm"); ("localities", jint 1);
+        ("workers", jint workers); ("elapsed", jfloat elapsed);
+        ("nodes", jint nodes); ("rate", jfloat rate) ];
+    rate
+  in
+  let rate_on = summarise ~progress:true (List.map fst runs) in
+  let rate_off = summarise ~progress:false (List.map snd runs) in
+  Printf.printf
+    "Progress estimator overhead (%s / %s): %.0f nodes/s on, %.0f off \
+     (%+.2f%%)\n\n"
+    name
+    (Coordination.to_string coordination)
+    rate_on rate_off
+    (100. *. ((rate_off -. rate_on) /. rate_off))
 
 (* ------------------------------------------------------------------ *)
 (* Job server: throughput and tail latency under concurrent jobs.      *)

@@ -20,6 +20,7 @@ module Mc = Yewpar_maxclique.Maxclique
 module Telemetry = Yewpar_telemetry.Telemetry
 module Recorder = Yewpar_telemetry.Recorder
 module Journal = Yewpar_telemetry.Journal
+module Progress = Yewpar_telemetry.Progress
 
 open Cmdliner
 
@@ -83,6 +84,7 @@ type obs = {
   obs_metrics : string option;
   obs_journal : string option;
   obs_monitor : int option;
+  obs_progress : bool;
   obs_heartbeat : float;
   obs_depths : string option;
   obs_watchdog : float option;
@@ -147,6 +149,16 @@ let obs_term =
                    Prometheus gauge registry, $(b,GET /status) a JSON cluster \
                    snapshot. Port 0 binds an ephemeral port, printed at \
                    startup.")
+  in
+  let no_progress =
+    Arg.(value & flag
+         & info [ "no-progress" ]
+             ~doc:"Disable the online tree-size estimator (shm runtime): no \
+                   per-depth completion sampling, no $(b,progress) block in \
+                   $(b,/status), no $(b,yewpar_progress_*) gauges, no \
+                   $(b,progress_sample) journal events. The estimator costs \
+                   well under 2% of throughput; this flag exists to measure \
+                   exactly that.")
   in
   let heartbeat =
     Arg.(value & opt float 0.5
@@ -233,9 +245,9 @@ let obs_term =
                    not starve the thief forever.")
   in
   let combine obs_trace obs_format obs_metrics obs_journal trace_csv
-      obs_monitor obs_heartbeat obs_depths obs_watchdog obs_failure_timeout
-      obs_lease_timeout obs_max_respawns obs_chaos obs_chaos_seed comm_tick
-      steal_retry =
+      obs_monitor no_progress obs_heartbeat obs_depths obs_watchdog
+      obs_failure_timeout obs_lease_timeout obs_max_respawns obs_chaos
+      obs_chaos_seed comm_tick steal_retry =
     let obs_timing =
       match Yewpar_runtime.Config.create ~comm_tick ~steal_retry () with
       | cfg -> cfg
@@ -245,9 +257,9 @@ let obs_term =
     in
     let rest =
       { obs_trace; obs_format; obs_metrics; obs_journal; obs_monitor;
-        obs_heartbeat; obs_depths; obs_watchdog; obs_failure_timeout;
-        obs_lease_timeout; obs_max_respawns; obs_chaos; obs_chaos_seed;
-        obs_timing }
+        obs_progress = not no_progress; obs_heartbeat; obs_depths;
+        obs_watchdog; obs_failure_timeout; obs_lease_timeout;
+        obs_max_respawns; obs_chaos; obs_chaos_seed; obs_timing }
     in
     match (obs_trace, trace_csv) with
     | None, Some f ->
@@ -257,9 +269,9 @@ let obs_term =
     | _ -> rest
   in
   Term.(const combine $ trace $ format $ metrics $ journal $ trace_csv
-        $ monitor $ heartbeat $ depths $ watchdog $ failure_timeout
-        $ lease_timeout $ max_respawns $ chaos $ chaos_seed $ comm_tick
-        $ steal_retry)
+        $ monitor $ no_progress $ heartbeat $ depths $ watchdog
+        $ failure_timeout $ lease_timeout $ max_respawns $ chaos $ chaos_seed
+        $ comm_tick $ steal_retry)
 
 let write_file file data =
   Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc data)
@@ -352,7 +364,7 @@ let execute ~runtime ~coordination ~localities ~workers ~seed ~obs
       wall (fun () ->
           Shm.run ~workers ~stats ?telemetry ?journal
             ?monitor_port:obs.obs_monitor ~on_monitor:announce_monitor
-            ~coordination p)
+            ~progress:obs.obs_progress ~coordination p)
     in
     stats.Stats.elapsed <- elapsed;
     Printf.printf "result:   %s\n" (show result);
@@ -863,6 +875,28 @@ let top_cmd =
     | Analyze.Null -> Some "-"
     | Analyze.Obj _ | Analyze.Arr _ -> None
   in
+  (* A /status "progress" object -> the shared report shape, so the
+     bar and ETA renderers apply to any runtime's snapshot. *)
+  let report_of_fields fs =
+    let num k d =
+      match List.assoc_opt k fs with Some (Analyze.Num f) -> f | _ -> d
+    in
+    {
+      Progress.idle with
+      Progress.r_nodes = int_of_float (num "nodes" 0.);
+      r_total = num "est_total" (-1.);
+      r_fraction = num "completed_fraction" 0.;
+      r_rate = num "rate" 0.;
+      r_eta = num "eta_seconds" (-1.);
+    }
+  in
+  let progress_line fs =
+    let r = report_of_fields fs in
+    Printf.sprintf "%s %3.0f%% eta %s (%d nodes, %.0f/s)"
+      (Progress.bar ~width:20 r)
+      (100. *. r.Progress.r_fraction)
+      (Progress.eta_string r) r.Progress.r_nodes r.Progress.r_rate
+  in
   let render_json json =
     let b = Buffer.create 256 in
     (match json with
@@ -870,6 +904,9 @@ let top_cmd =
       List.iter
         (fun (k, v) ->
           match v with
+          | Analyze.Obj sub when k = "progress" ->
+            Buffer.add_string b
+              (Printf.sprintf "%-10s %s\n" (k ^ ":") (progress_line sub))
           | Analyze.Obj sub ->
             let parts =
               List.filter_map
@@ -886,6 +923,13 @@ let top_cmd =
                 List.map
                   (fun h ->
                     match List.assoc_opt h fs with
+                    (* A nested progress object (a serve job row)
+                       collapses to its completion percentage. *)
+                    | Some (Analyze.Obj sub)
+                      when List.mem_assoc "completed_fraction" sub -> (
+                      match List.assoc "completed_fraction" sub with
+                      | Analyze.Num f -> Printf.sprintf "%.0f%%" (100. *. f)
+                      | _ -> "...")
                     | Some v -> Option.value (scalar v) ~default:"..."
                     | None -> "")
                   header

@@ -16,16 +16,33 @@
 
 type t
 
-val create : unit -> t
-(** A fresh, enabled, all-zero profile. *)
+val create : ?profiled:bool -> ?progress:bool -> unit -> t
+(** A fresh all-zero profile. [profiled] (default true) enables the
+    four per-depth event columns; [progress] (default true)
+    independently enables the progress columns feeding the tree-size
+    estimator ({!Progress}): nodes processed, expansions completed and
+    kept children credited per depth. Either may be switched off alone
+    (profiling without progress for overhead A/B runs, progress without
+    profiling when statistics were not requested). *)
 
 val null : t
 (** The disabled profile: never records, merges as empty. *)
 
 val enabled : t -> bool
 
+val progress_enabled : t -> bool
+(** Whether the progress columns are being recorded. *)
+
 val note_node : t -> int -> unit
-(** [note_node t d] counts one node processed at depth [d]. *)
+(** [note_node t d] counts one node processed at depth [d] (in the
+    profile and, when enabled, the progress columns). *)
+
+val note_complete : t -> int -> int -> unit
+(** [note_complete t d kept] records that the expansion of one depth-[d]
+    node finished, having committed [kept] children to the search (kept
+    = passed the keep/bound filter and either recursed into or spawned;
+    pruned siblings are excluded). These per-depth completed/children
+    tallies are the raw material of the {!Progress} estimator. *)
 
 val note_prune : t -> int -> unit
 (** One subtree discarded by the bound check, rooted at depth [d]. *)
@@ -55,6 +72,17 @@ val merge : t -> t -> unit
 
 val copy : t -> t
 (** An independent snapshot. *)
+
+val progress_depths : t -> int
+(** Progress rows in use (1 + deepest depth recorded by the progress
+    columns); 0 when progress is disabled or nothing was recorded. *)
+
+val progress_row : t -> int -> int * int * int * float
+(** [progress_row t d] is [(nodes, completed, children, children_sq)]
+    at depth [d] (all zero beyond {!progress_depths}). Safe to call
+    from another domain while the owner records: reads are
+    bounds-checked against the arrays actually observed, so a racing
+    growth at worst hides the newest rows. *)
 
 val is_empty : t -> bool
 (** No event was ever recorded. *)

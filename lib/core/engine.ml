@@ -4,6 +4,9 @@ type ('space, 'node) frame = {
   node : 'node;
   mutable rest : 'node Seq.t;
   depth : int;
+  mutable kept : int;
+      (* children of [node] committed to the search: entered by this
+         engine or credited by the caller when split off to a task *)
 }
 
 type ('space, 'node) t = {
@@ -12,16 +15,21 @@ type ('space, 'node) t = {
   frames : ('space, 'node) frame Vec.t;
   root : 'node;
   root_depth : int;
+  prof : Depth_profile.t;
+      (* completion sink: every Leave records (depth, kept) into the
+         profile's progress columns. [Depth_profile.null] when the
+         estimator is off — the call reduces to one branch. *)
   mutable entered : int;
   mutable pruned : int;
   mutable backtracks : int;
   mutable max_depth : int;
 }
 
-let make ~space ~children ~root_depth root =
+let make ?(prof = Depth_profile.null) ~space ~children ~root_depth root =
   let frames = Vec.create () in
-  Vec.push frames { node = root; rest = children space root; depth = root_depth };
-  { space; children; frames; root; root_depth;
+  Vec.push frames
+    { node = root; rest = children space root; depth = root_depth; kept = 0 };
+  { space; children; frames; root; root_depth; prof;
     entered = 0; pruned = 0; backtracks = 0; max_depth = root_depth }
 
 let root t = t.root
@@ -40,12 +48,15 @@ let step ?(prune_rest = false) ~keep t =
     | None ->
       ignore (Vec.pop t.frames);
       t.backtracks <- t.backtracks + 1;
+      Depth_profile.note_complete t.prof f.depth f.kept;
       Leave
     | Some (child, rest) ->
       f.rest <- rest;
       if keep child then begin
         let depth = f.depth + 1 in
-        Vec.push t.frames { node = child; rest = t.children t.space child; depth };
+        f.kept <- f.kept + 1;
+        Vec.push t.frames
+          { node = child; rest = t.children t.space child; depth; kept = 0 };
         t.entered <- t.entered + 1;
         if depth > t.max_depth then t.max_depth <- depth;
         Enter child
@@ -115,3 +126,12 @@ let drain_top t =
   match Vec.top t.frames with
   | None -> ([], 0)
   | Some f -> (drain_frame f, f.depth + 1)
+
+(* Frames form a single root-to-tip path, so the frame at global depth
+   [depth] — if still on the stack — sits at index [depth - root_depth]. *)
+let credit_kept t ~depth ~n =
+  let i = depth - t.root_depth in
+  if n > 0 && i >= 0 && i < Vec.length t.frames then begin
+    let f = Vec.get t.frames i in
+    f.kept <- f.kept + n
+  end

@@ -15,12 +15,22 @@ type ('space, 'node) t
 (** A suspended depth-first search of one subtree (a task). *)
 
 val make :
+  ?prof:Depth_profile.t ->
   space:'space -> children:('space, 'node) Problem.generator ->
   root_depth:int -> 'node -> ('space, 'node) t
 (** [make ~space ~children ~root_depth root] starts a traversal of the
     subtree rooted at [root], whose depth in the global tree is
     [root_depth]. The caller is responsible for {e processing} [root]
-    itself (tasks process their root when scheduled). *)
+    itself (tasks process their root when scheduled).
+
+    [prof] (default {!Depth_profile.null}) receives one
+    {!Depth_profile.note_complete} per [Leave] transition, carrying the
+    global depth of the node whose expansion just completed and the
+    number of its children committed to the search — those entered by
+    this engine plus any the caller split off and credited with
+    {!credit_kept}. These completions are the raw material of the
+    {!Progress} tree-size estimator; the call is a single branch when
+    the profile's progress columns are off. *)
 
 val root : ('space, 'node) t -> 'node
 (** The subtree root this engine was created for. *)
@@ -79,3 +89,12 @@ val drain_top : ('space, 'node) t -> 'node list * int
 (** Remove all unexplored children of the {e current} node and return
     them in traversal order with their global depth — the building block
     of the Depth-Bounded coordination's [spawn-depth] rule. *)
+
+val credit_kept : ('space, 'node) t -> depth:int -> n:int -> unit
+(** [credit_kept t ~depth ~n] records that [n] children of the frame
+    at global depth [depth] were split off and committed to the search
+    elsewhere (spawned as tasks), so the completion recorded at [Leave]
+    still reports the node's true kept-children count. Callers must credit
+    only children that pass the keep filter — crediting raw drained
+    counts would overestimate when spawn-side filtering prunes. O(1);
+    a no-op if the frame has already been left or [n <= 0]. *)

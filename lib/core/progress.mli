@@ -1,0 +1,71 @@
+(** Online tree-size estimation from per-depth progress tallies.
+
+    A stratified variant of Knuth's weighted-backtrack estimator:
+    rather than random root-to-leaf probes it consumes the complete
+    per-depth record every worker already keeps ({!Depth_profile}) —
+    nodes processed, expansions completed, kept children credited —
+    and chains per-stratum branching factors from the root to predict
+    the sizes of the strata not yet fully explored.
+
+    While every node of a stratum is observed {e and} completed the
+    chain is integer-exact: the kept-children tally of a closed stratum
+    {e is} the size of the next one. At quiescence of a healthy run
+    every stratum is closed, so the estimate equals the observed node
+    count bit-exactly and the completed fraction is exactly 1.0. After
+    a chaos revoke-and-replay the chain may not close on its own — a
+    dead locality's {e outstanding} leases are replayed and re-observed
+    exactly once, but the tallies of leases it had already {e retired}
+    die with it (only their result deltas were shipped) — so the
+    terminal guarantee there is the [~final] clamp, backed by the
+    termination detector. Open strata are extrapolated in floats with a
+    confidence band from the sample variance of the kept-children
+    counts.
+
+    Samples are plain arrays: cheap to marshal (they ride inside
+    [Wire.Heartbeat] frames) and to merge across workers and
+    localities — merging is element-wise addition, so fusing
+    per-locality cumulative samples never double-counts as long as
+    each locality's {e latest} sample replaces its previous one. *)
+
+type sample = {
+  rows : int;  (** strata in use; arrays are at least this long *)
+  nodes : int array;  (** nodes processed per depth *)
+  completed : int array;  (** expansions completed per depth *)
+  children : int array;  (** kept children credited per depth *)
+  children_sq : float array;
+      (** sum of squared kept-children counts, for the variance *)
+}
+
+val empty : sample
+
+val of_profile : Depth_profile.t -> sample
+(** Snapshot the progress columns of a profile. Safe against a
+    concurrently-recording owner (bounds-checked racy reads). *)
+
+val merge : sample -> sample -> sample
+(** Element-wise sum; the disjoint-workers fusion rule. *)
+
+val observed : sample -> int
+(** Total nodes processed across all strata. *)
+
+type estimate = {
+  e_nodes : int;  (** nodes observed so far *)
+  e_total : float;  (** estimated total tree size, >= [e_nodes] *)
+  e_lo : float;  (** lower confidence bound on the total *)
+  e_hi : float;  (** upper confidence bound on the total *)
+  e_fraction : float;
+      (** [e_nodes / e_total] clamped to [0, 1]; exactly 1.0 only at
+          quiescence or when [final] was passed *)
+  e_exact : bool;  (** every stratum was closed: the total is exact *)
+}
+
+val live_cap : float
+(** The ceiling on a live inexact fraction (just below 1). *)
+
+val estimate : ?final:bool -> sample -> estimate
+(** Run the chain. With [~final:true] the run is known to have
+    terminated (the termination detector is ground truth): the
+    estimate collapses to the observed count and the fraction to
+    exactly 1.0. Without it, a live inexact chain caps the fraction
+    just below 1 so a mid-run read never claims completion; a fraction
+    of 0 means no expansion has completed yet (no signal). *)

@@ -2,7 +2,14 @@ let search (type s n r) ?stats (p : (s, n, r) Problem.t) : r =
   let harness = Ops.harness p.kind in
   let knowledge = Knowledge.make_ref () in
   let view = harness.view knowledge in
-  let engine = Engine.make ~space:p.space ~children:p.children ~root_depth:0 p.root in
+  let prof =
+    match stats with
+    | Some st -> st.Stats.depths
+    | None -> Depth_profile.null
+  in
+  let engine =
+    Engine.make ~prof ~space:p.space ~children:p.children ~root_depth:0 p.root
+  in
   (* The plain loop stays allocation- and branch-free on the hot path;
      the profiled variant (only when stats are requested) additionally
      buckets every enter/prune by depth, tracked incrementally so no

@@ -59,4 +59,22 @@ let pp ppf s =
     Format.fprintf ppf " trace_dropped=%d" s.trace_dropped;
   if s.localities_lost > 0 || s.leases_reissued > 0 || s.respawns > 0 then
     Format.fprintf ppf " localities_lost=%d leases_reissued=%d respawns=%d"
-      s.localities_lost s.leases_reissued s.respawns
+      s.localities_lost s.leases_reissued s.respawns;
+  (* The progress block reports the tree-size estimator's view of the
+     finished run: the final clamp pins the fraction at exactly 1.0
+     (the run terminated — that is ground truth), while the raw chain
+     tells whether the estimator had converged on its own. *)
+  let sample = Progress.of_profile s.depths in
+  if sample.Progress.rows > 0 then begin
+    let e = Progress.estimate ~final:true sample in
+    Format.fprintf ppf " progress: fraction=%.3f est_total=%.0f"
+      e.Progress.e_fraction e.Progress.e_total;
+    if s.elapsed > 0. then
+      Format.fprintf ppf " rate=%.0f/s eta=0s"
+        (float_of_int s.nodes /. s.elapsed);
+    let raw = Progress.estimate sample in
+    if raw.Progress.e_exact then Format.fprintf ppf " (estimator exact)"
+    else
+      Format.fprintf ppf " (estimator saw %.0f in [%.0f, %.0f])"
+        raw.Progress.e_total raw.Progress.e_lo raw.Progress.e_hi
+  end

@@ -3,6 +3,8 @@ module Recorder = Yewpar_telemetry.Recorder
 module Metrics = Yewpar_telemetry.Metrics
 module Http_export = Yewpar_telemetry.Http_export
 module Journal = Yewpar_telemetry.Journal
+module Est = Yewpar_core.Progress
+module Track = Yewpar_telemetry.Progress
 
 type outcome = {
   deltas : string list;
@@ -22,6 +24,11 @@ type progress = {
   p_outstanding : int;
   p_best : int;
   p_alive : int;
+  p_nodes : int;
+  p_est_total : float;
+  p_fraction : float;
+  p_rate : float;
+  p_eta : float;
 }
 
 (* One coordinator-issued task: everything needed to replay it if its
@@ -46,6 +53,11 @@ type live = {
   idle_frac : float;
   best : int;
   trace_dropped : int;
+  nodes : int;
+  psample : Est.sample;
+      (** Cumulative estimator columns: replaced wholesale on every
+          heartbeat, so fusion (summing the latest sample of each live
+          locality) never double-counts. *)
 }
 
 (* Grace period after a watchdog-triggered shutdown before collection is
@@ -129,6 +141,27 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
      slightly stale but never torn. *)
   let live : live option array = Array.make l None in
   let heartbeats = ref 0 in
+  (* ---- fused progress estimate ----
+     Sum the latest cumulative sample of every locality still alive:
+     replace-on-update means stolen work is never counted twice, and
+     dropping dead localities' samples keeps a chaos replay exact —
+     the survivors re-observe the revoked subtrees exactly once. The
+     tracker makes the reported fraction monotone and smooths the
+     rate; [last_report] is an immutable record behind one pointer so
+     the HTTP domain can read it untorn. *)
+  let ptracker = Track.create () in
+  let last_report = ref Track.idle in
+  let last_psample_jot = ref neg_infinity in
+  let fused_sample () =
+    let acc = ref Est.empty in
+    Array.iteri
+      (fun i hb ->
+        match hb with
+        | Some h when alive.(i) -> acc := Est.merge !acc h.psample
+        | _ -> ())
+      live;
+    !acc
+  in
   let registry = Metrics.create () in
   let g name help = Metrics.gauge registry ~help ("yewpar_live_" ^ name) in
   let g_localities = g "localities" "Localities still connected" in
@@ -199,7 +232,8 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
     Metrics.set g_lost (float_of_int !lost);
     Metrics.set g_reissued (float_of_int !reissued);
     Metrics.set g_respawns (float_of_int !respawns);
-    Metrics.set g_uptime (Unix.gettimeofday () -. started)
+    Metrics.set g_uptime (Unix.gettimeofday () -. started);
+    Track.export_gauges !last_report ~registry ~prefix:"yewpar_progress_"
   in
   let status_json () =
     let now = Unix.gettimeofday () in
@@ -226,13 +260,16 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
           Printf.bprintf buf
             "{\"id\":%d,\"alive\":%b,\"standby\":%b,\"age\":%.3f,\
              \"tasks_done\":%d,\"pool_depth\":%d,\"idle_workers\":%d,\
-             \"idle_frac\":%.4f,\"best\":%s,\"trace_dropped\":%d}"
+             \"idle_frac\":%.4f,\"best\":%s,\"trace_dropped\":%d,\
+             \"nodes\":%d}"
             i alive.(i) standby.(i) (now -. h.at) h.tasks_done h.pool_depth
             h.idle_workers h.idle_frac
             (if h.best > min_int then string_of_int h.best else "null")
-            h.trace_dropped)
+            h.trace_dropped h.nodes)
       live;
-    Buffer.add_string buf "]}";
+    Buffer.add_string buf "],\"progress\":{";
+    Buffer.add_string buf (Track.json_fields !last_report);
+    Buffer.add_string buf "}}";
     Buffer.contents buf
   in
   let server =
@@ -257,9 +294,6 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
       Some s
   in
   let monitored = server <> None in
-  (* Heartbeats also feed the per-job progress callback of the job
-     server, which runs many coordinators without monitor ports. *)
-  let observed = monitored || on_progress <> None in
 
   (* Under the job server many coordinators interleave on one daemon's
      output: [label] ("job N") prefixes failures so they stay
@@ -542,43 +576,60 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
           idle_frac;
           best;
           trace_dropped;
+          nodes;
+          progress = psample;
           events;
         } ->
       write_events i ~clock events;
-      if observed then begin
-        live.(i) <-
-          Some
-            {
-              at = Unix.gettimeofday ();
-              tasks_done;
-              pool_depth;
-              idle_workers;
-              idle_frac;
-              best;
-              trace_dropped;
-            };
-        incr heartbeats;
-        if monitored then refresh_gauges ();
-        match on_progress with
-        | None -> ()
-        | Some f ->
-          let sum g =
-            Array.fold_left
-              (fun a -> function Some h -> a + g h | None -> a)
-              0 live
-          in
-          f
-            {
-              p_tasks_done = sum (fun h -> h.tasks_done);
-              p_pool_depth = Pool.size pool + sum (fun h -> h.pool_depth);
-              p_outstanding = Hashtbl.length outstanding;
-              p_best =
-                Array.fold_left
-                  (fun a -> function Some h -> max a h.best | None -> a)
-                  !global_best live;
-              p_alive = alive_count ();
-            }
-      end
+      let now = Unix.gettimeofday () in
+      live.(i) <-
+        Some
+          {
+            at = now;
+            tasks_done;
+            pool_depth;
+            idle_workers;
+            idle_frac;
+            best;
+            trace_dropped;
+            nodes;
+            psample;
+          };
+      incr heartbeats;
+      last_report := Track.update ptracker ~now (fused_sample ());
+      if monitored then refresh_gauges ();
+      (match journal with
+      | Some _ when now -. !last_psample_jot >= 1.0 ->
+        last_psample_jot := now;
+        jot "progress_sample" 0
+          ~value:(Track.journal_value !last_report)
+          ~note:(Track.journal_note !last_report)
+      | _ -> ());
+      (match on_progress with
+      | None -> ()
+      | Some f ->
+        let sum g =
+          Array.fold_left
+            (fun a -> function Some h -> a + g h | None -> a)
+            0 live
+        in
+        let r = !last_report in
+        f
+          {
+            p_tasks_done = sum (fun h -> h.tasks_done);
+            p_pool_depth = Pool.size pool + sum (fun h -> h.pool_depth);
+            p_outstanding = Hashtbl.length outstanding;
+            p_best =
+              Array.fold_left
+                (fun a -> function Some h -> max a h.best | None -> a)
+                !global_best live;
+            p_alive = alive_count ();
+            p_nodes = r.Track.r_nodes;
+            p_est_total = r.Track.r_total;
+            p_fraction = r.Track.r_fraction;
+            p_rate = r.Track.r_rate;
+            p_eta = r.Track.r_eta;
+          })
     | Wire.Failed { message } ->
       fail message;
       broadcast_shutdown ()
@@ -719,9 +770,6 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
     if !watchdog_fired && overdue watchdog_grace then abandoned := true
   done;
 
-  jot "job_done" 0
-    ~dur:(Unix.gettimeofday () -. started)
-    ~note:(Option.value !failure ~default:"");
   let stats = Stats.create () in
   Array.iter
     (function Some st -> Stats.add stats st | None -> ())
@@ -729,6 +777,27 @@ let run ?watchdog ?monitor_port ?on_monitor ?failure_timeout ?lease_timeout
   stats.Stats.localities_lost <- !lost;
   stats.Stats.leases_reissued <- !reissued;
   stats.Stats.respawns <- !respawns;
+  (* Final progress sample: built from the merged stats profile (dead
+     localities never ship their Stats frame; their retired leases'
+     tallies are lost, so the raw chain may not re-close after a
+     crash), clamped final — the termination detector is ground truth,
+     so the fraction lands at exactly 1.0 unless the run failed
+     outright. *)
+  (match journal with
+  | Some _ ->
+    let final = !failure = None in
+    let r =
+      Track.update ptracker ~final
+        ~now:(Unix.gettimeofday ())
+        (Est.of_profile stats.Stats.depths)
+    in
+    last_report := r;
+    jot "progress_sample" 0 ~value:(Track.journal_value r)
+      ~note:(Track.journal_note r)
+  | None -> ());
+  jot "job_done" 0
+    ~dur:(Unix.gettimeofday () -. started)
+    ~note:(Option.value !failure ~default:"");
   let deltas = Hashtbl.fold (fun _ delta acc -> delta :: acc) retired [] in
   let residuals = Array.to_list results |> List.filter_map Fun.id in
   { deltas; residuals; witness = !witness; stats; broadcasts = !broadcasts;

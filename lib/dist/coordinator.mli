@@ -83,6 +83,16 @@ type progress = {
   p_best : int;
       (** Best incumbent objective seen ([min_int] when none). *)
   p_alive : int;  (** Localities still connected. *)
+  p_nodes : int;  (** Nodes processed, fused over live localities. *)
+  p_est_total : float;
+      (** Estimated total tree size ({!Yewpar_core.Progress}), fused
+          from the per-locality heartbeat samples. *)
+  p_fraction : float;
+      (** Monotone completed fraction in [0, 1]; exactly 1.0 only at
+          quiescence. *)
+  p_rate : float;  (** Smoothed nodes/sec; 0 until measurable. *)
+  p_eta : float;
+      (** Estimated seconds remaining; 0 when done, -1 unknown. *)
 }
 (** A best-effort snapshot of a running search, derived from the same
     heartbeats that feed the live monitor. *)

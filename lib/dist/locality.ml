@@ -572,6 +572,8 @@ let run (type s n r) ?(trace = false) ?(journal = false) ?heartbeat ?chaos
                idle_frac;
                best = knowledge.Knowledge.best_obj ();
                trace_dropped = all_dropped ();
+               nodes = Atomic.get counters.Counters.nodes;
+               progress = Counters.progress_sample counters;
                events =
                  (match jbuf with Some b -> Journal.drain b | None -> []);
              })

@@ -15,6 +15,11 @@ type msg =
       idle_frac : float;
       best : int;
       trace_dropped : int;
+      nodes : int;
+      progress : Yewpar_core.Progress.sample;
+          (* cumulative per-depth estimator columns: the coordinator
+             replaces (never sums) a locality's previous sample, so
+             fusion across localities cannot double-count *)
       events : Yewpar_telemetry.Journal.event list;
     }
   | Result of { payload : string }

@@ -71,6 +71,14 @@ type msg =
       best : int;  (** The locality's current local bound. *)
       trace_dropped : int;
           (** Spans dropped by full recorder ring buffers so far. *)
+      nodes : int;  (** Nodes processed since startup. *)
+      progress : Yewpar_core.Progress.sample;
+          (** Cumulative per-depth estimator columns
+              ({!Yewpar_core.Progress}) since startup. Cumulative on
+              purpose: the coordinator {e replaces} the sender's
+              previous sample rather than summing deltas, so fusing
+              across localities (element-wise sum of latest samples)
+              cannot double-count stolen or replayed work. *)
       events : Yewpar_telemetry.Journal.event list;
           (** Causal journal events staged since the last heartbeat
               ([[]] when the run is not journaled). Span ids are lease

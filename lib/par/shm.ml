@@ -3,6 +3,7 @@ module Telemetry = Yewpar_telemetry.Telemetry
 module Journal = Yewpar_telemetry.Journal
 module Metrics = Yewpar_telemetry.Metrics
 module Http_export = Yewpar_telemetry.Http_export
+module Progress = Yewpar_telemetry.Progress
 module Knowledge = Yewpar_core.Knowledge
 module Ops = Yewpar_core.Ops
 module Coordination = Yewpar_core.Coordination
@@ -13,9 +14,22 @@ module Task_pool = Yewpar_runtime.Task_pool
 module Worker = Yewpar_runtime.Worker
 
 let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?journal
-    ?monitor_port ?on_monitor ~coordination (p : (s, n, r) Problem.t) : r =
+    ?monitor_port ?on_monitor ?(progress = true) ~coordination
+    (p : (s, n, r) Problem.t) : r =
   (* The shared counter bundle; folded into [stats] after the join. *)
-  let counters = Counters.create ~profiled:(stats <> None) ~slots:n_workers () in
+  let counters =
+    Counters.create ~profiled:(stats <> None) ~progress ~slots:n_workers ()
+  in
+  (* One tracker fuses the per-slot estimator columns for every live
+     surface (monitor scrapes, journal samples); both callers are cold
+     paths on their own threads, hence the mutex. *)
+  let tracker = Progress.create () in
+  let tracker_mu = Mutex.create () in
+  let progress_report ?final () =
+    Mutex.protect tracker_mu (fun () ->
+        Progress.update tracker ?final ~now:(Unix.gettimeofday ())
+          (Counters.progress_sample counters))
+  in
   (* One span recorder per worker domain (all ring buffers preallocated
      here, before any domain spawns); [Recorder.null] turns every
      recording site into a single branch when telemetry is off. *)
@@ -163,6 +177,9 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?journal
       in
       let g_uptime = g "uptime_seconds" "Seconds since the search started" in
       let refresh () =
+        if progress then
+          Progress.export_gauges (progress_report ()) ~registry
+            ~prefix:"yewpar_progress_";
         Metrics.set g_workers (float_of_int n_workers);
         Metrics.set g_nodes (float_of_int (Atomic.get counters.Counters.nodes));
         Metrics.set g_pruned (float_of_int (Atomic.get counters.Counters.pruned));
@@ -181,12 +198,18 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?journal
         Metrics.set g_uptime (Unix.gettimeofday () -. started)
       in
       let status_json () =
+        let progress_block =
+          if progress then
+            Printf.sprintf ",\"progress\":{%s}"
+              (Progress.json_fields (progress_report ()))
+          else ""
+        in
         Printf.sprintf
           "{\"schema_version\":1,\"runtime\":\"shm\",\"uptime\":%.3f,\
            \"workers\":%d,\"nodes\":%d,\"pruned\":%d,\"tasks\":%d,\
            \"tasks_done\":%d,\"pool_depth\":%d,\"active_tasks\":%d,\
            \"idle_workers\":%d,\"steals\":%d,\"steal_attempts\":%d,\
-           \"bound_updates\":%d,\"best\":%s,\"trace_dropped\":%d}"
+           \"bound_updates\":%d,\"best\":%s,\"trace_dropped\":%d%s}"
           (Unix.gettimeofday () -. started)
           n_workers
           (Atomic.get counters.Counters.nodes)
@@ -199,7 +222,7 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?journal
           (Atomic.get counters.Counters.bound_updates)
           (let b = knowledge.Knowledge.best_obj () in
            if b > min_int then string_of_int b else "null")
-          (all_dropped ())
+          (all_dropped ()) progress_block
       in
       let s =
         Http_export.start ~port
@@ -223,8 +246,17 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?journal
   | None -> ()
   | Some w ->
     Journal.write w [ Journal.event ~locality:0 ~t:started ~ev:"job_start" ~span:0 () ]);
+  (* Journalled estimator samples: value = rounded estimated total,
+     the rest packed in the note so [analyze --journal] can plot
+     estimate-vs-truth convergence after the run. *)
+  let progress_event r =
+    Journal.event ~locality:0 ~t:(Unix.gettimeofday ())
+      ~value:(Progress.journal_value r) ~note:(Progress.journal_note r)
+      ~ev:"progress_sample" ~span:0 ()
+  in
   (* Background drainer: keeps file I/O off the worker domains. Joined
-     (after a final drain) before the journal is considered complete. *)
+     (after a final drain) before the journal is considered complete.
+     Every ~1s it also journals a progress sample. *)
   let flusher =
     match (journal, jbuf) with
     | Some w, Some b ->
@@ -232,10 +264,14 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?journal
       let th =
         Thread.create
           (fun () ->
+            let tick = ref 0 in
             while not (Atomic.get stop_flush) do
               (match Journal.drain b with
               | [] -> ()
               | events -> Journal.write w events);
+              incr tick;
+              if progress && !tick mod 20 = 0 then
+                Journal.write w [ progress_event (progress_report ()) ];
               Unix.sleepf 0.05
             done)
           ()
@@ -265,8 +301,12 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?journal
         | n ->
           [ Journal.event ~locality:0 ~t ~value:n ~ev:"journal_drop" ~span:0 () ]
       in
+      let final_sample =
+        if progress then [ progress_event (progress_report ~final:true ()) ]
+        else []
+      in
       Journal.write w
-        (staged @ idles @ drops
+        (staged @ idles @ drops @ final_sample
         @ [
             Journal.event ~locality:0 ~t ~dur:(t -. started) ~ev:"job_done"
               ~span:0 ();
@@ -287,7 +327,7 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?journal
   harness.Ops.result knowledge
 
 let run ?workers ?stats ?telemetry ?journal ?monitor_port ?on_monitor
-    ~coordination p =
+    ?progress ~coordination p =
   match coordination with
   | Coordination.Sequential ->
     let sequential () =
@@ -325,4 +365,4 @@ let run ?workers ?stats ?telemetry ?journal ?monitor_port ?on_monitor
       | None -> Domain.recommended_domain_count ()
     in
     parallel_run ~n_workers ?stats ?telemetry ?journal ?monitor_port
-      ?on_monitor ~coordination p
+      ?on_monitor ?progress ~coordination p

@@ -26,6 +26,7 @@ val run :
   ?journal:Yewpar_telemetry.Journal.writer ->
   ?monitor_port:int ->
   ?on_monitor:(int -> unit) ->
+  ?progress:bool ->
   coordination:Yewpar_core.Coordination.t ->
   ('space, 'node, 'result) Yewpar_core.Problem.t -> 'result
 (** [run ~coordination p] executes [p] on [workers] domains (default:
@@ -61,4 +62,12 @@ val run :
     computed from the shared counters on each scrape) and
     [GET /status] (a JSON snapshot) on [127.0.0.1] for its duration
     ({!Yewpar_telemetry.Http_export}); the port closes before [run]
-    returns. *)
+    returns.
+
+    [progress] (default true) keeps the tree-size estimator columns
+    ({!Yewpar_core.Progress}) recording: the monitor then carries a
+    [progress] block in [/status], [yewpar_progress_*] gauges in
+    [/metrics], and a journalled [progress_sample] roughly every
+    second (plus a final clamped one before [job_done]).
+    [~progress:false] — used by the bench overhead A/B — removes the
+    per-node cost and every progress surface. *)

@@ -16,7 +16,7 @@ type t = {
   cur_depth : int ref array;
 }
 
-let create ?(profiled = true) ~slots () =
+let create ?(profiled = true) ?(progress = true) ~slots () =
   {
     nodes = Atomic.make 0;
     pruned = Atomic.make 0;
@@ -29,7 +29,9 @@ let create ?(profiled = true) ~slots () =
     bound_updates = Atomic.make 0;
     profs =
       Array.init slots (fun _ ->
-          if profiled then Depth_profile.create () else Depth_profile.null);
+          if profiled || progress then
+            Depth_profile.create ~profiled ~progress ()
+          else Depth_profile.null);
     cur_depth = Array.init slots (fun _ -> ref 0);
   }
 
@@ -62,3 +64,12 @@ let fold_into t ?(dropped = 0) (st : Stats.t) =
   st.Stats.bound_updates <- st.Stats.bound_updates + Atomic.get t.bound_updates;
   st.Stats.trace_dropped <- st.Stats.trace_dropped + dropped;
   Array.iter (fun prof -> Depth_profile.merge st.Stats.depths prof) t.profs
+
+(* Cold path: called by the live monitor / heartbeat sender, not the
+   workers. Slot profiles are racy-read; the merged sample is a
+   consistent-enough snapshot for estimation. *)
+let progress_sample t =
+  Array.fold_left
+    (fun acc prof ->
+      Yewpar_core.Progress.merge acc (Yewpar_core.Progress.of_profile prof))
+    Yewpar_core.Progress.empty t.profs

@@ -28,10 +28,13 @@ type t = {
           query. *)
 }
 
-val create : ?profiled:bool -> slots:int -> unit -> t
+val create : ?profiled:bool -> ?progress:bool -> slots:int -> unit -> t
 (** [create ~slots ()] makes a bundle with [slots] profile/depth
     slots. [~profiled:false] (used when the caller collects no stats)
-    replaces every profile with {!Yewpar_core.Depth_profile.null}. *)
+    disables the per-depth event columns; [~progress:false] disables
+    the tree-size-estimator columns ({!Yewpar_core.Progress}) — only
+    when both are off does a slot get
+    {!Yewpar_core.Depth_profile.null}. *)
 
 val note_max_depth : t -> int -> unit
 (** CAS-maximise the [max_depth] counter. *)
@@ -53,3 +56,9 @@ val fold_into : t -> ?dropped:int -> Yewpar_core.Stats.t -> unit
 (** Accumulate every counter and all depth profiles into a [Stats.t]
     (adding to whatever it already holds; [max_depth] maximises).
     [dropped] is the runtime's trace-ring drop total. *)
+
+val progress_sample : t -> Yewpar_core.Progress.sample
+(** Merge every slot's progress columns into one
+    {!Yewpar_core.Progress.sample}. Safe to call while workers record
+    (racy bounds-checked reads); meant for the live monitor and the
+    distributed heartbeat sender, not the per-node hot path. *)

@@ -60,18 +60,29 @@ let filter_chunk (view : 'n Ops.view) cs =
 (* Stack-Stealing work pushing: a running worker sheds work whenever
    the scheduler signals hunger (local thieves waiting on a dry pool;
    on dist additionally a starving remote locality). *)
+(* Splits must credit the kept children they ship to other tasks back
+   to the donor frame ([Engine.credit_kept]), so the frame's eventual
+   [on_leave] reports the node's true committed-children count — the
+   tree-size estimator's closed-stratum rule depends on it. Only
+   filtered (kept) children are credited: the spawn-side bound filter
+   prunes the rest. *)
 let maybe_split_for_thieves ctx ~slot (view : 'n Ops.view) ~chunked ~tag e =
   if ctx.scheduler.should_shed () then
     if chunked then begin
       let cs, depth = Engine.split_lowest e in
+      let kept = filter_chunk view cs in
+      Engine.credit_kept e ~depth:(depth - 1) ~n:(List.length kept);
       List.iter
         (fun node -> spawn ctx ~slot { Task_pool.tag; node; depth })
-        (filter_chunk view cs)
+        kept
     end
     else
       match Engine.split_one e with
       | Some (node, depth) ->
-        if view.Ops.keep node then spawn ctx ~slot { Task_pool.tag; node; depth }
+        if view.Ops.keep node then begin
+          Engine.credit_kept e ~depth:(depth - 1) ~n:1;
+          spawn ctx ~slot { Task_pool.tag; node; depth }
+        end
       | None -> ()
 
 let exec_task ctx ~slot (task : 'n Task_pool.task) =
@@ -98,23 +109,27 @@ let exec_task ctx ~slot (task : 'n Task_pool.task) =
      match ctx.coordination with
      | (Coordination.Depth_bounded { dcutoff } | Coordination.Best_first { dcutoff })
        when task.Task_pool.depth < dcutoff ->
-       let rec spawn_children seq =
+       let rec spawn_children kept seq =
          match Seq.uncons seq with
-         | None -> ()
+         | None -> kept
          | Some (child, rest) ->
            if view.Ops.keep child then begin
              spawn ctx ~slot
                { Task_pool.tag; node = child; depth = task.Task_pool.depth + 1 };
-             spawn_children rest
+             spawn_children (kept + 1) rest
            end
-           else if not view.Ops.prune_siblings then spawn_children rest
+           else if not view.Ops.prune_siblings then spawn_children kept rest
+           else kept
        in
-       spawn_children (ctx.children ctx.space task.Task_pool.node)
+       let kept =
+         spawn_children 0 (ctx.children ctx.space task.Task_pool.node)
+       in
+       Depth_profile.note_complete prof task.Task_pool.depth kept
      | Coordination.Sequential | Coordination.Depth_bounded _
      | Coordination.Stack_stealing _ | Coordination.Budget _
      | Coordination.Best_first _ | Coordination.Random_spawn _ ->
        let e =
-         Engine.make ~space:ctx.space ~children:ctx.children
+         Engine.make ~prof ~space:ctx.space ~children:ctx.children
            ~root_depth:task.Task_pool.depth task.Task_pool.node
        in
        let last_bt = ref 0 in
@@ -149,14 +164,18 @@ let exec_task ctx ~slot (task : 'n Task_pool.task) =
              | Coordination.Budget { budget }
                when Engine.backtracks e - !last_bt >= budget ->
                let cs, depth = Engine.split_lowest e in
+               let kept = filter_chunk view cs in
+               Engine.credit_kept e ~depth:(depth - 1)
+                 ~n:(List.length kept);
                List.iter
                  (fun node -> spawn ctx ~slot { Task_pool.tag; node; depth })
-                 (filter_chunk view cs);
+                 kept;
                last_bt := Engine.backtracks e
              | Coordination.Random_spawn { mean_interval }
                when Yewpar_util.Splitmix.int rng mean_interval = 0 -> (
                match Engine.split_one e with
                | Some (node, depth) when view.Ops.keep node ->
+                 Engine.credit_kept e ~depth:(depth - 1) ~n:1;
                  spawn ctx ~slot { Task_pool.tag; node; depth }
                | Some _ | None -> ())
              | _ -> ());

@@ -92,6 +92,9 @@ let to_json j =
     match j.progress with
     | None -> []
     | Some p ->
+      (* JSON numbers cannot carry infinities; an unbounded value is
+         the -1 sentinel, matching the runtimes' /status blocks. *)
+      let fnum f = Num (if Float.is_finite f then f else -1.) in
       [
         ( "progress",
           Obj
@@ -101,7 +104,12 @@ let to_json j =
               ("outstanding", num p.Coordinator.p_outstanding);
               ("best", num p.Coordinator.p_best);
               ("alive", num p.Coordinator.p_alive);
+              ("nodes", num p.Coordinator.p_nodes);
+              ("est_total", fnum p.Coordinator.p_est_total);
+              ("completed_fraction", fnum p.Coordinator.p_fraction);
+              ("rate", fnum p.Coordinator.p_rate);
             ] );
+        ("eta_seconds", fnum p.Coordinator.p_eta);
       ]
   in
   Obj (fields j @ progress)

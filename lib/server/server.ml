@@ -327,7 +327,24 @@ let run_job t (job : Job.t) slots =
       match sv.sv_finish outcome with
       | rendered ->
         job.Job.result <- Some rendered;
-        job.Job.state <- Job.Done
+        job.Job.state <- Job.Done;
+        (* The last heartbeat snapshot predates quiescence; pin the
+           terminal truth so pollers see exactly 1.0 and a zero ETA. *)
+        let nodes = outcome.Coordinator.stats.Yewpar_core.Stats.nodes in
+        job.Job.progress <-
+          (match job.Job.progress with
+          | Some p ->
+            Some
+              {
+                p with
+                Coordinator.p_pool_depth = 0;
+                p_outstanding = 0;
+                p_nodes = nodes;
+                p_est_total = float_of_int nodes;
+                p_fraction = 1.0;
+                p_eta = 0.;
+              }
+          | None -> None)
       | exception e -> job.Job.state <- Job.Failed (Printexc.to_string e))));
   job.Job.finished <- Some (now ());
   Metrics.observe t.m_latency (now () -. job.Job.submitted);

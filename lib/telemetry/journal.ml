@@ -297,6 +297,7 @@ let report_trace buf ~top tr entries =
   let t1 = ref neg_infinity in
   let deaths = ref 0 in
   let replays = ref 0 in
+  let psamples = ref [] in
   List.iter
     (fun e ->
       t0 := Float.min !t0 e.e_at;
@@ -329,6 +330,8 @@ let report_trace buf ~top tr entries =
       | "steal" -> steal_wait := !steal_wait +. e.e_dur
       | "idle" -> idle := !idle +. e.e_dur
       | "journal_drop" -> drops := !drops + e.e_value
+      | "progress_sample" ->
+        psamples := (e.e_at, e.e_value, e.e_note) :: !psamples
       | _ -> ())
     entries;
   if !wall <= 0. && !t1 > !t0 then wall := !t1 -. !t0;
@@ -443,6 +446,29 @@ let report_trace buf ~top tr entries =
       (fmt_s accounted) (frac !compute) (frac !wasted) (frac !steal_wait)
       (frac !idle)
       (frac (!compute +. !wasted +. !steal_wait +. !idle))
+  end;
+  (* Estimator convergence: how the completed fraction evolved over the
+     run, from the periodic progress_sample events. At most 8 samples
+     are shown, evenly spaced, always including the first and last. *)
+  let ps = List.sort compare !psamples in
+  if ps <> [] then begin
+    let frac_of note =
+      try Scanf.sscanf note "frac=%f" (fun f -> f) with _ -> Float.nan
+    in
+    let arr = Array.of_list ps in
+    let n = Array.length arr in
+    let shown = Int.min n 8 in
+    let steps =
+      List.init shown (fun i ->
+          if shown = 1 then 0 else i * (n - 1) / (shown - 1))
+    in
+    let cell i =
+      let at, nodes, note = arr.(i) in
+      Printf.sprintf "%.0f%% @%ss (%d)" (100. *. frac_of note) (fmt_s at)
+        nodes
+    in
+    line "  progress: %d sample(s): %s\n" n
+      (String.concat " -> " (List.map cell steps))
   end;
   let by_self =
     Hashtbl.fold (fun _ s acc -> s :: acc) spans []

@@ -34,8 +34,9 @@
     Event kinds: [job_start]/[job_done] (span 0), [lease_issue],
     [lease_retire], [spill], [spawn], [lease_revoke], [lease_replay],
     [locality_dead], [respawn], [bound], [witness], [task], [steal],
-    [idle], [journal_drop], and the job server's
-    [job_submitted]/[job_scheduled]/[job_finished]. *)
+    [idle], [journal_drop], [progress_sample], and the job server's
+    [job_submitted]/[job_scheduled]/[job_finished]. An unknown kind on
+    a v1 line is a producer bug; extensions must bump the version. *)
 
 val schema_version : int
 

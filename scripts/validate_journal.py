@@ -6,7 +6,9 @@ Checks, per line:
   - the schema version is 1;
   - every field of the v1 schema is present with the right type
     ("parent" may be null, everything else is required and non-null);
-  - the event kind is non-empty.
+  - the event kind is one of the known v1 kinds (an unknown kind on a
+    v1 line is a producer bug, not a forward-compatible extension —
+    extensions must bump the schema version).
 
 Checks, per trace:
   - every non-null parent span id resolves to a span that appears as
@@ -37,6 +39,32 @@ SCHEMA = {
     "dur": (int, float),
     "value": (int,),
     "note": (str,),
+}
+
+
+# Every event kind a v1 producer emits (runtimes, coordinator, job
+# server). Keep in sync with the schema list in lib/telemetry/journal.mli.
+KNOWN_EVENTS = {
+    "job_start",
+    "job_done",
+    "task",
+    "steal",
+    "idle",
+    "bound",
+    "witness",
+    "spawn",
+    "spill",
+    "lease_issue",
+    "lease_retire",
+    "lease_revoke",
+    "lease_replay",
+    "locality_dead",
+    "respawn",
+    "progress_sample",
+    "journal_drop",
+    "job_submitted",
+    "job_scheduled",
+    "job_finished",
 }
 
 
@@ -82,8 +110,10 @@ def validate(path):
             if obj["v"] != 1:
                 errors.append(f"{path}:{lineno}: schema version {obj['v']} != 1")
                 continue
-            if not obj["ev"]:
-                errors.append(f"{path}:{lineno}: empty event kind")
+            if obj["ev"] not in KNOWN_EVENTS:
+                errors.append(
+                    f"{path}:{lineno}: unknown event kind {obj['ev']!r}"
+                )
                 continue
             events += 1
             spans.setdefault(obj["trace"], set()).add(obj["span"])

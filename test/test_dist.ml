@@ -13,6 +13,7 @@ module Sequential = Yewpar_core.Sequential
 module Coordination = Yewpar_core.Coordination
 module Stats = Yewpar_core.Stats
 module Depth_profile = Yewpar_core.Depth_profile
+module Progress = Yewpar_core.Progress
 module Http_export = Yewpar_telemetry.Http_export
 module Queens = Yewpar_queens.Queens
 module Mc = Yewpar_maxclique.Maxclique
@@ -45,6 +46,15 @@ let sample_heartbeat () =
       idle_frac = 0.25;
       best = 17;
       trace_dropped = 3;
+      nodes = 123;
+      progress =
+        {
+          Yewpar_core.Progress.rows = 2;
+          nodes = [| 1; 2 |];
+          completed = [| 1; 1 |];
+          children = [| 2; 3 |];
+          children_sq = [| 4.; 9. |];
+        };
       events =
         [
           Yewpar_telemetry.Journal.event ~parent:3 ~worker:1 ~t:12.5 ~dur:0.25
@@ -83,7 +93,7 @@ let heartbeat_roundtrip () =
   | Some
       (Wire.Heartbeat
         { clock; tasks_done; pool_depth; idle_workers; idle_frac; best;
-          trace_dropped; events }) ->
+          trace_dropped; nodes; progress; events }) ->
     Alcotest.(check (float 0.)) "clock" 12.625 clock;
     Alcotest.(check int) "tasks_done" 31 tasks_done;
     Alcotest.(check int) "pool_depth" 4 pool_depth;
@@ -91,6 +101,10 @@ let heartbeat_roundtrip () =
     Alcotest.(check (float 0.)) "idle_frac" 0.25 idle_frac;
     Alcotest.(check int) "best" 17 best;
     Alcotest.(check int) "trace_dropped" 3 trace_dropped;
+    Alcotest.(check int) "nodes" 123 nodes;
+    Alcotest.(check int) "progress rows" 2 progress.Yewpar_core.Progress.rows;
+    Alcotest.(check (array int)) "progress children" [| 2; 3 |]
+      progress.Yewpar_core.Progress.children;
     (match events with
     | [ e ] ->
       Alcotest.(check string) "event kind" "task" e.Yewpar_telemetry.Journal.ev;
@@ -629,6 +643,59 @@ let chaos_journal_causality () =
   Alcotest.(check bool) "job_done closes the trace" true
     (by_kind "job_done" <> [])
 
+(* --------------------------- progress ----------------------------- *)
+
+let estimate_of stats =
+  Progress.estimate (Progress.of_profile stats.Stats.depths)
+
+let progress_exact_at_quiescence () =
+  (* The merged per-depth record at termination closes every stratum:
+     the live estimate (no final clamp) must already read exactly 1.0
+     on an enumeration. *)
+  let stats = Stats.create () in
+  let r =
+    dist ~stats ~coordination:(Coordination.Stack_stealing { chunked = false })
+      (queens_n 10)
+  in
+  Alcotest.(check int) "queens-10" 724 r;
+  let e = estimate_of stats in
+  Alcotest.(check bool) "estimator exact" true e.Progress.e_exact;
+  Alcotest.(check (float 0.)) "fraction exactly one" 1.0 e.Progress.e_fraction;
+  Alcotest.(check (float 0.)) "total = nodes" (float_of_int stats.Stats.nodes)
+    e.Progress.e_total
+
+let progress_final_across_replay () =
+  (* A crash only revokes-and-replays the dead locality's OUTSTANDING
+     leases; the depth tallies of leases it had already retired die
+     with it (their result deltas were shipped at retirement, their
+     tallies were not), so the raw chain is not guaranteed to close.
+     What IS guaranteed — and what pollers rely on — is the final
+     clamp: the termination detector is ground truth, so the terminal
+     estimate must read exactly 1.0 over the observed count, and the
+     raw chain must never have overshot certainty (a live read during
+     the crash never claimed completion). *)
+  let stats = Stats.create () in
+  let r =
+    Dist.run ~stats ~watchdog:120. ~localities:3 ~workers:2
+      ~chaos:(fault_spec "kill-locality:1@0.15s")
+      ~coordination:(Coordination.Depth_bounded { dcutoff = 2 })
+      (queens_n 12)
+  in
+  Alcotest.(check int) "queens-12 exact despite the crash" 14200 r;
+  Alcotest.(check int) "one locality lost" 1 stats.Stats.localities_lost;
+  let sample = Progress.of_profile stats.Stats.depths in
+  let e = Progress.estimate ~final:true sample in
+  Alcotest.(check (float 0.)) "final fraction exactly one" 1.0
+    e.Progress.e_fraction;
+  Alcotest.(check (float 0.)) "final total = nodes"
+    (float_of_int stats.Stats.nodes)
+    e.Progress.e_total;
+  let raw = Progress.estimate sample in
+  Alcotest.(check bool) "raw fraction never overshoots" true
+    (raw.Progress.e_fraction <= 1.0);
+  Alcotest.(check bool) "raw total covers the observations" true
+    (raw.Progress.e_total >= float_of_int (Progress.observed sample))
+
 let contains haystack needle =
   let re = Str.regexp_string needle in
   match Str.search_forward re haystack 0 with
@@ -760,6 +827,13 @@ let () =
           Alcotest.test_case "frame loss + lease timeout" `Quick chaos_drop_frames;
           Alcotest.test_case "journal causality across a crash" `Quick
             chaos_journal_causality;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "exact at quiescence" `Quick
+            progress_exact_at_quiescence;
+          Alcotest.test_case "final clamp across revoke-and-replay" `Quick
+            progress_final_across_replay;
         ] );
       (* Last: this test starts an HTTP-server domain inside the test
          process, and no fork may happen after a domain has existed. *)
