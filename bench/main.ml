@@ -5,6 +5,7 @@
      dune exec bench/main.exe -- table1       -- Table 1 only
      dune exec bench/main.exe -- figure4      -- Figure 4 only
      dune exec bench/main.exe -- shm          -- real shared-memory runs
+     dune exec bench/main.exe -- sched        -- scheduler nodes/sec microbench
      dune exec bench/main.exe -- serve        -- job-server latency/throughput
      dune exec bench/main.exe -- table2       -- Table 2 only
      dune exec bench/main.exe -- ablations    -- ablation studies
@@ -375,6 +376,72 @@ let shm_runtime () =
     (Coordination.to_string coordination)
     rate_on rate_off
     (100. *. ((rate_off -. rate_on) /. rate_off))
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler microbenchmark: nodes/sec through the two-tier hot path.  *)
+(* ------------------------------------------------------------------ *)
+
+(* The shm section gates wall-clock at 2 workers; this one pushes the
+   scheduler itself — 4 domains so the Tier-1 deques see real sibling
+   stealing, one steal-heavy configuration (stack-stealing, few big
+   tasks) and one spawn-heavy one (a small budget, thousands of tiny
+   tasks through enqueue/take). The gated quantity is nodes/sec over
+   the best-of-reps wall-clock: scheduling noise only ever slows a run
+   down, so the max rate is the cleanest throughput probe short runs
+   allow. *)
+let sched_bench () =
+  section "Scheduler microbenchmark: nodes/sec through the two-tier hot path";
+  let workers = 4 in
+  let reps = 5 in
+  Printf.printf
+    "Real [Shm.run] on %d domains, %d reps, best-of rate.\n\
+     Stack-stealing drives the deque steal path; the small budget\n\
+     drives task churn through both tiers.\n\n" workers reps;
+  let configs =
+    [ ("queens-12", Coordination.Stack_stealing { chunked = false });
+      ("knap-ss-20", Coordination.Budget { budget = 250 }) ]
+  in
+  let rows =
+    List.map
+      (fun (name, coordination) ->
+        let inst = Instances.find name in
+        let (Instances.Packed (p, _)) = Lazy.force inst.Instances.problem in
+        let stats = Stats.create () in
+        let times =
+          List.init reps (fun _ ->
+              let st = Stats.create () in
+              let _, t =
+                wall (fun () -> Shm.run ~workers ~stats:st ~coordination p)
+              in
+              Stats.add stats st;
+              t)
+        in
+        let elapsed = Summary.mean times in
+        let nodes = stats.Stats.nodes / reps in
+        let rate = float_of_int nodes /. List.fold_left min infinity times in
+        json_record
+          [ ("experiment", jstr "sched"); ("problem", jstr name);
+            ("skeleton", jstr (Coordination.to_string coordination));
+            ("runtime", jstr "shm"); ("localities", jint 1);
+            ("workers", jint workers); ("elapsed", jfloat elapsed);
+            ("nodes", jint nodes);
+            ("tasks", jint (stats.Stats.tasks / reps));
+            ("steals", jint (stats.Stats.steals / reps));
+            ("rate", jfloat rate) ];
+        Printf.eprintf "  [sched] %s / %s done\n%!" name
+          (Coordination.to_string coordination);
+        [ name; Coordination.to_string coordination;
+          Printf.sprintf "%.4f" elapsed;
+          Printf.sprintf "%.0f" rate;
+          string_of_int (stats.Stats.tasks / reps);
+          string_of_int (stats.Stats.steals / reps) ])
+      configs
+  in
+  print_endline
+    (Table.render
+       ~header:
+         [ "Instance"; "Skeleton"; "Wall (s)"; "Nodes/s"; "Tasks"; "Steals" ]
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* Job server: throughput and tail latency under concurrent jobs.      *)
@@ -820,6 +887,7 @@ let () =
   if want "table1" then table1 ~reps ();
   if want "figure4" then figure4 ();
   if want "shm" then shm_runtime ();
+  if want "sched" then sched_bench ();
   if want "table2" then table2 ~dcutoffs ~budgets ();
   if want "ablations" || want "ablation-budget" then ablation_budget ();
   if want "ablations" || want "ablation-pool" then ablation_pool ();

@@ -1,9 +1,12 @@
-module Vec = Yewpar_util.Vec
-
+(* Frames live in a flat reusable array with every field mutable: a
+   push overwrites a dead frame in place instead of allocating, so the
+   per-node hot loop allocates nothing beyond what the user's child
+   generator produces. Frames above [nframes] keep no live references
+   ([rest] cleared on pop, [node] parked on the current root). *)
 type ('space, 'node) frame = {
-  node : 'node;
+  mutable node : 'node;
   mutable rest : 'node Seq.t;
-  depth : int;
+  mutable depth : int;
   mutable kept : int;
       (* children of [node] committed to the search: entered by this
          engine or credited by the caller when split off to a task *)
@@ -12,9 +15,10 @@ type ('space, 'node) frame = {
 type ('space, 'node) t = {
   space : 'space;
   children : ('space, 'node) Problem.generator;
-  frames : ('space, 'node) frame Vec.t;
-  root : 'node;
-  root_depth : int;
+  mutable frames : ('space, 'node) frame array;
+  mutable nframes : int;
+  mutable root : 'node;
+  mutable root_depth : int;
   prof : Depth_profile.t;
       (* completion sink: every Leave records (depth, kept) into the
          profile's progress columns. [Depth_profile.null] when the
@@ -25,12 +29,49 @@ type ('space, 'node) t = {
   mutable max_depth : int;
 }
 
+let grow t =
+  let cap = Array.length t.frames in
+  let ncap = if cap = 0 then 8 else 2 * cap in
+  let bigger =
+    Array.init ncap (fun i ->
+        if i < cap then t.frames.(i)
+        else { node = t.root; rest = Seq.empty; depth = 0; kept = 0 })
+  in
+  t.frames <- bigger
+
+let push_frame t node rest depth =
+  if t.nframes = Array.length t.frames then grow t;
+  let f = t.frames.(t.nframes) in
+  f.node <- node;
+  f.rest <- rest;
+  f.depth <- depth;
+  f.kept <- 0;
+  t.nframes <- t.nframes + 1
+
 let make ?(prof = Depth_profile.null) ~space ~children ~root_depth root =
-  let frames = Vec.create () in
-  Vec.push frames
-    { node = root; rest = children space root; depth = root_depth; kept = 0 };
-  { space; children; frames; root; root_depth; prof;
-    entered = 0; pruned = 0; backtracks = 0; max_depth = root_depth }
+  let t =
+    { space; children; frames = [||]; nframes = 0; root; root_depth; prof;
+      entered = 0; pruned = 0; backtracks = 0; max_depth = root_depth }
+  in
+  push_frame t root (children space root) root_depth;
+  t
+
+let restart t ~root_depth root =
+  t.root <- root;
+  t.root_depth <- root_depth;
+  (* Drop every reference the previous traversal may have parked in the
+     recycled frames, or the whole old subtree stays reachable. *)
+  Array.iter
+    (fun f ->
+      f.node <- root;
+      f.rest <- Seq.empty)
+    t.frames;
+  t.nframes <- 0;
+  t.entered <- 0;
+  t.pruned <- 0;
+  t.backtracks <- 0;
+  t.max_depth <- root_depth;
+  push_frame t root (t.children t.space root) root_depth
 
 let root t = t.root
 
@@ -41,12 +82,14 @@ type 'node step =
   | Exhausted
 
 let step ?(prune_rest = false) ~keep t =
-  match Vec.top t.frames with
-  | None -> Exhausted
-  | Some f -> (
+  if t.nframes = 0 then Exhausted
+  else begin
+    let f = t.frames.(t.nframes - 1) in
     match Seq.uncons f.rest with
     | None ->
-      ignore (Vec.pop t.frames);
+      t.nframes <- t.nframes - 1;
+      f.rest <- Seq.empty;
+      f.node <- t.root;
       t.backtracks <- t.backtracks + 1;
       Depth_profile.note_complete t.prof f.depth f.kept;
       Leave
@@ -55,8 +98,7 @@ let step ?(prune_rest = false) ~keep t =
       if keep child then begin
         let depth = f.depth + 1 in
         f.kept <- f.kept + 1;
-        Vec.push t.frames
-          { node = child; rest = t.children t.space child; depth; kept = 0 };
+        push_frame t child (t.children t.space child) depth;
         t.entered <- t.entered + 1;
         if depth > t.max_depth then t.max_depth <- depth;
         Enter child
@@ -65,12 +107,13 @@ let step ?(prune_rest = false) ~keep t =
         if prune_rest then f.rest <- Seq.empty;
         t.pruned <- t.pruned + 1;
         Pruned child
-      end)
+      end
+  end
 
 let current_depth t =
-  match Vec.top t.frames with Some f -> f.depth | None -> t.root_depth - 1
+  if t.nframes > 0 then t.frames.(t.nframes - 1).depth else t.root_depth - 1
 
-let stack_size t = Vec.length t.frames
+let stack_size t = t.nframes
 let backtracks t = t.backtracks
 let nodes_entered t = t.entered
 let nodes_pruned t = t.pruned
@@ -91,11 +134,10 @@ let drain_frame f =
    found empty have their (possibly ephemeral) sequence pinned to the
    uncons result so nothing is forced twice. *)
 let lowest_nonempty t =
-  let n = Vec.length t.frames in
   let rec go i =
-    if i >= n then None
+    if i >= t.nframes then None
     else begin
-      let f = Vec.get t.frames i in
+      let f = t.frames.(i) in
       match Seq.uncons f.rest with
       | None ->
         f.rest <- Seq.empty;
@@ -123,15 +165,17 @@ let split_one t =
       Some (c, f.depth + 1))
 
 let drain_top t =
-  match Vec.top t.frames with
-  | None -> ([], 0)
-  | Some f -> (drain_frame f, f.depth + 1)
+  if t.nframes = 0 then ([], 0)
+  else begin
+    let f = t.frames.(t.nframes - 1) in
+    (drain_frame f, f.depth + 1)
+  end
 
 (* Frames form a single root-to-tip path, so the frame at global depth
    [depth] — if still on the stack — sits at index [depth - root_depth]. *)
 let credit_kept t ~depth ~n =
   let i = depth - t.root_depth in
-  if n > 0 && i >= 0 && i < Vec.length t.frames then begin
-    let f = Vec.get t.frames i in
+  if n > 0 && i >= 0 && i < t.nframes then begin
+    let f = t.frames.(i) in
     f.kept <- f.kept + n
   end

@@ -32,6 +32,15 @@ val make :
     {!Progress} tree-size estimator; the call is a single branch when
     the profile's progress columns are off. *)
 
+val restart : ('space, 'node) t -> root_depth:int -> 'node -> unit
+(** [restart t ~root_depth root] rewinds [t] to a fresh traversal of
+    the subtree rooted at [root], reusing the generator-stack storage
+    of the finished (or abandoned) previous traversal — the worker hot
+    loop runs one engine per slot instead of one per task, so steady-
+    state task execution allocates no stack frames. Counters restart
+    from zero; references into the previous subtree are dropped. The
+    space, child generator and profile are kept. *)
+
 val root : ('space, 'node) t -> 'node
 (** The subtree root this engine was created for. *)
 

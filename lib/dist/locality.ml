@@ -9,6 +9,7 @@ module Depth_profile = Yewpar_core.Depth_profile
 module Config = Yewpar_runtime.Config
 module Counters = Yewpar_runtime.Counters
 module Task_pool = Yewpar_runtime.Task_pool
+module Two_tier = Yewpar_runtime.Two_tier
 module Worker = Yewpar_runtime.Worker
 
 (* The per-lease result ledger. Workers accumulate each task's
@@ -84,11 +85,16 @@ let run (type s n r) ?(trace = false) ?(journal = false) ?heartbeat ?chaos
   let cur_lease = Array.make workers (-1) in
   let task_started = Array.make workers 0. in
   let idle_per = Array.make workers 0. in
-  let pool = Task_pool.create ~policy:(Task_pool.policy_for coordination) () in
-  (* Tasks queued or executing here; 0 means the locality is drained
-     (workers may only block, never spawn, at 0). *)
+  let tiers =
+    Two_tier.create
+      ~policy:(Task_pool.policy_for coordination)
+      ~slots:workers ()
+  in
+  (* Tasks queued or executing here (deque- and pool-resident alike);
+     0 means the locality is drained (workers may only block, never
+     spawn, at 0) — so lease retirement at quiescence stays exact even
+     though deque tasks are invisible to the coordinator. *)
   let local_outstanding = Atomic.make 0 in
-  let waiting = Atomic.make 0 in
   let stop = Atomic.make false in
   (* Armed by a coordinator steal request that caught our pool dry: the
      next locally-spawned task is spilled instead of queued. *)
@@ -373,13 +379,13 @@ let run (type s n r) ?(trace = false) ?(journal = false) ?heartbeat ?chaos
      spawns ship to the coordinator's distributed pool. *)
   let spill_threshold = max 4 (2 * workers) in
 
-  let enqueue_local r (task : n Task_pool.task) =
+  let enqueue_local ~slot r (task : n Task_pool.task) =
     Atomic.incr local_outstanding;
-    Task_pool.push pool ~recorder:r
+    Two_tier.enqueue tiers ~slot ~recorder:r
       ~priority:(task_priority task.Task_pool.node) task
   in
   let spill r (task : n Task_pool.task) =
-    Recorder.instant r Recorder.Spill ~arg:(Task_pool.size pool);
+    Recorder.instant r Recorder.Spill ~arg:(Two_tier.queued tiers);
     outbox_add
       (Wire.Task
          {
@@ -410,19 +416,17 @@ let run (type s n r) ?(trace = false) ?(journal = false) ?heartbeat ?chaos
   let scheduler =
     {
       Worker.enqueue =
-        (fun r task ->
+        (fun ~slot r task ->
           if Atomic.compare_and_set global_hungry true false then spill r task
-          else if Task_pool.size pool >= spill_threshold then spill r task
-          else enqueue_local r task);
+          else if Two_tier.queued tiers >= spill_threshold then spill r task
+          else enqueue_local ~slot r task);
       take =
         (fun ~slot ->
-          Task_pool.take pool ~recorder:recorders.(slot) ~stop ~waiting
+          Two_tier.take tiers ~slot ~recorder:recorders.(slot) ~stop
             ?on_idle:on_idles.(slot) ());
       finish = (fun () -> Atomic.decr local_outstanding);
       should_shed =
-        (fun () ->
-          (Atomic.get waiting > 0 && Task_pool.size pool = 0)
-          || Atomic.get global_hungry);
+        (fun () -> Two_tier.hungry tiers || Atomic.get global_hungry);
       begin_task =
         (fun ~slot t ->
           ledger.begin_task slot t.Task_pool.tag;
@@ -436,18 +440,8 @@ let run (type s n r) ?(trace = false) ?(journal = false) ?heartbeat ?chaos
     }
   in
   let ctx =
-    {
-      Worker.space = p.Problem.space;
-      children = p.Problem.children;
-      coordination;
-      counters;
-      recorders;
-      views;
-      scheduler;
-      pool;
-      stop;
-      failure = Atomic.make None;
-    }
+    Worker.make_ctx ~space:p.Problem.space ~children:p.Problem.children
+      ~coordination ~counters ~recorders ~views ~scheduler ~tiers ~stop ()
   in
   let handle = Worker.start ctx ~workers in
 
@@ -491,14 +485,18 @@ let run (type s n r) ?(trace = false) ?(journal = false) ?heartbeat ?chaos
     end;
     incr steals;
     ledger.register lease;
-    enqueue_local comms_r
+    (* Wire arrivals have no owning worker: they land in the ordered
+       overflow tier (slot -1), never in a deque. *)
+    enqueue_local ~slot:(-1) comms_r
       { Task_pool.tag = lease; node = codec.Codec.decode payload; depth }
   in
   (* The coordinator asked for work on behalf of a starving locality:
-     give back half of our queue, shallowest-first (the biggest
-     subtrees), or arm the spill flag if we have nothing queued. *)
+     give back half of our overflow tier, shallowest-first (the
+     biggest subtrees), or arm the spill flag if it has nothing
+     queued. Deque-resident tasks are never shed — they stay inside
+     this locality's lease accounting until executed. *)
   let shed_from_pool () =
-    match Task_pool.shed_half pool with
+    match Two_tier.shed_half tiers with
     | [] -> Atomic.set global_hungry true
     | shed ->
       List.iter
@@ -567,8 +565,8 @@ let run (type s n r) ?(trace = false) ?(journal = false) ?heartbeat ?chaos
              {
                clock = now;
                tasks_done = Atomic.get counters.Counters.tasks_done;
-               pool_depth = Task_pool.size pool;
-               idle_workers = Atomic.get waiting;
+               pool_depth = Two_tier.queued tiers;
+               idle_workers = Two_tier.idle_workers tiers;
                idle_frac;
                best = knowledge.Knowledge.best_obj ();
                trace_dropped = all_dropped ();
@@ -633,8 +631,7 @@ let run (type s n r) ?(trace = false) ?(journal = false) ?heartbeat ?chaos
     if
       (not !steal_inflight)
       && (not (Atomic.get stop))
-      && Atomic.get waiting > 0
-      && Task_pool.size pool = 0
+      && Two_tier.hungry tiers
     then begin
       steal_inflight := true;
       steal_sent_at := Recorder.now comms_r;

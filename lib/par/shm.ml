@@ -11,6 +11,7 @@ module Problem = Yewpar_core.Problem
 module Sequential = Yewpar_core.Sequential
 module Counters = Yewpar_runtime.Counters
 module Task_pool = Yewpar_runtime.Task_pool
+module Two_tier = Yewpar_runtime.Two_tier
 module Worker = Yewpar_runtime.Worker
 
 let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?journal
@@ -39,9 +40,12 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?journal
     | Some tl ->
       Array.init n_workers (fun i -> Telemetry.recorder tl ~locality:0 ~worker:i)
   in
-  let pool = Task_pool.create ~policy:(Task_pool.policy_for coordination) () in
+  let tiers =
+    Two_tier.create
+      ~policy:(Task_pool.policy_for coordination)
+      ~slots:n_workers ()
+  in
   let outstanding = Atomic.make 0 in
-  let waiting = Atomic.make 0 in
   let stop = Atomic.make false in
   (* ---- causal journal ----
      There is no coordinator here, so the runtime allocates its own
@@ -69,9 +73,11 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?journal
         harness.Ops.view { knowledge with Knowledge.submit })
   in
   let task_priority = Worker.task_priority ~coordination views in
-  (* The in-process scheduler: one shared pool is both the local queue
-     and the steal base; a pool handoff after a dry poll is a steal.
-     Termination is the classic outstanding-task count hitting zero. *)
+  (* The in-process scheduler: each worker owns a lock-free Tier-1
+     deque and the shared ordered pool is the overflow tier; a task
+     obtained from a sibling's deque or another slot's pool push is a
+     steal. Termination is the classic outstanding-task count hitting
+     zero. *)
   let on_idles =
     match jbuf with
     | None -> Array.make n_workers None
@@ -82,7 +88,7 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?journal
   let scheduler =
     {
       Worker.enqueue =
-        (fun r task ->
+        (fun ~slot r task ->
           Atomic.incr outstanding;
           let task =
             match jbuf with
@@ -97,21 +103,20 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?journal
                    ~ev:"spawn" ~span:id ());
               { task with Task_pool.tag = id }
           in
-          Task_pool.push pool ~recorder:r
+          Two_tier.enqueue tiers ~slot ~recorder:r
             ~priority:(task_priority task.Task_pool.node)
             task);
       take =
         (fun ~slot ->
-          Task_pool.take pool ~recorder:recorders.(slot) ~stop ~waiting
+          Two_tier.take tiers ~slot ~recorder:recorders.(slot) ~stop
             ~steal_counters:counters
             ~drained:(fun () -> Atomic.get outstanding = 0)
             ?on_idle:on_idles.(slot) ());
       finish =
         (fun () ->
           if Atomic.fetch_and_add outstanding (-1) = 1 then
-            Task_pool.broadcast pool);
-      should_shed =
-        (fun () -> Atomic.get waiting > 0 && Task_pool.size pool = 0);
+            Two_tier.broadcast tiers);
+      should_shed = (fun () -> Two_tier.hungry tiers);
       begin_task =
         (fun ~slot t ->
           match jbuf with
@@ -131,18 +136,8 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?journal
     }
   in
   let ctx =
-    {
-      Worker.space = p.Problem.space;
-      children = p.Problem.children;
-      coordination;
-      counters;
-      recorders;
-      views;
-      scheduler;
-      pool;
-      stop;
-      failure = Atomic.make None;
-    }
+    Worker.make_ctx ~space:p.Problem.space ~children:p.Problem.children
+      ~coordination ~counters ~recorders ~views ~scheduler ~tiers ~stop ()
   in
 
   (* Live monitoring: the /metrics gauges are computed from the shared
@@ -164,7 +159,7 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?journal
       let g_pruned = g "pruned" "Subtrees pruned so far" in
       let g_tasks = g "tasks" "Tasks spawned so far" in
       let g_done = g "tasks_done" "Tasks finished so far" in
-      let g_pool = g "pool_depth" "Tasks currently queued in the pool" in
+      let g_pool = g "pool_depth" "Tasks currently queued (both tiers)" in
       let g_outstanding =
         g "active_tasks" "Tasks queued or executing (termination detector)"
       in
@@ -186,9 +181,9 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?journal
         Metrics.set g_tasks (float_of_int (Atomic.get counters.Counters.tasks));
         Metrics.set g_done
           (float_of_int (Atomic.get counters.Counters.tasks_done));
-        Metrics.set g_pool (float_of_int (Task_pool.size pool));
+        Metrics.set g_pool (float_of_int (Two_tier.queued tiers));
         Metrics.set g_outstanding (float_of_int (Atomic.get outstanding));
-        Metrics.set g_idle (float_of_int (Atomic.get waiting));
+        Metrics.set g_idle (float_of_int (Two_tier.idle_workers tiers));
         Metrics.set g_steals (float_of_int (Atomic.get counters.Counters.steals));
         Metrics.set g_attempts
           (float_of_int (Atomic.get counters.Counters.steal_attempts));
@@ -216,7 +211,9 @@ let parallel_run (type s n r) ~n_workers ?stats ?telemetry ?journal
           (Atomic.get counters.Counters.pruned)
           (Atomic.get counters.Counters.tasks)
           (Atomic.get counters.Counters.tasks_done)
-          (Task_pool.size pool) (Atomic.get outstanding) (Atomic.get waiting)
+          (Two_tier.queued tiers)
+          (Atomic.get outstanding)
+          (Two_tier.idle_workers tiers)
           (Atomic.get counters.Counters.steals)
           (Atomic.get counters.Counters.steal_attempts)
           (Atomic.get counters.Counters.bound_updates)

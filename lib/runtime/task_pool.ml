@@ -4,10 +4,20 @@ module Recorder = Yewpar_telemetry.Recorder
 
 type 'n task = { tag : int; node : 'n; depth : int }
 
+type episode = { mutable attempted : bool; mutable dry_since : float }
+
+let new_episode () = { attempted = false; dry_since = 0. }
+
+(* Provenance wrapper: [src] is the slot that pushed the entry (-1 for
+   pushes with no worker identity — wire arrivals, the root seed), so
+   [take] can tell a genuine steal from a worker being handed back its
+   own spill. *)
+type 'n entry = { src : int; tk : 'n task }
+
 type 'n t = {
   mutex : Mutex.t;
   nonempty : Condition.t;
-  tasks : 'n task Workpool.t;
+  tasks : 'n entry Workpool.t;
   size : int Atomic.t;
 }
 
@@ -28,63 +38,89 @@ let policy_for = function
 
 let size t = Atomic.get t.size
 
-let push t ~recorder ~priority task =
+let push t ~recorder ?(src = -1) ~priority task =
   Mutex.lock t.mutex;
-  Workpool.push t.tasks ~depth:task.depth ~priority task;
+  Workpool.push t.tasks ~depth:task.depth ~priority { src; tk = task };
   Atomic.incr t.size;
+  (* Sample the depth this push produced while still under the lock:
+     reading the mirror after unlock can attribute a later pop/push's
+     size to this push's trace instant. *)
+  let depth_now = Atomic.get t.size in
   Condition.signal t.nonempty;
   Mutex.unlock t.mutex;
-  Recorder.instant recorder Recorder.Pool ~arg:(Atomic.get t.size)
+  Recorder.instant recorder Recorder.Pool ~arg:depth_now
+
+let signal t =
+  Mutex.lock t.mutex;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
 
 let broadcast t =
   Mutex.lock t.mutex;
   Condition.broadcast t.nonempty;
   Mutex.unlock t.mutex
 
-let take t ~recorder ~stop ~waiting ?steal_counters ?(drained = fun () -> false)
-    ?on_idle () =
+type 'n acquired = Task of 'n task | Retry | Exhausted
+
+let take t ~recorder ~stop ~waiting ?(slot = -1) ?episode ?steal_counters
+    ?(more_work = fun () -> false) ?(drained = fun () -> false) ?on_idle () =
+  let ep = match episode with Some e -> e | None -> new_episode () in
   Mutex.lock t.mutex;
-  let attempted = ref false in
-  let dry_since = ref 0. in
   let rec wait () =
-    if Atomic.get stop then None
+    if Atomic.get stop then Exhausted
     else
       match Workpool.pop_local t.tasks with
-      | Some tk ->
+      | Some { src; tk } ->
         Atomic.decr t.size;
         (match steal_counters with
-        | Some (c : Counters.t) when !attempted ->
+        | Some (c : Counters.t) when ep.attempted && src <> slot ->
+          (* Only a task someone else pushed counts as stolen: being
+             handed back our own spill after a wait is just latency. *)
           Atomic.incr c.Counters.steals;
-          Recorder.span recorder Recorder.Steal_success ~start:!dry_since ~arg:0
+          Recorder.span recorder Recorder.Steal_success ~start:ep.dry_since
+            ~arg:0
         | Some _ | None -> ());
-        Some tk
+        Task tk
       | None ->
         (match steal_counters with
-        | Some (c : Counters.t) when not !attempted ->
-          attempted := true;
-          dry_since := Recorder.now recorder;
+        | Some (c : Counters.t) when not ep.attempted ->
+          ep.attempted <- true;
+          ep.dry_since <- Recorder.now recorder;
           Atomic.incr c.Counters.steal_attempts;
           Recorder.instant recorder Recorder.Steal_attempt ~arg:0
         | Some _ | None -> ());
-        if drained () then None
+        if drained () then Exhausted
         else begin
           Atomic.incr waiting;
-          let idle_from = Recorder.now recorder in
-          let wall_from =
-            match on_idle with Some _ -> Recorder.clock () | None -> 0.
-          in
-          Condition.wait t.nonempty t.mutex;
-          Atomic.decr waiting;
-          Recorder.span recorder Recorder.Idle ~start:idle_from ~arg:0;
-          (match on_idle with
-          | Some f -> f (Recorder.clock () -. wall_from)
-          | None -> ());
-          wait ()
+          (* Lost-wakeup guard for the lock-free tier: deque pushers
+             publish the task first and only signal when they observe
+             [waiting > 0]. Re-probing the deques *after* raising
+             [waiting] therefore covers the race — a push missed by
+             this probe must read the raised counter and will signal
+             (blocking on our mutex until [Condition.wait] releases
+             it). *)
+          if more_work () then begin
+            Atomic.decr waiting;
+            Retry
+          end
+          else begin
+            let idle_from = Recorder.now recorder in
+            let wall_from =
+              match on_idle with Some _ -> Recorder.clock () | None -> 0.
+            in
+            Condition.wait t.nonempty t.mutex;
+            Atomic.decr waiting;
+            Recorder.span recorder Recorder.Idle ~start:idle_from ~arg:0;
+            (match on_idle with
+            | Some f -> f (Recorder.clock () -. wall_from)
+            | None -> ());
+            if more_work () then Retry else wait ()
+          end
         end
   in
-  let tk = wait () in
+  let outcome = wait () in
   Mutex.unlock t.mutex;
-  tk
+  outcome
 
 let shed_half t =
   Mutex.lock t.mutex;
@@ -93,7 +129,7 @@ let shed_half t =
   let shed = ref [] in
   for _ = 1 to to_shed do
     match Workpool.pop_steal t.tasks with
-    | Some tk ->
+    | Some { tk; _ } ->
       Atomic.decr t.size;
       shed := tk :: !shed
     | None -> ()

@@ -1,12 +1,16 @@
-(** The runtime-local task pool: a mutex/condition-protected
-    depth-aware order-preserving workpool with an atomic size mirror,
-    shared by the shm workers of one process and the workers of one
+(** The overflow tier of the two-tier scheduler: a mutex/condition-
+    protected depth-aware order-preserving workpool with an atomic size
+    mirror, shared by the workers of one process (shm) or one
     distributed locality.
 
-    Deepest-first local pops keep the parallel search depth-first;
-    under a [Priority] policy (best-first coordination) pops follow
-    the heuristic instead. The size mirror lets busy workers poll
-    emptiness without taking the lock. *)
+    In the two-tier design ({!Two_tier}) the hot path lives in
+    per-worker lock-free deques; this pool receives what the fast tier
+    sheds — deque overflow, priority-ordered work, wire arrivals — and
+    is the {e only} tier distributed localities shed from, so its
+    order-preserving pops (deepest-first locally, shallowest-first for
+    sheds; heuristic order under a [Priority] policy) keep Ordered-style
+    reproducibility intact. It is also the block/wake point: workers
+    with nothing to pop or steal sleep on its condition. *)
 
 type 'n task = {
   tag : int;
@@ -16,6 +20,13 @@ type 'n task = {
   node : 'n;
   depth : int;
 }
+
+type episode = { mutable attempted : bool; mutable dry_since : float }
+(** Steal-accounting state shared across one whole acquisition (deque
+    sweep + pool wait), so attempts are counted once per dry episode no
+    matter how many tiers were probed. *)
+
+val new_episode : unit -> episode
 
 type 'n t
 
@@ -29,38 +40,69 @@ val size : 'n t -> int
 (** Lock-free read of the size mirror. *)
 
 val push :
-  'n t -> recorder:Yewpar_telemetry.Recorder.t -> priority:int -> 'n task -> unit
+  'n t ->
+  recorder:Yewpar_telemetry.Recorder.t ->
+  ?src:int ->
+  priority:int ->
+  'n task ->
+  unit
 (** Queue a task, wake one waiter, and record a pool-depth trace
-    instant. *)
+    instant (sampled under the lock, so the depth is the one this push
+    produced). [src] (default [-1]: no worker identity) is the pushing
+    worker's slot, kept so {!take} can distinguish steals from
+    self-handoffs. *)
+
+val signal : 'n t -> unit
+(** Wake one waiter without pushing — how the lock-free tier announces
+    a deque push to sleepers (they re-probe the deques before waiting,
+    see {!take}). *)
 
 val broadcast : 'n t -> unit
 (** Wake every waiter (stop requests, termination, external work
     arrival). *)
+
+type 'n acquired =
+  | Task of 'n task  (** A pool task, steal accounting done. *)
+  | Retry
+      (** [more_work] observed fast-tier work while arming the wait —
+          the caller should re-run its deque sweep. *)
+  | Exhausted  (** [stop] or [drained]: the worker's loop ends. *)
 
 val take :
   'n t ->
   recorder:Yewpar_telemetry.Recorder.t ->
   stop:bool Atomic.t ->
   waiting:int Atomic.t ->
+  ?slot:int ->
+  ?episode:episode ->
   ?steal_counters:Counters.t ->
+  ?more_work:(unit -> bool) ->
   ?drained:(unit -> bool) ->
   ?on_idle:(float -> unit) ->
   unit ->
-  'n task option
-(** Blocking task acquisition; [None] means the search is over for
-    this worker. A worker that finds the pool dry sleeps on the
-    condition (bumping [waiting] while it does) and retries on
-    wakeup, until [stop] is set or [drained ()] holds with the pool
-    empty ([drained] defaults to never: on a distributed locality a
-    dry pool does not end the search — more work may arrive over the
-    wire).
+  'n acquired
+(** Blocking pool acquisition, the slow tail of {!Two_tier.take}. A
+    worker that finds the pool dry sleeps on the condition (bumping
+    [waiting] while it does) and retries on wakeup, until [stop] is
+    set or [drained ()] holds with the pool empty ([drained] defaults
+    to never: on a distributed locality a dry pool does not end the
+    search — more work may arrive over the wire).
 
-    With [steal_counters], a dry first poll counts as a steal attempt
-    and obtaining a task after having waited counts as a success (its
-    recorded span is the steal latency: first dry poll to task in
-    hand) — the shm accounting, where pool handoffs between workers
-    are the steals. [on_idle], when given, receives each wait's
-    wall-clock duration (the dist heartbeat's idle fraction). *)
+    [more_work] (default never) is probed {e after} [waiting] is
+    raised and before every sleep, and again on every wakeup; when it
+    fires the call returns [Retry] so the caller can drain its fast
+    tier. Together with deque pushers signalling only after observing
+    [waiting > 0], this closes the lost-wakeup race without putting
+    deque pushes under the pool lock.
+
+    With [steal_counters], a dry first probe of the episode counts as
+    a steal attempt and obtaining a task pushed by a {e different}
+    slot than [slot] counts as a success (its recorded span is the
+    steal latency: first dry probe to task in hand) — a worker handed
+    back a task it pushed itself is not stealing. [episode] (default
+    fresh) carries that state across tiers. [on_idle], when given,
+    receives each wait's wall-clock duration (the dist heartbeat's
+    idle fraction). *)
 
 val shed_half : 'n t -> 'n task list
 (** Atomically remove half the queued tasks (rounded up),

@@ -6,7 +6,7 @@ module Depth_profile = Yewpar_core.Depth_profile
 module Recorder = Yewpar_telemetry.Recorder
 
 type 'n scheduler = {
-  enqueue : Recorder.t -> 'n Task_pool.task -> unit;
+  enqueue : slot:int -> Recorder.t -> 'n Task_pool.task -> unit;
   take : slot:int -> 'n Task_pool.task option;
   finish : unit -> unit;
   should_shed : unit -> bool;
@@ -22,10 +22,29 @@ type ('s, 'n) ctx = {
   recorders : Recorder.t array;
   views : 'n Ops.view array;
   scheduler : 'n scheduler;
-  pool : 'n Task_pool.t;
+  tiers : 'n Two_tier.t;
   stop : bool Atomic.t;
   failure : exn option Atomic.t;
+  engines : ('s, 'n) Engine.t option ref array;
+      (* per-slot scratch engine, restarted for each task so the hot
+         loop reuses one generator stack instead of allocating one *)
 }
+
+let make_ctx ~space ~children ~coordination ~counters ~recorders ~views
+    ~scheduler ~tiers ~stop () =
+  {
+    space;
+    children;
+    coordination;
+    counters;
+    recorders;
+    views;
+    scheduler;
+    tiers;
+    stop;
+    failure = Atomic.make None;
+    engines = Array.init (Array.length views) (fun _ -> ref None);
+  }
 
 let task_priority ~coordination (views : _ Ops.view array) =
   match coordination with
@@ -37,13 +56,13 @@ let task_priority ~coordination (views : _ Ops.view array) =
 
 let request_stop ctx =
   Atomic.set ctx.stop true;
-  Task_pool.broadcast ctx.pool
+  Two_tier.broadcast ctx.tiers
 
 let spawn ctx ~slot task =
   Atomic.incr ctx.counters.Counters.tasks;
   Depth_profile.note_spawn ctx.counters.Counters.profs.(slot)
     task.Task_pool.depth;
-  ctx.scheduler.enqueue ctx.recorders.(slot) task
+  ctx.scheduler.enqueue ~slot ctx.recorders.(slot) task
 
 (* Bound-filter a split chunk with the engine's sibling-cut semantics
    so dead tasks are never spawned. *)
@@ -58,7 +77,7 @@ let filter_chunk (view : 'n Ops.view) cs =
   go [] cs
 
 (* Stack-Stealing work pushing: a running worker sheds work whenever
-   the scheduler signals hunger (local thieves waiting on a dry pool;
+   the scheduler signals hunger (local thieves waiting on dry tiers;
    on dist additionally a starving remote locality). *)
 (* Splits must credit the kept children they ship to other tasks back
    to the donor frame ([Engine.credit_kept]), so the frame's eventual
@@ -128,9 +147,21 @@ let exec_task ctx ~slot (task : 'n Task_pool.task) =
      | Coordination.Sequential | Coordination.Depth_bounded _
      | Coordination.Stack_stealing _ | Coordination.Budget _
      | Coordination.Best_first _ | Coordination.Random_spawn _ ->
+       (* The slot's engine is recycled across tasks ([Engine.restart]):
+          steady-state task execution reuses one generator stack. *)
        let e =
-         Engine.make ~prof ~space:ctx.space ~children:ctx.children
-           ~root_depth:task.Task_pool.depth task.Task_pool.node
+         match !(ctx.engines.(slot)) with
+         | Some e ->
+           Engine.restart e ~root_depth:task.Task_pool.depth
+             task.Task_pool.node;
+           e
+         | None ->
+           let e =
+             Engine.make ~prof ~space:ctx.space ~children:ctx.children
+               ~root_depth:task.Task_pool.depth task.Task_pool.node
+           in
+           ctx.engines.(slot) := Some e;
+           e
        in
        let last_bt = ref 0 in
        let rng =
@@ -191,7 +222,7 @@ let exec_task ctx ~slot (task : 'n Task_pool.task) =
   Recorder.span r Recorder.Task ~start:started ~arg:task.Task_pool.depth
 
 (* A user exception (e.g. a raising generator) must not deadlock the
-   pool: record it, short-circuit every worker, and let the caller
+   scheduler: record it, short-circuit every worker, and let the caller
    decide what to do with it after the join. *)
 let worker_loop ctx slot () =
   let rec loop () =

@@ -5,26 +5,28 @@
     {!Yewpar_core.Coordination} policy — spawning, shedding or
     splitting exactly as the coordination dictates — and accounts
     everything through one {!Counters} bundle. What differs between
-    substrates (where a spawned task goes, when a dry pool means
+    substrates (where a spawned task goes, when a dry scheduler means
     termination, how a task is attributed) is delegated to a
     first-class {!type-scheduler}; the search semantics live here,
     once, so all runtimes behave identically by construction. *)
 
 type 'n scheduler = {
-  enqueue : Yewpar_telemetry.Recorder.t -> 'n Task_pool.task -> unit;
+  enqueue : slot:int -> Yewpar_telemetry.Recorder.t -> 'n Task_pool.task -> unit;
       (** Deliver a freshly spawned task. The core has already done
           the spawn accounting; the scheduler decides the destination
-          (shm: the shared pool; dist: the local pool or a spill to
-          the coordinator). *)
+          (shm: the spawning slot's deque via {!Two_tier.enqueue};
+          dist: the local tiers or a spill to the coordinator). [slot]
+          is the spawning worker — the owner of the Tier-1 deque the
+          task lands in. *)
   take : slot:int -> 'n Task_pool.task option;
       (** Blocking task acquisition; [None] ends the worker's loop.
-          Usually a configured {!Task_pool.take}. *)
+          Usually a configured {!Two_tier.take}. *)
   finish : unit -> unit;
       (** A task (and its delta) is fully accounted; the substrate's
           termination detector decrements its outstanding count. *)
   should_shed : unit -> bool;
-      (** Stack-stealing hunger probe: are thieves waiting on a dry
-          pool (or, on dist, is a remote locality starving)? *)
+      (** Stack-stealing hunger probe: are thieves waiting with both
+          tiers dry (or, on dist, is a remote locality starving)? *)
   begin_task : slot:int -> 'n Task_pool.task -> unit;
       (** Attribution hook, called before execution (dist: bind the
           worker to the task's lease). No-op on shm. *)
@@ -44,14 +46,34 @@ type ('s, 'n) ctx = {
           runtime reserves extra slots (the dist communicator). *)
   views : 'n Yewpar_core.Ops.view array;  (** One per worker slot. *)
   scheduler : 'n scheduler;
-  pool : 'n Task_pool.t;
-      (** The local pool (also reachable from the scheduler closures;
-          named here so {!request_stop} can wake its waiters). *)
+  tiers : 'n Two_tier.t;
+      (** The local two-tier scheduler (also reachable from the
+          scheduler closures; named here so {!request_stop} can wake
+          its waiters). *)
   stop : bool Atomic.t;  (** The global short-circuit flag. *)
   failure : exn option Atomic.t;
       (** First worker exception; a raising user generator must not
-          deadlock the pool, so workers trap, record and stop. *)
+          deadlock the scheduler, so workers trap, record and stop. *)
+  engines : ('s, 'n) Yewpar_core.Engine.t option ref array;
+      (** Per-slot scratch engine, recycled across tasks with
+          {!Yewpar_core.Engine.restart} so steady-state execution
+          reuses one generator stack per worker. *)
 }
+
+val make_ctx :
+  space:'s ->
+  children:('s, 'n) Yewpar_core.Problem.generator ->
+  coordination:Yewpar_core.Coordination.t ->
+  counters:Counters.t ->
+  recorders:Yewpar_telemetry.Recorder.t array ->
+  views:'n Yewpar_core.Ops.view array ->
+  scheduler:'n scheduler ->
+  tiers:'n Two_tier.t ->
+  stop:bool Atomic.t ->
+  unit ->
+  ('s, 'n) ctx
+(** Assemble a context, allocating the failure cell and one engine
+    scratch slot per view. *)
 
 val task_priority :
   coordination:Yewpar_core.Coordination.t ->
@@ -62,7 +84,7 @@ val task_priority :
     coordination, constant otherwise. *)
 
 val request_stop : ('s, 'n) ctx -> unit
-(** Raise the stop flag and wake every pool waiter. *)
+(** Raise the stop flag and wake every blocked worker. *)
 
 val spawn : ('s, 'n) ctx -> slot:int -> 'n Task_pool.task -> unit
 (** Account a task spawn (task counter + slot depth profile) and hand

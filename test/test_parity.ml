@@ -40,6 +40,19 @@ type runtime = Rt_seq | Rt_shm | Rt_dist
 
 let runtimes = [ ("seq", Rt_seq); ("shm", Rt_shm); ("dist", Rt_dist) ]
 
+(* Parallel width of each cell, overridable so CI can rerun the same
+   matrix with elevated worker counts to shake out scheduler races
+   (more domains = more concurrent deque steals per task). *)
+let parity_workers =
+  match Sys.getenv_opt "YEWPAR_PARITY_WORKERS" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some w when w >= 1 -> w
+    | Some _ | None ->
+      invalid_arg "YEWPAR_PARITY_WORKERS must be a positive integer"
+  )
+  | None -> 2
+
 (* One cell of the matrix: run [p] on [rt] under [coordination],
    collecting stats.  Sequential ignores the coordination (it is the
    oracle every parallel cell is compared against). *)
@@ -51,9 +64,10 @@ let run_cell rt ~coordination p =
       let r, st = Sequential.search_with_stats p in
       Stats.add stats st;
       r
-    | Rt_shm -> Shm.run ~workers:2 ~stats ~coordination p
+    | Rt_shm -> Shm.run ~workers:parity_workers ~stats ~coordination p
     | Rt_dist ->
-      Dist.run ~stats ~watchdog:120. ~localities:2 ~workers:2 ~coordination p
+      Dist.run ~stats ~watchdog:120. ~localities:2 ~workers:parity_workers
+        ~coordination p
   in
   (result, stats)
 
